@@ -1,0 +1,26 @@
+"""Ablation: recursion base-case height (paper §5.1 says 8 is optimal in C++)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree_solver import solve_tree_fft
+from repro.experiments import run_experiment
+from repro.options.contract import paper_benchmark_spec
+from repro.options.params import BinomialParams
+
+SPEC = paper_benchmark_spec()
+
+
+@pytest.mark.parametrize("base", [4, 8, 32, 128])
+def test_fft_bopm_base(benchmark, base):
+    params = BinomialParams.from_spec(SPEC, 4096)
+    result = benchmark(solve_tree_fft, params, base=base)
+    assert result.price > 0
+
+
+def test_ablation_table(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-base",), rounds=1, iterations=1
+    )
+    assert result.series["fft-bopm (s)"]

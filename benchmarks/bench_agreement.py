@@ -1,0 +1,14 @@
+"""Correctness agreement sweep: fft vs vanilla prices on the paper's contract."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_agreement(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("agreement",), rounds=1, iterations=1
+    )
+    for label, series in result.series.items():
+        for T, diff in series.items():
+            assert diff < 1e-8, (label, T, diff)

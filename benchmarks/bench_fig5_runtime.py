@@ -1,0 +1,94 @@
+"""Figure 5 (a,b,c): parallel running-time comparison.
+
+Raw benchmarks time each implementation at representative step counts; the
+``*_series`` benchmarks regenerate the full figure series (measured p=1 +
+greedy-scheduler-modeled p=48) and the §5.1 headline-speedup table, writing
+``results/fig5-*.csv``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.bsm_solver import solve_bsm_fft
+from repro.core.tree_solver import solve_tree_fft
+from repro.experiments import run_experiment, sweep
+from repro.lattice import price_binomial, price_bsm_fd, price_trinomial
+from repro.baselines import ql_bopm, zb_bopm
+from repro.options.contract import Right, paper_benchmark_spec
+from repro.options.params import BinomialParams, BSMGridParams, TrinomialParams
+
+SPEC = paper_benchmark_spec()
+PUT_SPEC = dataclasses.replace(SPEC, right=Right.PUT, dividend_yield=0.0)
+BENCH_T = [sweep("runtime")[0], sweep("runtime")[-1]]
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_fft_bopm(benchmark, T):
+    params = BinomialParams.from_spec(SPEC, T)
+    result = benchmark(solve_tree_fft, params)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_ql_bopm(benchmark, T):
+    result = benchmark(ql_bopm, SPEC, T)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_zb_bopm(benchmark, T):
+    result = benchmark(zb_bopm, SPEC, T)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_fft_topm(benchmark, T):
+    params = TrinomialParams.from_spec(SPEC, T)
+    result = benchmark(solve_tree_fft, params)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_vanilla_topm(benchmark, T):
+    result = benchmark(price_trinomial, SPEC, T)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_fft_bsm(benchmark, T):
+    params = BSMGridParams.from_spec(PUT_SPEC, T)
+    result = benchmark(solve_bsm_fft, params)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_vanilla_bsm(benchmark, T):
+    result = benchmark(price_bsm_fd, PUT_SPEC, T)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("T", BENCH_T)
+def test_vanilla_bopm(benchmark, T):
+    result = benchmark(price_binomial, SPEC, T)
+    assert result.price > 0
+
+
+@pytest.mark.parametrize("model", ["bopm", "topm", "bsm"])
+def test_fig5_series(benchmark, model):
+    """Regenerate the full Figure 5 panel (one-shot; prints with -s)."""
+    result = benchmark.pedantic(
+        run_experiment, args=(f"fig5-{model}",), rounds=1, iterations=1
+    )
+    # the fft solver must win at the top of the sweep, at least serially
+    fft_label = next(k for k in result.series if k.startswith("fft") and "p=1" in k)
+    top = max(result.series[fft_label])
+    others = [
+        result.series[k][top]
+        for k in result.series
+        if "p=1" in k and not k.startswith("fft")
+    ]
+    assert result.series[fft_label][top] > 0
+    assert min(others) > 0

@@ -1,0 +1,49 @@
+"""Figure 6 (a,b,c) and Figure 10: energy consumption (RAPL-model substitute).
+
+The energy model composes measured runtime, counted work and modeled DRAM
+traffic; these benchmarks time the model evaluation itself (cheap) and
+regenerate the paper's energy series, including the §5.2 savings
+percentages and the supplementary pkg/RAM split.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import DEFAULT_ENERGY_MODEL
+from repro.experiments import is_fast_mode, run_experiment
+from repro.experiments.figures import _measure_impl, MODEL_KEY
+from repro.parallel.workspan import WorkSpan
+
+
+@pytest.mark.parametrize("impl", ["fft-bopm", "ql-bopm", "zb-bopm"])
+def test_energy_model_eval(benchmark, impl):
+    """Model evaluation cost (the measurement itself is cached)."""
+    secs, ws = _measure_impl(impl, 1024)
+    result = benchmark(
+        DEFAULT_ENERGY_MODEL.energy_from_model, MODEL_KEY[impl], 1024, ws, secs
+    )
+    assert result.total_joules > 0
+
+
+@pytest.mark.parametrize("model", ["bopm", "topm", "bsm"])
+def test_fig6_series(benchmark, model):
+    result = benchmark.pedantic(
+        run_experiment, args=(f"fig6-{model}",), rounds=1, iterations=1
+    )
+    impls = list(result.series)
+    fft = impls[0]
+    top = max(result.series[fft])
+    if not is_fast_mode():
+        # §5.2 shape: the fft solver consumes less energy than the paper's
+        # primary benchmark (ql-bopm / vanilla-*) at the top of the sweep.
+        # The zb-bopm crossover sits beyond the default sweep on this
+        # substrate (vectorised-C baseline vs CPython recursion overhead);
+        # EXPERIMENTS.md records where it lands.
+        assert result.series[fft][top] < result.series[impls[1]][top]
+
+
+@pytest.mark.parametrize("exp", ["fig10-bopm", "fig10-bopm-ram"])
+def test_fig10_series(benchmark, exp):
+    result = benchmark.pedantic(run_experiment, args=(exp,), rounds=1, iterations=1)
+    assert result.series

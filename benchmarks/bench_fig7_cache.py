@@ -1,0 +1,33 @@
+"""Figure 7 (a–f): L1/L2 cache-miss comparison via trace-driven simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.figures import simulate_cache
+
+
+@pytest.mark.parametrize("impl", ["fft-bopm", "ql-bopm", "zb-bopm"])
+def test_cache_sim_speed(benchmark, impl):
+    """Simulator throughput on a small trace (the sweep builders reuse it)."""
+    l1, l2 = benchmark.pedantic(
+        simulate_cache, args=(impl, 128), rounds=3, iterations=1
+    )
+    assert l1 >= l2 >= 0
+
+
+@pytest.mark.parametrize("model", ["bopm", "topm", "bsm"])
+def test_fig7_series(benchmark, model):
+    result = benchmark.pedantic(
+        run_experiment, args=(f"fig7-{model}",), rounds=1, iterations=1
+    )
+    labels = list(result.series)
+    fft_l1 = next(k for k in labels if k.startswith("fft") and k.endswith("L1"))
+    top = max(result.series[fft_l1])
+    if model == "bopm":
+        # paper §5.3: fft-bopm incurs far fewer L1 misses than both
+        # Par-bin-ops implementations
+        for k in labels:
+            if k.endswith("L1") and not k.startswith("fft"):
+                assert result.series[fft_l1][top] < result.series[k][top]

@@ -1,0 +1,47 @@
+"""Table 5 and Proposition 1.1: strong scaling under the greedy-scheduler model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import is_fast_mode, run_experiment
+from repro.parallel import GreedyScheduler, TaskGraph
+
+
+def _chain_graph(n: int) -> TaskGraph:
+    g = TaskGraph()
+    prev: list[str] = []
+    for i in range(n):
+        g.add(f"t{i}", 1.0, prev)
+        prev = [f"t{i}"]
+    return g
+
+
+def test_scheduler_throughput(benchmark):
+    """Event-driven list-scheduler speed on a 1000-task chain."""
+    g = _chain_graph(1000)
+    makespan = benchmark(GreedyScheduler(4).run, g)
+    assert makespan == pytest.approx(1000.0)
+
+
+def test_table5(benchmark):
+    result = benchmark.pedantic(run_experiment, args=("table5",), rounds=1, iterations=1)
+    fft = next(k for k in result.series if k.startswith("fft"))
+    ql = next(k for k in result.series if k.startswith("ql"))
+    assert set(result.series[fft]) == set(result.series[ql])
+    if not is_fast_mode():
+        # §5.4 structure: ql-bopm keeps gaining to p=48 far more than
+        # fft-bopm, whose Theta(log^2 T) parallelism saturates early
+        fft_gain = result.series[fft][1] / result.series[fft][48]
+        ql_gain = result.series[ql][1] / result.series[ql][48]
+        assert ql_gain > fft_gain
+
+
+def test_prop11(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("prop1.1",), rounds=1, iterations=1
+    )
+    for label, series in result.series.items():
+        xs = sorted(series)
+        # the new/old T_p ratio must decrease as T grows, for every p
+        assert series[xs[-1]] < series[xs[0]], label

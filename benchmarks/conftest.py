@@ -1,0 +1,27 @@
+"""Shared fixtures/configuration for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one of the paper's tables/figures: raw
+pytest-benchmark timings for the underlying solver calls plus a one-shot
+"table" benchmark that prints the paper-shaped series (run with ``-s`` to
+see them; the CSVs land in ``results/`` either way).
+
+Environment knobs (see ``repro.experiments.sweeps``):
+``REPRO_BENCH_FAST=1`` for a quick pass, ``REPRO_BENCH_SCALE=n`` to push the
+sweeps toward paper scale.
+"""
+
+import os
+
+import pytest
+
+# Keep benchmark collection deterministic and the tables readable.
+collect_ignore_glob: list[str] = []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    os.environ.setdefault(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"),
+    )
+    yield

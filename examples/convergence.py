@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Convergence study: all three discretisations against closed forms.
+
+Demonstrates (a) the European limits (lattices → Black–Scholes), (b) the
+binomial/trinomial American values converging to a common limit with TOPM
+needing roughly half the steps (paper §3, citing Langat et al.), and (c)
+Richardson extrapolation on the American binomial value — all computed with
+the fast O(T log²T) solvers, which is what makes the large-T rows cheap.
+
+Usage:  python examples/convergence.py [--max-exp 13]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro import Right, paper_benchmark_spec, price_american, price_european
+from repro.options.analytic import european_price
+from repro.util.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-exp", type=int, default=13, help="largest T = 2^e")
+    args = parser.parse_args(argv)
+
+    call = paper_benchmark_spec()
+    put = dataclasses.replace(call, right=Right.PUT, dividend_yield=0.0)
+    bs = european_price(call)
+
+    rows = []
+    prev = None
+    for e in range(7, args.max_exp + 1):
+        T = 2**e
+        eu = price_european(call, T, method="fft").price
+        am_b = price_american(call, T, model="binomial", method="fft").price
+        am_t = price_american(call, T // 2, model="trinomial", method="fft").price
+        am_p = price_american(put, T, model="bsm-fd", method="fft").price
+        richardson = None if prev is None else 2 * am_b - prev
+        rows.append(
+            [T, eu, eu - bs, am_b, am_t, am_t - am_b, richardson, am_p]
+        )
+        prev = am_b
+
+    print(f"Black–Scholes European call (closed form): {bs:.6f}\n")
+    print(
+        format_table(
+            [
+                "T",
+                "euro (fft)",
+                "euro-BS err",
+                "amer binomial",
+                "amer trinomial @T/2",
+                "tri-bin gap",
+                "Richardson(bin)",
+                "amer put (bsm-fd)",
+            ],
+            rows,
+            float_fmt=".6f",
+        )
+    )
+    print(
+        "\nNotes: the European column converges to the closed form at O(1/T); "
+        "the trinomial column uses HALF the steps of the binomial one and "
+        "lands equally close to the common American limit (the paper's §3 "
+        "claim); Richardson extrapolation accelerates the binomial sequence."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Extract and display the early-exercise (red–green) boundary.
+
+The divider the paper's algorithms exploit *is* the early-exercise boundary
+of quantitative finance.  This example computes it densely with the vanilla
+sweep, sparsely with the fast solver (verifying both agree wherever both are
+defined), and prints the boundary asset-price curve as an ASCII profile for
+the binomial call and the BSM put.
+
+Usage:  python examples/exercise_boundary.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+import numpy as np
+
+from repro import Right, exercise_boundary, paper_benchmark_spec
+from repro.util.tables import format_table
+
+
+def ascii_profile(values: np.ndarray, width: int = 48) -> list[str]:
+    lo, hi = float(np.min(values)), float(np.max(values))
+    span = max(hi - lo, 1e-12)
+    return ["#" * (1 + int((v - lo) / span * (width - 1))) for v in values]
+
+
+def show(spec, model: str, steps: int, n_rows: int = 16) -> None:
+    dense = exercise_boundary(spec, steps, model=model, method="loop")
+    sparse = exercise_boundary(spec, steps, model=model, method="fft")
+    dense_map = dict(zip(dense.rows.tolist(), dense.indices.tolist()))
+    agree = sum(
+        1
+        for r, i in zip(sparse.rows.tolist(), sparse.indices.tolist())
+        if dense_map.get(r) == i
+    )
+    print(
+        f"\n=== {model}: {spec.right.value} (T={steps}) — fast solver resolved "
+        f"{len(sparse.rows)} rows exactly, {agree} match the dense sweep ==="
+    )
+    if len(dense.rows) == 0:
+        print("no early-exercise region inside the grid for this contract")
+        return
+    pick = np.linspace(0, len(dense.rows) - 1, min(n_rows, len(dense.rows))).astype(int)
+    rows = []
+    bars = ascii_profile(dense.prices[pick])
+    for k, bar in zip(pick, bars):
+        rows.append(
+            [
+                int(dense.rows[k]),
+                f"{dense.times_years[k]:.3f}",
+                f"{dense.prices[k]:.2f}",
+                bar,
+            ]
+        )
+    print(
+        format_table(
+            ["row", "t (years)", "boundary price", "profile"],
+            rows,
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=512)
+    args = parser.parse_args(argv)
+
+    call = paper_benchmark_spec()
+    put = dataclasses.replace(call, right=Right.PUT, dividend_yield=0.0)
+
+    show(call, "binomial", args.steps)
+    show(put, "bsm-fd", args.steps)
+    print(
+        "\nThe call boundary sits above the strike (exercise when deep ITM "
+        "before dividends leak away); the put boundary climbs toward the "
+        "strike as expiry nears (paper Theorems 4.2/4.3)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

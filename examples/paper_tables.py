@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure series in one run.
+
+Thin command-line front end over the experiment registry: lists the
+registered artefacts and rebuilds the requested ones (default: a quick,
+laptop-friendly subset), printing the paper-shaped tables and writing CSVs
+under ``results/``.
+
+Usage:
+    python examples/paper_tables.py --list
+    python examples/paper_tables.py agreement table5 fig7-bopm
+    python examples/paper_tables.py --all          # the full evaluation
+    REPRO_BENCH_FAST=1 python examples/paper_tables.py --all   # quick pass
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import REGISTRY, list_experiments, run_experiment
+
+QUICK_SET = ["agreement", "table2", "table5", "fig7-bopm"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids to run")
+    parser.add_argument("--list", action="store_true", help="list and exit")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for id_, title, ref in list_experiments():
+            print(f"{id_:16s} {title}  [{ref}]")
+        return 0
+
+    ids = args.ids or (sorted(REGISTRY) if args.all else QUICK_SET)
+    for id_ in ids:
+        run_experiment(id_)
+    print(f"\nCSV series written under results/ for: {', '.join(ids)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Price an option chain (a realistic desk workload) with the fast solvers.
+
+Builds a book of American calls and puts across a strike ladder and three
+expiries on one underlying, prices every contract with the O(T log²T)
+solvers (puts via exact put–call symmetry), and prints the chain with
+European reference values and early-exercise premia — the intro's "rapid
+changes in financial markets" workload, where thousands of contracts must be
+re-priced on every underlying tick.
+
+Usage:  python examples/portfolio.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import time
+
+from repro import OptionSpec, Right, paper_benchmark_spec, price_american, price_european
+from repro.util.tables import format_table
+
+
+def build_chain(base: OptionSpec) -> list[OptionSpec]:
+    chain = []
+    for expiry in (63.0, 126.0, 252.0):
+        for strike_ratio in (0.8, 0.9, 1.0, 1.1, 1.2):
+            for right in (Right.CALL, Right.PUT):
+                chain.append(
+                    dataclasses.replace(
+                        base,
+                        strike=round(base.spot * strike_ratio, 2),
+                        expiry_days=expiry,
+                        right=right,
+                    )
+                )
+    return chain
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=1024)
+    args = parser.parse_args(argv)
+
+    base = paper_benchmark_spec()
+    chain = build_chain(base)
+
+    t0 = time.perf_counter()
+    rows = []
+    for spec in chain:
+        am = price_american(spec, args.steps, method="fft").price
+        eu = price_european(spec, args.steps, method="fft").price
+        rows.append(
+            [
+                spec.right.value,
+                spec.strike,
+                int(spec.expiry_days),
+                am,
+                eu,
+                am - eu,
+            ]
+        )
+    elapsed = time.perf_counter() - t0
+
+    print(
+        f"Priced {len(chain)} American contracts at T={args.steps} in "
+        f"{elapsed:.2f}s ({elapsed / len(chain) * 1e3:.1f} ms/contract)\n"
+    )
+    print(
+        format_table(
+            ["right", "strike", "expiry (d)", "american", "european", "early-ex premium"],
+            rows,
+            float_fmt=".4f",
+        )
+    )
+    print(
+        "\nEvery early-exercise premium is nonnegative; call premia come "
+        "from the dividend yield, put premia from the interest on the "
+        "strike — both priced by the same nonlinear-stencil machinery."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Mini Figure 5: measure the fft solver against the Θ(T²) baselines.
+
+Sweeps T over powers of two, timing fft-bopm against the strongest baseline
+(zb-bopm) and the QuantLib-style engine, printing measured speedups and the
+greedy-scheduler-modeled p=48 projections — a single-machine rendition of
+the paper's headline result (§5.1).
+
+Usage:  python examples/speedup_demo.py [--min-exp 10] [--max-exp 15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import ql_bopm, zb_bopm
+from repro.core.tree_solver import solve_tree_fft
+from repro.options.contract import paper_benchmark_spec
+from repro.options.params import BinomialParams
+from repro.parallel.runtime_model import RuntimeModel
+from repro.util.tables import format_table
+from repro.util.timing import measure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-exp", type=int, default=10)
+    parser.add_argument("--max-exp", type=int, default=15)
+    args = parser.parse_args(argv)
+
+    spec = paper_benchmark_spec()
+    rows = []
+    for e in range(args.min_exp, args.max_exp + 1):
+        T = 2**e
+        t_fft, r_fft = measure(
+            lambda: solve_tree_fft(BinomialParams.from_spec(spec, T)), min_time=0.05
+        )
+        t_zb, r_zb = measure(lambda: zb_bopm(spec, T), min_time=0.05)
+        t_ql, r_ql = measure(lambda: ql_bopm(spec, T), min_time=0.05)
+        assert abs(r_fft.price - r_zb.price) < 1e-6
+
+        p48 = {}
+        for name, secs, ws in [
+            ("fft", t_fft, r_fft.workspan),
+            ("ql", t_ql, r_ql.workspan),
+        ]:
+            model = RuntimeModel.from_measurement(ws, secs)
+            p48[name] = model.predict_seconds(ws, 48)
+
+        rows.append(
+            [
+                T,
+                t_fft,
+                t_zb,
+                t_ql,
+                t_zb / t_fft,
+                t_ql / t_fft,
+                p48["ql"] / p48["fft"],
+            ]
+        )
+
+    print("fft-bopm vs Θ(T²) baselines (single core, this machine)\n")
+    print(
+        format_table(
+            [
+                "T",
+                "fft (s)",
+                "zb (s)",
+                "ql (s)",
+                "speedup vs zb",
+                "speedup vs ql",
+                "modeled p=48 speedup vs ql",
+            ],
+            rows,
+            float_fmt=".4g",
+        )
+    )
+    print(
+        "\nThe serial speedup grows without bound in T (work Θ(T²) vs "
+        "Θ(T log²T)); the paper reports 16x at T≈10³ and >500x at T≈5·10⁵ "
+        "on its C++/48-core testbed — our crossover sits later because the "
+        "baseline rows are vectorised C while the fft recursion pays "
+        "CPython overhead per trapezoid."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

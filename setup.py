@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` (the legacy editable path) works in
+fully offline environments that lack the ``wheel`` package required by
+PEP-517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — Fast American Option Pricing using Nonlinear Stencils (PPoPP'24).
+
+A from-scratch Python reproduction of Ahmad et al.'s FFT-accelerated
+``O(T log^2 T)`` American option pricing algorithms, together with every
+substrate the paper's evaluation depends on: vanilla and cache-optimised
+Θ(T²) baselines, a work–span parallel-runtime model, a cache-hierarchy
+simulator, and a RAPL-style energy model.
+
+Quickstart
+----------
+>>> from repro import paper_benchmark_spec, price_american
+>>> spec = paper_benchmark_spec()
+>>> result = price_american(spec, steps=512, model="binomial", method="fft")
+>>> round(result.price, 4) == round(
+...     price_american(spec, steps=512, model="binomial", method="loop").price, 4)
+True
+"""
+
+from repro.options import (
+    OptionSpec,
+    Right,
+    Style,
+    paper_benchmark_spec,
+    black_scholes,
+    european_price,
+    american_greeks,
+    AmericanGreeks,
+)
+from repro.core.api import (
+    PricingResult,
+    price_american,
+    price_european,
+    price_bermudan,
+    exercise_boundary,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OptionSpec",
+    "Right",
+    "Style",
+    "paper_benchmark_spec",
+    "black_scholes",
+    "european_price",
+    "american_greeks",
+    "AmericanGreeks",
+    "PricingResult",
+    "price_american",
+    "price_european",
+    "price_bermudan",
+    "exercise_boundary",
+    "__version__",
+]

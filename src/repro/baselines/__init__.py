@@ -1,0 +1,19 @@
+"""Θ(T²) baseline implementations (the paper's comparison targets)."""
+
+from repro.baselines.looping import binomial_nested_loop_pure, binomial_vectorised_loop
+from repro.baselines.oblivious import oblivious_bopm
+from repro.baselines.quantlib_style import ql_bopm
+from repro.baselines.registry import BASELINES, get_baseline
+from repro.baselines.tiled import tiled_bopm
+from repro.baselines.zubair import zb_bopm
+
+__all__ = [
+    "binomial_nested_loop_pure",
+    "binomial_vectorised_loop",
+    "oblivious_bopm",
+    "ql_bopm",
+    "tiled_bopm",
+    "zb_bopm",
+    "BASELINES",
+    "get_baseline",
+]

@@ -1,0 +1,118 @@
+"""Cache-oblivious recursive trapezoidal baseline (Frigo–Strumpen).
+
+Table 2 row 3: the recursive space–time decomposition of Frigo & Strumpen
+(ICS'05) applied to the binomial American-call grid.  Work Θ(T²); the
+parallel variant has span Θ(T^{log2 3}); cache misses are
+``O(T²/(M·L) + ...)`` *without knowing* the cache parameters — the property
+the paper contrasts with its own O(T log²T)-work algorithm.
+
+The recursion operates in the upward time coordinate ``t = T - i`` (``t = 0``
+is the expiry row) on a single in-place value buffer ``v`` where ``v[x]``
+holds the newest computed value of column ``x``.  The stencil's dependency
+offsets are ``{0, +1}`` (cell ``(t, x)`` reads ``(t-1, x)`` and
+``(t-1, x+1)``), so:
+
+* within one row, ascending ``x`` is in-place safe;
+* a *space cut* along a line of slope −1 (one column left per time step) is
+  safe with the left piece first: the right piece's leftmost dependency at
+  each level was produced by the left piece one level earlier;
+* a *time cut* (bottom half then top half) is always safe.
+
+Pure-Python per-cell evaluation: this baseline is the reference access
+pattern for :mod:`repro.cachesim` and a correctness cross-check; use the
+vectorised baselines for timing sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+
+from repro.lattice.common import LatticeResult
+from repro.options.contract import OptionSpec, Right, Style
+from repro.options.params import BinomialParams
+from repro.parallel.workspan import WorkSpan
+from repro.util.validation import ValidationError, check_integer
+
+
+def oblivious_bopm(spec: OptionSpec, steps: int, *, base_height: int = 8) -> LatticeResult:
+    """American call pricing in cache-oblivious trapezoidal order."""
+    if spec.right is not Right.CALL or spec.style is not Style.AMERICAN:
+        raise ValidationError(
+            "oblivious_bopm reproduces the paper's American-call baseline"
+        )
+    steps = check_integer("steps", steps, minimum=1)
+    base_height = check_integer("base_height", base_height, minimum=1)
+    p = BinomialParams.from_spec(spec, steps)
+    s0, s1, u = p.s0, p.s1, p.up
+    s, k = spec.spot, spec.strike
+
+    # green(t, x) = S * u^(2x - (T - t)) - K = S * leaf[x] * u^t - K
+    leaf = [u ** (2 * x - steps) for x in range(steps + 1)]
+    upow = [u**t for t in range(steps + 1)]
+    v = [max(0.0, s * leaf[x] - k) for x in range(steps + 1)]
+    cells = steps + 1
+
+    def compute_row(t: int, x0: int, x1: int) -> None:
+        """In-place update of columns [x0, x1) from time t-1 to t."""
+        nonlocal cells
+        su_t = s * upow[t]
+        for x in range(x0, x1):
+            cont = s0 * v[x] + s1 * v[x + 1]
+            exercise = su_t * leaf[x] - k
+            v[x] = cont if cont >= exercise else exercise
+        cells += x1 - x0
+
+    def walk(t0: int, t1: int, x0: int, dx0: int, x1: int, dx1: int) -> None:
+        """Compute the trapezoid {(t, x): t0 <= t < t1,
+        x0 + dx0(t-t0) <= x < x1 + dx1(t-t0)}."""
+        h = t1 - t0
+        if h <= 0:
+            return
+        if h <= base_height:
+            xl, xr = x0, x1
+            for t in range(t0, t1):
+                if xl < xr:
+                    compute_row(t, xl, xr)
+                xl += dx0
+                xr += dx1
+            return
+        half = h // 2
+        width_bottom = x1 - x0
+        width_top = (x1 + dx1 * (h - 1)) - (x0 + dx0 * (h - 1))
+        if width_bottom + width_top >= 4 * h:
+            # space cut along a slope -1 line through the bottom midpoint
+            xm = (x0 + x1) // 2
+            walk(t0, t1, x0, dx0, xm, -1)  # left piece first
+            walk(t0, t1, xm, -1, x1, dx1)
+        else:
+            # time cut
+            walk(t0, t0 + half, x0, dx0, x1, dx1)
+            walk(
+                t0 + half,
+                t1,
+                x0 + dx0 * half,
+                dx0,
+                x1 + dx1 * half,
+                dx1,
+            )
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * steps + 100))
+    try:
+        # global region: time t in [1, T], columns [0, T - t + 1)
+        walk(1, steps + 1, 0, 0, steps, -1)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    work = 4.0 * cells
+    span = 8.0 * steps ** math.log2(3.0)  # Frigo–Strumpen parallel span
+    return LatticeResult(
+        price=v[0],
+        steps=steps,
+        workspan=WorkSpan(work, span),
+        cells=cells,
+        meta={"model": "binomial", "impl": "cache-oblivious", "base_height": base_height},
+    )

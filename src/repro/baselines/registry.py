@@ -1,0 +1,40 @@
+"""Name → implementation registry for the BOPM baseline family.
+
+Mirrors the paper's Table 4 legends plus the Table 2 algorithm families, so
+benchmarks and the public API dispatch by the same strings the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.looping import binomial_nested_loop_pure, binomial_vectorised_loop
+from repro.baselines.oblivious import oblivious_bopm
+from repro.baselines.quantlib_style import ql_bopm
+from repro.baselines.tiled import tiled_bopm
+from repro.baselines.zubair import zb_bopm
+from repro.lattice.common import LatticeResult
+from repro.options.contract import OptionSpec
+from repro.util.validation import ValidationError
+
+BaselineFn = Callable[[OptionSpec, int], LatticeResult]
+
+#: All Θ(T²) binomial American-call baselines by their paper-style name.
+BASELINES: Dict[str, BaselineFn] = {
+    "loop": binomial_vectorised_loop,
+    "loop-pure": binomial_nested_loop_pure,
+    "tiled": tiled_bopm,
+    "oblivious": oblivious_bopm,
+    "ql": ql_bopm,
+    "zb": zb_bopm,
+}
+
+
+def get_baseline(name: str) -> BaselineFn:
+    """Look up a baseline by name; raises with the valid choices listed."""
+    try:
+        return BASELINES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown baseline {name!r}; choose one of {sorted(BASELINES)}"
+        ) from None

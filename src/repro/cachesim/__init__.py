@@ -1,0 +1,31 @@
+"""Cache-hierarchy simulation + analytic models (PAPI substitute, Fig 7)."""
+
+from repro.cachesim.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyCounters,
+    LRUCache,
+    SKYLAKE_L1,
+    SKYLAKE_L2,
+)
+from repro.cachesim.model import (
+    CacheLevelSpec,
+    MODELED_IMPLS,
+    analytic_misses,
+    dram_bytes,
+)
+from repro.cachesim import trace
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyCounters",
+    "LRUCache",
+    "SKYLAKE_L1",
+    "SKYLAKE_L2",
+    "CacheLevelSpec",
+    "MODELED_IMPLS",
+    "analytic_misses",
+    "dram_bytes",
+    "trace",
+]

@@ -1,0 +1,182 @@
+"""Set-associative LRU cache simulator (line granularity).
+
+Stands in for the paper's PAPI hardware counters (Table 3 geometry: Skylake
+L1 32 KB/8-way, L2 1 MB/16-way, 64-byte lines).  The simulator is
+deliberately simple — single-threaded, inclusive-on-access, no prefetcher —
+because the paper's Figure 7 comparisons are driven by *algorithmic locality*
+(streaming vs tiled vs recursive vs O(T log T) passes), which an LRU model
+captures; hardware prefetching shifts curves without reordering them.
+
+Addresses are element indices scaled by an element size; the unit of
+simulation is the cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_integer
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 8
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        check_integer("size_bytes", self.size_bytes, minimum=1)
+        check_integer("line_bytes", self.line_bytes, minimum=1)
+        check_integer("ways", self.ways, minimum=1)
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValidationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line_bytes*ways = {self.line_bytes * self.ways}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+#: Paper Table 3: Intel Xeon Platinum 8160 (Skylake).
+SKYLAKE_L1 = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=8, name="L1")
+SKYLAKE_L2 = CacheConfig(size_bytes=1024 * 1024, line_bytes=64, ways=16, name="L2")
+
+
+class LRUCache:
+    """One set-associative LRU level; ``access`` takes *line* addresses.
+
+    Each set is a Python list ordered most- to least-recently used; with 8–16
+    ways the list operations are O(ways) and the simulator sustains roughly a
+    million accesses per second — enough for the trace sizes the benchmarks
+    use (T up to ~2^12).
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def access_line(self, line: int) -> bool:
+        """Touch one cache line; returns True on hit."""
+        s = self._sets[line % self.config.num_sets]
+        try:
+            idx = s.index(line)
+        except ValueError:
+            self.misses += 1
+            s.insert(0, line)
+            if len(s) > self.config.ways:
+                s.pop()
+            return False
+        if idx:
+            s.insert(0, s.pop(idx))
+        self.hits += 1
+        return True
+
+    def access_lines(self, lines: Iterable[int]) -> int:
+        """Touch many lines in order; returns the number of misses added."""
+        before = self.misses
+        sets = self._sets
+        num_sets = self.config.num_sets
+        ways = self.config.ways
+        hits = 0
+        misses = 0
+        for line in lines:
+            s = sets[line % num_sets]
+            if line in s:
+                idx = s.index(line)
+                if idx:
+                    s.insert(0, s.pop(idx))
+                hits += 1
+            else:
+                misses += 1
+                s.insert(0, line)
+                if len(s) > ways:
+                    s.pop()
+        self.hits += hits
+        self.misses += misses
+        return self.misses - before
+
+
+@dataclass
+class HierarchyCounters:
+    """Counter snapshot of a two-level simulation run."""
+
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return 1.0 - self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def dram_lines(self) -> int:
+        """Lines fetched from memory — the RAM-energy driver (Fig 10)."""
+        return self.l2_misses
+
+
+class CacheHierarchy:
+    """L1 → L2 → DRAM, inclusive-on-access (L1 miss also touches L2).
+
+    Matches how PAPI's ``L1 miss = L2 access`` identity is used in the
+    paper's §5.3.
+    """
+
+    def __init__(
+        self,
+        l1: CacheConfig = SKYLAKE_L1,
+        l2: CacheConfig = SKYLAKE_L2,
+        element_bytes: int = 8,
+    ):
+        if l2.line_bytes != l1.line_bytes:
+            raise ValidationError("L1 and L2 must share a line size")
+        self.l1 = LRUCache(l1)
+        self.l2 = LRUCache(l2)
+        self.element_bytes = check_integer("element_bytes", element_bytes, minimum=1)
+        self._elems_per_line = l1.line_bytes // element_bytes
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+
+    def access_elements(self, addresses: np.ndarray) -> None:
+        """Simulate element-granularity accesses (converted to lines)."""
+        lines = np.asarray(addresses, dtype=np.int64) // self._elems_per_line
+        self.access_lines_array(lines)
+
+    def access_lines_array(self, lines: np.ndarray) -> None:
+        """Simulate an ordered stream of line addresses through both levels."""
+        l1 = self.l1
+        l2 = self.l2
+        for line in lines.tolist():
+            if not l1.access_line(line):
+                l2.access_line(line)
+
+    def counters(self) -> HierarchyCounters:
+        return HierarchyCounters(
+            accesses=self.l1.accesses,
+            l1_misses=self.l1.misses,
+            l2_misses=self.l2.misses,
+        )

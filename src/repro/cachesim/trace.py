@@ -1,0 +1,340 @@
+"""Memory-access trace generators for every algorithm family.
+
+Each generator reproduces the *order and addresses* of the grid accesses an
+implementation performs — without doing the arithmetic — so the cache
+simulator can stand in for PAPI (paper Fig 7).  Traces are element-index
+streams; distinct arrays live in distinct address regions (spaced far apart
+so they never share a line).
+
+The FFT solvers' access patterns are data-dependent (trapezoid heights follow
+the red–green divider), so their generators *replay* the decomposition using
+a divider trajectory computed once by the vanilla sweep — the same heights,
+segment lengths, FFT sizes and naive strips the real solver produces.
+
+All generators yield ``numpy.int64`` element-address chunks; feed them to
+:meth:`repro.cachesim.cache.CacheHierarchy.access_elements`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+import numpy as np
+from scipy import fft as sfft
+
+from repro.util.validation import check_integer
+
+#: element spacing between logical arrays (2^26 elements = 512 MB regions)
+REGION = 1 << 26
+
+
+def _region(r: int) -> int:
+    return r * REGION
+
+
+def _row_pass(base: int, start: int, n: int) -> np.ndarray:
+    """Sequential element touches ``base+start .. base+start+n-1``."""
+    return base + start + np.arange(n, dtype=np.int64)
+
+
+def _stencil_row(
+    src: int, dst: int, start: int, n: int, taps: int
+) -> np.ndarray:
+    """One vectorised stencil row: ``taps`` reads + 1 write per cell.
+
+    Emits, cell by cell, ``src+j .. src+j+taps-1`` then ``dst+j`` — the
+    access order of the inner loop of Figure 1.
+    """
+    out = np.empty(n * (taps + 1), dtype=np.int64)
+    j = np.arange(start, start + n, dtype=np.int64)
+    for k in range(taps):
+        out[k :: taps + 1] = src + j + k
+    out[taps :: taps + 1] = dst + j
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Θ(T²) baselines
+# --------------------------------------------------------------------------- #
+def trace_loop_bopm(steps: int) -> Iterator[np.ndarray]:
+    """Vanilla two-array rollback (``vanilla``/``loop``): ping-pong rows."""
+    steps = check_integer("steps", steps, minimum=1)
+    a, b = _region(0), _region(1)
+    yield _row_pass(a, 0, steps + 1)  # terminal payoff fill
+    src, dst = a, b
+    for i in range(steps - 1, -1, -1):
+        yield _stencil_row(src, dst, 0, i + 1, 2)
+        src, dst = dst, src
+
+
+def trace_ql_bopm(steps: int) -> Iterator[np.ndarray]:
+    """QuantLib-style rollback: ping-pong rows + per-level exercise buffer."""
+    steps = check_integer("steps", steps, minimum=1)
+    a, b, ex = _region(0), _region(1), _region(2)
+    yield _row_pass(a, 0, steps + 1)
+    src, dst = a, b
+    for i in range(steps - 1, -1, -1):
+        yield _stencil_row(src, dst, 0, i + 1, 2)
+        yield _row_pass(ex, 0, i + 1)  # exercise re-derivation buffer write
+        yield _row_pass(dst, 0, i + 1)  # max(continuation, exercise) pass
+        src, dst = dst, src
+
+
+def trace_zb_bopm(steps: int) -> Iterator[np.ndarray]:
+    """Zubair-style: single in-place value array + in-place price array."""
+    steps = check_integer("steps", steps, minimum=1)
+    v, p = _region(0), _region(1)
+    yield _row_pass(v, 0, steps + 1)
+    yield _row_pass(p, 0, steps + 1)
+    for i in range(steps - 1, -1, -1):
+        n = i + 1
+        out = np.empty(3 * n, dtype=np.int64)
+        j = np.arange(n, dtype=np.int64)
+        out[0::3] = v + j  # read-modify-write v[j] (one line touch)
+        out[1::3] = v + j + 1  # read v[j+1]
+        out[2::3] = p + j  # read-modify-write price[j]
+        yield out
+
+
+def trace_tiled_bopm(
+    steps: int, *, block_rows: int = 256, tile_width: int = 256
+) -> Iterator[np.ndarray]:
+    """Cache-aware tiling: per-tile working window reused across levels."""
+    steps = check_integer("steps", steps, minimum=1)
+    row, new_row, win = _region(0), _region(1), _region(2)
+    yield _row_pass(row, 0, steps + 1)
+    i_top = steps
+    while i_top > 0:
+        b = min(block_rows, i_top)
+        i_bot = i_top - b
+        for a in range(0, i_bot + 1, tile_width):
+            hi = min(a + tile_width, i_bot + 1)
+            wlen = hi + b - a
+            yield _row_pass(row, a, wlen)  # load the tile window
+            yield _row_pass(win, 0, wlen)  # into the (reused) local buffer
+            for d in range(1, b + 1):
+                n = wlen - d
+                yield _stencil_row(win, win, 0, n, 2)
+            yield _row_pass(new_row, a, hi - a)  # store tile results
+        # swap row <-> new_row for the next block (ping-pong regions)
+        row, new_row = new_row, row
+        i_top = i_bot
+
+
+def trace_oblivious_bopm(steps: int, *, base_height: int = 8) -> Iterator[np.ndarray]:
+    """Frigo–Strumpen recursive trapezoidal order on a single array."""
+    steps = check_integer("steps", steps, minimum=1)
+    v = _region(0)
+    chunks: List[np.ndarray] = [_row_pass(v, 0, steps + 1)]
+
+    def compute_row(x0: int, x1: int) -> None:
+        if x1 > x0:
+            chunks.append(_stencil_row(v, v, x0, x1 - x0, 2))
+
+    def walk(t0: int, t1: int, x0: int, dx0: int, x1: int, dx1: int) -> None:
+        h = t1 - t0
+        if h <= 0:
+            return
+        if h <= base_height:
+            xl, xr = x0, x1
+            for _t in range(t0, t1):
+                compute_row(xl, xr)
+                xl += dx0
+                xr += dx1
+            return
+        half = h // 2
+        width_bottom = x1 - x0
+        width_top = (x1 + dx1 * (h - 1)) - (x0 + dx0 * (h - 1))
+        if width_bottom + width_top >= 4 * h:
+            xm = (x0 + x1) // 2
+            walk(t0, t1, x0, dx0, xm, -1)
+            walk(t0, t1, xm, -1, x1, dx1)
+        else:
+            walk(t0, t0 + half, x0, dx0, x1, dx1)
+            walk(t0 + half, t1, x0 + dx0 * half, dx0, x1 + dx1 * half, dx1)
+
+    walk(1, steps + 1, 0, 0, steps, -1)
+    yield from chunks
+
+
+def trace_loop_trinomial(steps: int) -> Iterator[np.ndarray]:
+    """``vanilla-topm``: two-array rollback with 3-tap rows of width 2i+1."""
+    steps = check_integer("steps", steps, minimum=1)
+    a, b = _region(0), _region(1)
+    yield _row_pass(a, 0, 2 * steps + 1)
+    src, dst = a, b
+    for i in range(steps - 1, -1, -1):
+        yield _stencil_row(src, dst, 0, 2 * i + 1, 3)
+        src, dst = dst, src
+
+
+def trace_loop_bsm(steps: int) -> Iterator[np.ndarray]:
+    """``vanilla-bsm``: shrinking-cone rollback + payoff stream per row."""
+    steps = check_integer("steps", steps, minimum=1)
+    a, b, pay = _region(0), _region(1), _region(2)
+    yield _row_pass(a, 0, 2 * steps + 1)
+    src, dst = a, b
+    for n in range(1, steps + 1):
+        width = 2 * (steps - n) + 1
+        yield _stencil_row(src, dst, 0, width, 3)
+        yield _row_pass(pay, n, width)  # payoff comparison read
+        src, dst = dst, src
+
+
+# --------------------------------------------------------------------------- #
+# FFT solvers (divider-driven replay)
+# --------------------------------------------------------------------------- #
+def _fft_passes(n: int, l1_bytes: int = 32 * 1024) -> int:
+    """Sequential passes modeling one size-``n`` transform's memory traffic.
+
+    An out-of-cache FFT streams the buffer O(log(n/M)) times (blocked
+    pocketfft); in-cache transforms still read input and write output once.
+    """
+    bytes_ = 16 * n  # complex spectrum
+    extra = max(0, int(math.log2(max(bytes_ / l1_bytes, 1.0))))
+    return 3 + extra
+
+
+def _emit_fft(chunks: List[np.ndarray], scratch: int, n_in: int, n_kernel: int) -> None:
+    """Accesses of one FFT-based valid-mode convolution (input, kernel, out)."""
+    m = sfft.next_fast_len(n_in + n_kernel - 1)
+    passes = _fft_passes(m)
+    for _ in range(passes):
+        chunks.append(_row_pass(scratch, 0, m))
+
+
+def trace_fft_tree(
+    steps: int,
+    boundary: np.ndarray,
+    *,
+    q: int = 1,
+    base: int = 8,
+) -> Iterator[np.ndarray]:
+    """Replay the trapezoid decomposition's accesses (fft-bopm / fft-topm).
+
+    ``boundary[i]`` must be the divider (last red column) of row ``i`` as
+    computed by the vanilla solver with ``return_boundary=True`` — the replay
+    follows exactly the heights and segment sizes the real solver would.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    vals, scratch = _region(0), _region(1)
+    chunks: List[np.ndarray] = [_row_pass(vals, 0, q * steps + 1)]
+
+    def naive_descend(i_top: int, c0: int, ell: int) -> None:
+        for step in range(1, ell + 1):
+            i_new = i_top - step
+            hi_cand = min(int(boundary[i_new + 1]), q * i_new)
+            if hi_cand < c0:
+                return
+            n_cand = hi_cand - c0 + 1
+            chunks.append(_stencil_row(vals, vals, c0, n_cand, q + 1))
+
+    def solve_trapezoid(i_top: int, c0: int, j_top: int, ell: int) -> None:
+        if ell <= base or j_top - c0 + 1 < q * ell:
+            naive_descend(i_top, c0, ell)
+            return
+        h = ell // 2
+        i_mid = i_top - h
+        ext_hi = min(j_top + q - 1, q * i_top)
+        hi_fft = ext_hi - q * h
+        n_in = ext_hi - c0 + 1
+        chunks.append(_row_pass(vals, c0, n_in))  # gather segment
+        _emit_fft(chunks, scratch, n_in, q * h + 1)
+        chunks.append(_row_pass(vals, c0, hi_fft - c0 + 1))  # scatter result
+        if hi_fft < q * i_mid:
+            c0_sub = j_top - q * h + 1
+            solve_trapezoid(i_top, c0_sub, j_top, h)
+        j_mid = int(boundary[i_mid])
+        solve_trapezoid(i_mid, c0, j_mid, ell - h)
+
+    # full row T-1 (the solver's expiry-transition row; see tree_solver)
+    if steps >= 1:
+        chunks.append(_stencil_row(vals, vals, 0, q * (steps - 1) + 1, q + 1))
+    i = steps - 1
+    jb = int(boundary[i]) if i >= 0 else -1
+    tail = max(base, math.isqrt(steps))
+    while i > 0:
+        if jb < 0:
+            break
+        red_count = jb + 1
+        ell = min(red_count // q, i)
+        if i <= tail or ell <= base:
+            rows = i if i <= tail else min(base, i)
+            naive_descend(i, 0, rows)
+            i -= rows
+        else:
+            solve_trapezoid(i, 0, jb, ell)
+            i -= ell
+        jb = int(boundary[i])
+    yield from chunks
+
+
+def trace_fft_bsm(
+    steps: int,
+    boundary: np.ndarray,
+    *,
+    base: int = 10,
+    missing: int | None = None,
+) -> Iterator[np.ndarray]:
+    """Replay the BSM cone solver's accesses (fft-bsm).
+
+    ``boundary[n]`` is the largest green spatial index at time row ``n`` in
+    absolute ``k`` units (the vanilla solver's ``return_boundary=True``
+    output); entries equal to ``missing`` mean 'divider left the cone'.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    T = steps
+    if missing is None:
+        missing = -(T + 1)
+    vals, scratch, pay = _region(0), _region(1), _region(2)
+    off = T  # map k in [-T, T] to array offset k + T
+    chunks: List[np.ndarray] = [_row_pass(vals, 0, 2 * T + 1)]
+
+    def bnd(n: int, lo: int) -> int:
+        b = int(boundary[n])
+        return lo - 1 if b == missing else b
+
+    def naive(k_lo: int, width: int, h: int, n0: int) -> None:
+        for step in range(1, h + 1):
+            width -= 2
+            chunks.append(_stencil_row(vals, vals, k_lo + step + off, width, 3))
+            chunks.append(_row_pass(pay, k_lo + step + off, width))
+
+    def advance(k_lo: int, width: int, f: int, h: int, n0: int) -> None:
+        k_hi = k_lo + width - 1
+        if f < k_lo:
+            chunks.append(_row_pass(vals, k_lo + off, width))
+            _emit_fft(chunks, scratch, width, 2 * h + 1)
+            chunks.append(_row_pass(vals, k_lo + h + off, width - 2 * h))
+            return
+        h1 = h // 2
+        if h <= base or f + 2 * h1 > k_hi:
+            naive(k_lo, width, h, n0)
+            return
+        sub_lo = max(k_lo, f - 2 * h1)
+        sub_hi = f + 2 * h1
+        advance(sub_lo, sub_hi - sub_lo + 1, f, h1, n0)
+        n_in = (k_hi + off) - (f + off) + 1
+        chunks.append(_row_pass(vals, f + off, n_in))
+        _emit_fft(chunks, scratch, n_in, 2 * h1 + 1)
+        chunks.append(_row_pass(vals, f + h1 + off, n_in - 2 * h1))
+        f_mid = bnd(n0 + h1, k_lo + h1)
+        advance(k_lo + h1, width - 2 * h1, f_mid, h - h1, n0 + h1)
+
+    remaining = T
+    k_lo = -T
+    n0 = 0
+    f = bnd(0, -T)
+    while remaining > 0:
+        width = 2 * remaining + 1
+        if remaining <= 2 * base:
+            naive(k_lo, width, remaining, n0)
+            break
+        h = remaining // 2
+        advance(k_lo, width, f, h, n0)
+        k_lo += h
+        n0 += h
+        remaining -= h
+        f = bnd(n0, k_lo)
+    yield from chunks

@@ -1,0 +1,49 @@
+"""The paper's contribution: FFT-accelerated nonlinear stencil solvers."""
+
+from repro.core.api import (
+    BoundaryCurve,
+    PricingResult,
+    exercise_boundary,
+    price_american,
+    price_bermudan,
+    price_european,
+)
+from repro.core.bermudan import (
+    price_bsm_european_fft,
+    price_tree_bermudan_fft,
+    price_tree_european_fft,
+)
+from repro.core.bsm_solver import BSMFFTResult, solve_bsm_fft
+from repro.core.fftstencil import AdvancePolicy, DEFAULT_POLICY, advance
+from repro.core.symmetry import solve_put_via_symmetry
+from repro.core.tree_solver import TreeFFTResult, solve_tree_fft
+from repro.core.weights import (
+    binomial_weights,
+    convolution_power_weights,
+    hstep_weights,
+    symbol_power_weights,
+)
+
+__all__ = [
+    "BoundaryCurve",
+    "PricingResult",
+    "exercise_boundary",
+    "price_american",
+    "price_bermudan",
+    "price_european",
+    "price_bsm_european_fft",
+    "price_tree_bermudan_fft",
+    "price_tree_european_fft",
+    "BSMFFTResult",
+    "solve_bsm_fft",
+    "AdvancePolicy",
+    "DEFAULT_POLICY",
+    "advance",
+    "solve_put_via_symmetry",
+    "TreeFFTResult",
+    "solve_tree_fft",
+    "binomial_weights",
+    "convolution_power_weights",
+    "hstep_weights",
+    "symbol_power_weights",
+]

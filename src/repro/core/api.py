@@ -1,0 +1,388 @@
+"""Public pricing API: one entry point per exercise style, any model/method.
+
+``price_american(spec, steps, model=..., method=...)`` is the library's front
+door.  ``model`` selects the discretisation (paper sections): ``"binomial"``
+(§2), ``"trinomial"`` (§3), ``"bsm-fd"`` (§4).  ``method`` selects the
+algorithm family (paper Table 2 / Table 4 legends):
+
+=============  ==========================================================
+``fft``        the paper's O(T log²T) nonlinear-stencil solver
+``loop``       vectorised nested loop (``vanilla-*``)
+``loop-pure``  literal Figure-1 pseudocode (binomial only; tiny T)
+``tiled``      cache-aware tiled loop (binomial only)
+``oblivious``  cache-oblivious recursive trapezoid (binomial only)
+``ql``         QuantLib-style engine (binomial only; ``ql-bopm``)
+``zb``         Zubair-style cache-optimised sweep (binomial only; ``zb-bopm``)
+=============  ==========================================================
+
+Every call returns a :class:`PricingResult` carrying the price, the
+instrumented work/span, solver statistics, and (on request) the red–green
+exercise divider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.registry import BASELINES
+from repro.core.bermudan import (
+    price_bsm_european_fft,
+    price_tree_bermudan_fft,
+    price_tree_european_fft,
+)
+from repro.core.bsm_solver import DEFAULT_BSM_BASE, solve_bsm_fft
+from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
+from repro.core.symmetry import solve_put_via_symmetry
+from repro.core.tree_solver import DEFAULT_BASE, solve_tree_fft
+from repro.lattice.binomial import price_binomial
+from repro.lattice.blackscholes_fd import price_bsm_fd
+from repro.lattice.trinomial import price_trinomial
+from repro.options.contract import OptionSpec, Right, Style
+from repro.options.params import BinomialParams, BSMGridParams, TrinomialParams
+from repro.parallel.workspan import WorkSpan
+from repro.util.validation import ValidationError, check_integer
+
+MODELS = ("binomial", "trinomial", "bsm-fd")
+TREE_METHODS = ("fft",) + tuple(BASELINES)
+
+
+@dataclass
+class PricingResult:
+    """Uniform result envelope for every pricing path.
+
+    Attributes
+    ----------
+    price:      option value at the valuation date.
+    steps:      time steps ``T`` used.
+    model:      ``"binomial" | "trinomial" | "bsm-fd"``.
+    method:     algorithm family used (see module docstring).
+    workspan:   instrumented work/span in flop-equivalents.
+    stats:      solver-structure counters (FFT calls, trapezoids, …).
+    boundary:   optional divider data (dense array for vanilla methods,
+                sparse ``{row: index}`` for the fft methods).
+    meta:       solver-specific extras.
+    """
+
+    price: float
+    steps: int
+    model: str
+    method: str
+    workspan: WorkSpan = field(default_factory=lambda: WorkSpan.ZERO)
+    stats: dict = field(default_factory=dict)
+    boundary: Optional[object] = None
+    meta: dict = field(default_factory=dict)
+
+
+def _check_model_method(model: str, method: str) -> None:
+    if model not in MODELS:
+        raise ValidationError(f"unknown model {model!r}; choose one of {MODELS}")
+    if model == "binomial":
+        valid = TREE_METHODS
+    else:
+        valid = ("fft", "loop")
+    if method not in valid:
+        raise ValidationError(
+            f"method {method!r} not available for model {model!r}; "
+            f"choose one of {valid}"
+        )
+
+
+def price_american(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    return_boundary: bool = False,
+) -> PricingResult:
+    """Price an American option (see module docstring for model/method).
+
+    Notes
+    -----
+    * ``model="bsm-fd"`` requires a put (paper §4); American calls on
+      dividend-paying stock should use the tree models.
+    * Puts under tree models with ``method="fft"`` are priced through the
+      exact put–call symmetry (:mod:`repro.core.symmetry`).
+    * ``base`` overrides the recursion base-case height (paper default 8 for
+      trees, 10 for BSM); ``lam`` the FD parabolic ratio.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    _check_model_method(model, method)
+    spec = spec.with_style(Style.AMERICAN)
+
+    if model == "bsm-fd":
+        if method == "fft":
+            params = BSMGridParams.from_spec(spec, steps, lam=lam)
+            r = solve_bsm_fft(
+                params,
+                base=DEFAULT_BSM_BASE if base is None else base,
+                policy=policy,
+                record_boundary=return_boundary,
+            )
+            return PricingResult(
+                r.price, steps, model, method, r.workspan, r.stats.as_dict(),
+                r.boundary.points if r.boundary else None, r.meta,
+            )
+        r = price_bsm_fd(spec, steps, lam=lam, return_boundary=return_boundary)
+        return PricingResult(
+            r.price, steps, model, method, r.workspan,
+            {"cells_evaluated": r.cells}, r.boundary, r.meta,
+        )
+
+    # tree models
+    if method == "fft":
+        if spec.right is Right.PUT:
+            r = solve_put_via_symmetry(
+                spec, steps, model=model,
+                base=DEFAULT_BASE if base is None else base,
+                policy=policy, record_boundary=return_boundary,
+            )
+        else:
+            params = (
+                BinomialParams.from_spec(spec, steps)
+                if model == "binomial"
+                else TrinomialParams.from_spec(spec, steps)
+            )
+            r = solve_tree_fft(
+                params,
+                base=DEFAULT_BASE if base is None else base,
+                policy=policy,
+                record_boundary=return_boundary,
+            )
+        return PricingResult(
+            r.price, steps, model, method, r.workspan, r.stats.as_dict(),
+            r.boundary.points if r.boundary else None, r.meta,
+        )
+
+    if model == "trinomial":
+        r = price_trinomial(spec, steps, return_boundary=return_boundary)
+        return PricingResult(
+            r.price, steps, model, method, r.workspan,
+            {"cells_evaluated": r.cells}, r.boundary, r.meta,
+        )
+
+    # binomial baselines; only 'loop' supports puts and boundary extraction
+    if method == "loop":
+        r = price_binomial(spec, steps, return_boundary=return_boundary)
+        return PricingResult(
+            r.price, steps, model, method, r.workspan,
+            {"cells_evaluated": r.cells}, r.boundary, r.meta,
+        )
+    if spec.right is Right.PUT:
+        raise ValidationError(
+            f"baseline {method!r} implements the paper's American-call "
+            "benchmark; use method='loop' or 'fft' for puts"
+        )
+    if return_boundary:
+        raise ValidationError(
+            f"baseline {method!r} does not track the exercise divider; "
+            "use method='loop' or 'fft'"
+        )
+    r = BASELINES[method](spec, steps)
+    return PricingResult(
+        r.price, steps, model, method, r.workspan,
+        {"cells_evaluated": r.cells}, None, r.meta,
+    )
+
+
+def price_european(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+) -> PricingResult:
+    """European pricing: ``fft`` = one O(T log T) jump; ``loop`` = sweep."""
+    steps = check_integer("steps", steps, minimum=1)
+    _check_model_method(model, method)
+    if method not in ("fft", "loop"):
+        raise ValidationError("European pricing supports methods 'fft' and 'loop'")
+    spec = spec.with_style(Style.EUROPEAN)
+
+    if model == "bsm-fd":
+        if method == "fft":
+            params = BSMGridParams.from_spec(spec, steps, lam=lam)
+            r = price_bsm_european_fft(params, policy=policy)
+            return PricingResult(
+                r.price, steps, model, method, r.workspan, r.stats.as_dict(), None, r.meta
+            )
+        lr = price_bsm_fd(spec, steps, lam=lam)
+        return PricingResult(
+            lr.price, steps, model, method, lr.workspan,
+            {"cells_evaluated": lr.cells}, None, lr.meta,
+        )
+
+    if method == "fft":
+        params = (
+            BinomialParams.from_spec(spec, steps)
+            if model == "binomial"
+            else TrinomialParams.from_spec(spec, steps)
+        )
+        r = price_tree_european_fft(params, policy=policy)
+        return PricingResult(
+            r.price, steps, model, method, r.workspan, r.stats.as_dict(), None, r.meta
+        )
+    lr = (
+        price_binomial(spec, steps)
+        if model == "binomial"
+        else price_trinomial(spec, steps)
+    )
+    return PricingResult(
+        lr.price, steps, model, method, lr.workspan,
+        {"cells_evaluated": lr.cells}, None, lr.meta,
+    )
+
+
+def price_bermudan(
+    spec: OptionSpec,
+    steps: int,
+    exercise_steps: Sequence[int],
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    policy: AdvancePolicy = DEFAULT_POLICY,
+) -> PricingResult:
+    """Bermudan pricing: ``fft`` = O((k+1) T log T) jump chain; ``loop`` sweep."""
+    steps = check_integer("steps", steps, minimum=1)
+    if model == "bsm-fd":
+        raise ValidationError("Bermudan exercise is not defined for the FD model")
+    _check_model_method(model, method)
+    if method not in ("fft", "loop"):
+        raise ValidationError("Bermudan pricing supports methods 'fft' and 'loop'")
+    spec = spec.with_style(Style.BERMUDAN)
+
+    if method == "fft":
+        params = (
+            BinomialParams.from_spec(spec, steps)
+            if model == "binomial"
+            else TrinomialParams.from_spec(spec, steps)
+        )
+        r = price_tree_bermudan_fft(params, exercise_steps, policy=policy)
+        return PricingResult(
+            r.price, steps, model, method, r.workspan, r.stats.as_dict(), None, r.meta
+        )
+    lr = (
+        price_binomial(spec, steps, exercise_steps=exercise_steps)
+        if model == "binomial"
+        else price_trinomial(spec, steps, exercise_steps=exercise_steps)
+    )
+    return PricingResult(
+        lr.price, steps, model, method, lr.workspan,
+        {"cells_evaluated": lr.cells}, None, lr.meta,
+    )
+
+
+@dataclass
+class BoundaryCurve:
+    """The early-exercise (red–green) divider in financially meaningful units.
+
+    ``rows[i]`` is a time row, ``indices[i]`` the divider's grid position at
+    that row, ``times_years[i]`` the calendar time from valuation, and
+    ``prices[i]`` the asset price at the divider node — the early-exercise
+    boundary the quant-finance literature plots.
+    """
+
+    rows: np.ndarray
+    indices: np.ndarray
+    times_years: np.ndarray
+    prices: np.ndarray
+    model: str
+    method: str
+
+
+def exercise_boundary(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "loop",
+) -> BoundaryCurve:
+    """Compute the early-exercise boundary curve.
+
+    ``method="loop"`` yields the divider at every row (dense); ``"fft"``
+    yields the rows the fast solver resolves exactly (sparse) — a useful
+    cross-check that both agree where both are defined.
+
+    ``prices`` holds the asset price of the *first exercise-optimal node*
+    adjacent to the divider — the early-exercise boundary curve of the
+    quant-finance literature (from above for calls, from below for puts).
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    _check_model_method(model, method)
+    if method not in ("fft", "loop"):
+        raise ValidationError("exercise_boundary supports methods 'fft' and 'loop'")
+    if model == "bsm-fd" and spec.right is not Right.PUT:
+        raise ValidationError("the bsm-fd model prices puts")
+
+    result = price_american(
+        spec, steps, model=model, method=method, return_boundary=True
+    )
+    dt_years = spec.years / steps
+
+    if model == "bsm-fd":
+        params = BSMGridParams.from_spec(spec.with_style(Style.AMERICAN), steps)
+        if method == "loop":
+            dense = np.asarray(result.boundary)
+            rows = np.arange(steps + 1)
+            mask = dense > -(steps + 1)
+            rows, idx = rows[mask], dense[mask]
+        else:
+            points = dict(result.boundary or {})
+            rows = np.array(sorted(points), dtype=np.int64)
+            idx = np.array([points[r] for r in rows], dtype=np.int64)
+        # row n is time-to-expiry tau = n*dtau, i.e. calendar time (T-n)*dt
+        times = (steps - rows) * dt_years
+        prices = spec.strike * np.exp(params.s_values(idx))
+        return BoundaryCurve(rows, idx, times, prices, model, method)
+
+    params_tree = (
+        BinomialParams.from_spec(spec.with_style(Style.AMERICAN), steps)
+        if model == "binomial"
+        else TrinomialParams.from_spec(spec.with_style(Style.AMERICAN), steps)
+    )
+    q = 1 if model == "binomial" else 2
+    if method == "loop":
+        dense = np.asarray(result.boundary)
+        rows = np.arange(steps + 1)
+        mask = dense >= 0
+        rows, idx = rows[mask], dense[mask]
+    else:
+        points = dict(result.boundary or {})
+        rows = np.array(sorted(points), dtype=np.int64)
+        idx = np.array([points[r] for r in rows], dtype=np.int64)
+        if spec.right is Right.PUT:
+            # fft puts are solved on the mirrored dual call: map the dual's
+            # last-red column j' back to the put's last-green column i - j' - 1
+            idx = q * rows - idx - 1
+        keep = (idx >= 0) & (idx <= q * rows)
+        rows, idx = rows[keep], idx[keep]
+    if spec.right is Right.CALL:
+        # divider = last continuation column; exercise starts one to its
+        # right.  Rows that are entirely red (divider at the row end) have
+        # no exercise node and are dropped from the curve.
+        keep = idx < q * rows
+        rows, idx = rows[keep], idx[keep]
+        node_cols = idx + 1
+    else:
+        # divider = last exercise column (loop solvers report it directly)
+        node_cols = idx
+    times = rows * dt_years  # tree row i is calendar time i*dt from valuation
+    prices = (
+        np.array(
+            [
+                float(np.asarray(params_tree.asset_price(int(r), int(j))))
+                for r, j in zip(rows, node_cols)
+            ]
+        )
+        if len(rows)
+        else np.empty(0)
+    )
+    return BoundaryCurve(rows, idx, times, prices, model, method)

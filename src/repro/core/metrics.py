@@ -1,0 +1,61 @@
+"""Per-solve statistics collected by the FFT solvers.
+
+Besides the work–span pair (handled by :class:`repro.parallel.WorkSpan`
+composition), the experiment harness wants structural counters: how many
+trapezoids were cut, how many FFT advances of what total size ran, how deep
+the recursion went, how many cells the naive base cases touched.  These feed
+the Table 2 scaling fits and the cache/energy models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolveStats:
+    """Mutable counters threaded through one solver invocation."""
+
+    fft_calls: int = 0
+    fft_points: int = 0  # total transform input points
+    direct_calls: int = 0
+    direct_points: int = 0
+    trapezoids: int = 0
+    base_cases: int = 0
+    base_rows: int = 0
+    cells_evaluated: int = 0
+    max_depth: int = 0
+
+    def note_advance(self, method: str, input_len: int) -> None:
+        if method == "fft":
+            self.fft_calls += 1
+            self.fft_points += input_len
+        elif method == "direct":
+            self.direct_calls += 1
+            self.direct_points += input_len
+        # "copy" (h=0) is free
+
+    def note_depth(self, depth: int) -> None:
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def as_dict(self) -> dict:
+        return {
+            "fft_calls": self.fft_calls,
+            "fft_points": self.fft_points,
+            "direct_calls": self.direct_calls,
+            "direct_points": self.direct_points,
+            "trapezoids": self.trapezoids,
+            "base_cases": self.base_cases,
+            "base_rows": self.base_rows,
+            "cells_evaluated": self.cells_evaluated,
+            "max_depth": self.max_depth,
+        }
+
+
+@dataclass
+class SolveReport:
+    """Aggregated outcome shared by the fast solvers (attached to results)."""
+
+    stats: SolveStats = field(default_factory=SolveStats)
+    notes: list = field(default_factory=list)

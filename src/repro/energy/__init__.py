@@ -1,0 +1,6 @@
+"""RAPL-style energy modeling (perf/RAPL substitute; Fig 6 and Fig 10)."""
+
+from repro.energy.rapl import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from repro.energy import constants
+
+__all__ = ["DEFAULT_ENERGY_MODEL", "EnergyBreakdown", "EnergyModel", "constants"]

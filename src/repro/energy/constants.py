@@ -1,0 +1,27 @@
+"""Energy-model constants (Skylake-class server, RAPL-domain granularity).
+
+Values are order-of-magnitude figures from the published literature on
+Skylake-SP power characteristics; the *ratios* (static vs dynamic, pkg vs
+RAM) are what shape the paper's Figure 6/Figure 10 curves, and the model is
+calibrated against measured runtime anyway (see :mod:`repro.energy.rapl`).
+
+Sources for the ballparks: RAPL characterisation studies report ~0.5–2 nJ
+per double-precision op end-to-end on Skylake-SP at scale, DRAM access
+energy ~10–20 pJ/bit (≈ 6–13 nJ per 64-byte line), and idle/uncore package
+power of tens of watts per socket.
+"""
+
+#: package-domain energy per flop-equivalent (nJ) — core + uncore dynamic
+PKG_NJ_PER_FLOP = 1.2
+
+#: DRAM energy per 64-byte line transferred (nJ)
+RAM_NJ_PER_LINE = 10.0
+
+#: static/idle package power while the job runs (W); 2 sockets in Table 3
+PKG_STATIC_WATTS = 60.0
+
+#: DRAM background power (refresh etc.) while the job runs (W)
+RAM_STATIC_WATTS = 6.0
+
+#: cache line size used by the traffic models (bytes)
+LINE_BYTES = 64

@@ -1,0 +1,25 @@
+"""Experiment harness: registry + builders for every paper table/figure."""
+
+from repro.experiments.harness import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.sweeps import PROCESSOR_GRID, is_fast_mode, sweep
+
+# importing the builder modules populates the registry
+from repro.experiments import figures as _figures  # noqa: F401
+from repro.experiments import ablation as _ablation  # noqa: F401
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+    "PROCESSOR_GRID",
+    "is_fast_mode",
+    "sweep",
+]

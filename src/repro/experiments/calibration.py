@@ -1,0 +1,47 @@
+"""Scaling-law fits used by the Table 2 reproduction and the test suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = c · x^a`` in log–log space → ``(a, c)``.
+
+    Used to verify that counted work scales like ``T²`` for the baselines and
+    like ``T·polylog`` for the FFT solvers (fitted exponent ≈ 1 + o(1)).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValidationError("need at least two (x, y) points to fit")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lx = np.log(np.asarray(xs, dtype=np.float64))
+        ly = np.log(np.asarray(ys, dtype=np.float64))
+    if not (np.all(np.isfinite(lx)) and np.all(np.isfinite(ly))):
+        raise ValidationError("power-law fit requires positive finite data")
+    a, logc = np.polyfit(lx, ly, 1)
+    return float(a), float(math.exp(logc))
+
+
+def fit_t_logsq(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Best constant ``c`` for ``y ≈ c · x log2(x)²`` (FFT-solver work law)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValidationError("need at least one (x, y) point to fit")
+    basis = np.array([x * math.log2(x) ** 2 for x in xs])
+    ys_arr = np.asarray(ys, dtype=np.float64)
+    return float(np.dot(basis, ys_arr) / np.dot(basis, basis))
+
+
+def relative_spread(series: Mapping[int, float]) -> float:
+    """``max/min`` of a positive series — 1.0 means perfectly flat.
+
+    Handy for checking that ``work / (T log²T)`` is nearly constant.
+    """
+    vals = [v for v in series.values() if v > 0]
+    if not vals:
+        raise ValidationError("series has no positive entries")
+    return max(vals) / min(vals)

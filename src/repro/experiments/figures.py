@@ -1,0 +1,478 @@
+"""Builders for every table and figure of the paper's evaluation (§5).
+
+Each builder regenerates one artefact's rows/series at laptop scale (see
+:mod:`repro.experiments.sweeps` for the knobs), using:
+
+* measured single-core seconds of our implementations (runtime figures);
+* the greedy-scheduler model over instrumented work/span (parallel columns,
+  Table 5, Proposition 1.1);
+* the RAPL-style energy model (Fig 6 / Fig 10);
+* the trace-driven cache simulator (Fig 7).
+
+The benchmark files under ``benchmarks/`` are thin wrappers that time the
+underlying solver calls with pytest-benchmark and then invoke these builders
+to print the paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.baselines import ql_bopm, tiled_bopm, zb_bopm, oblivious_bopm
+from repro.cachesim import CacheConfig, CacheHierarchy, SKYLAKE_L1, SKYLAKE_L2
+from repro.cachesim import trace as tracemod
+from repro.core.bsm_solver import solve_bsm_fft
+from repro.core.tree_solver import solve_tree_fft
+from repro.energy import DEFAULT_ENERGY_MODEL
+from repro.cachesim.model import dram_bytes
+from repro.experiments.calibration import fit_power_law
+from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.sweeps import PROCESSOR_GRID, sweep
+from repro.lattice import price_binomial, price_bsm_fd, price_trinomial
+from repro.options.contract import Right, paper_benchmark_spec
+from repro.options.params import BinomialParams, BSMGridParams, TrinomialParams
+from repro.parallel.workspan import WorkSpan
+from repro.parallel.runtime_model import RuntimeModel
+from repro.util.timing import measure
+from repro.util.validation import ValidationError
+
+SPEC = paper_benchmark_spec()
+PUT_SPEC = dataclasses.replace(SPEC, right=Right.PUT, dividend_yield=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Implementation runners: name -> (callable returning obj with .workspan)
+# --------------------------------------------------------------------------- #
+def _run_fft_bopm(T: int):
+    return solve_tree_fft(BinomialParams.from_spec(SPEC, T))
+
+
+def _run_fft_topm(T: int):
+    return solve_tree_fft(TrinomialParams.from_spec(SPEC, T))
+
+
+def _run_fft_bsm(T: int):
+    return solve_bsm_fft(BSMGridParams.from_spec(PUT_SPEC, T))
+
+
+RUNNERS: Dict[str, Callable[[int], object]] = {
+    "fft-bopm": _run_fft_bopm,
+    "ql-bopm": lambda T: ql_bopm(SPEC, T),
+    "zb-bopm": lambda T: zb_bopm(SPEC, T),
+    "vanilla-bopm": lambda T: price_binomial(SPEC, T),
+    "tiled-bopm": lambda T: tiled_bopm(SPEC, T),
+    "oblivious-bopm": lambda T: oblivious_bopm(SPEC, T),
+    "fft-topm": _run_fft_topm,
+    "vanilla-topm": lambda T: price_trinomial(SPEC, T),
+    "fft-bsm": _run_fft_bsm,
+    "vanilla-bsm": lambda T: price_bsm_fd(PUT_SPEC, T),
+}
+
+#: legend -> analytic cache/energy model key
+MODEL_KEY = {
+    "fft-bopm": "fft-bopm",
+    "ql-bopm": "ql",
+    "zb-bopm": "zb",
+    "vanilla-bopm": "loop",
+    "tiled-bopm": "tiled",
+    "oblivious-bopm": "oblivious",
+    "fft-topm": "fft-topm",
+    "vanilla-topm": "loop",
+    "fft-bsm": "fft-bsm",
+    "vanilla-bsm": "loop",
+}
+
+FIG5_IMPLS = {
+    "bopm": ("fft-bopm", "ql-bopm", "zb-bopm"),
+    "topm": ("fft-topm", "vanilla-topm"),
+    "bsm": ("fft-bsm", "vanilla-bsm"),
+}
+
+
+#: (impl, T) -> (seconds, workspan); Figures 5, 6 and 10 share measurements.
+_MEASUREMENT_CACHE: Dict[Tuple[str, int], Tuple[float, WorkSpan]] = {}
+
+
+def _measure_impl(impl: str, T: int) -> Tuple[float, WorkSpan]:
+    """(seconds, workspan) for one implementation at one step count."""
+    key = (impl, T)
+    if key in _MEASUREMENT_CACHE:
+        return _MEASUREMENT_CACHE[key]
+    try:
+        fn = RUNNERS[impl]
+    except KeyError:
+        raise ValidationError(
+            f"unknown implementation {impl!r}; choose from {sorted(RUNNERS)}"
+        ) from None
+    secs, result = measure(lambda: fn(T), min_time=0.02)
+    _MEASUREMENT_CACHE[key] = (secs, result.workspan)
+    return secs, result.workspan
+
+
+def _modeled_parallel_seconds(secs: float, ws: WorkSpan, p: int) -> float:
+    """Greedy-scheduler prediction calibrated so p=1 equals the measurement."""
+    model = RuntimeModel.from_measurement(ws, secs)
+    return model.predict_seconds(ws, p)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5: parallel running times (+ §5.1 headline speedups)
+# --------------------------------------------------------------------------- #
+def _fig5_builder(model: str, processors: int = 48) -> ExperimentResult:
+    impls = FIG5_IMPLS[model]
+    series: Dict[str, Dict[int, float]] = {}
+    for impl in impls:
+        series[f"{impl} p=1 (s)"] = {}
+        series[f"{impl} p={processors} (s, modeled)"] = {}
+    for T in sweep("runtime"):
+        for impl in impls:
+            secs, ws = _measure_impl(impl, T)
+            series[f"{impl} p=1 (s)"][T] = secs
+            series[f"{impl} p={processors} (s, modeled)"][T] = (
+                _modeled_parallel_seconds(secs, ws, processors)
+            )
+    fft = impls[0]
+    rows = []
+    for T in sweep("runtime"):
+        best_base = min(
+            series[f"{impl} p=1 (s)"][T] for impl in impls[1:]
+        )
+        rows.append(
+            [
+                T,
+                best_base / series[f"{fft} p=1 (s)"][T],
+                min(series[f"{impl} p={processors} (s, modeled)"][T] for impl in impls[1:])
+                / series[f"{fft} p={processors} (s, modeled)"][T],
+            ]
+        )
+    extra = [
+        (
+            "speedup of the fft solver over the best baseline (§5.1)",
+            ["T", "serial speedup", f"p={processors} modeled speedup"],
+            rows,
+        )
+    ]
+    return ExperimentResult(
+        experiment_id=f"fig5-{model}",
+        title=f"Figure 5 ({model.upper()}): running time vs T",
+        series=series,
+        extra_tables=extra,
+        notes=[
+            "p=1 columns are measured on this machine; p=48 columns apply the "
+            "greedy-scheduler bound T1/p + Tinf to the instrumented work/span "
+            "(the paper's Table 2 model), calibrated so p=1 matches the "
+            "measurement."
+        ],
+    )
+
+
+@register("fig5-bopm", "Fig 5(a): BOPM running time", "paper Fig 5a")
+def fig5_bopm() -> ExperimentResult:
+    return _fig5_builder("bopm")
+
+
+@register("fig5-topm", "Fig 5(b): TOPM running time", "paper Fig 5b")
+def fig5_topm() -> ExperimentResult:
+    return _fig5_builder("topm")
+
+
+@register("fig5-bsm", "Fig 5(c): BSM running time", "paper Fig 5c")
+def fig5_bsm() -> ExperimentResult:
+    return _fig5_builder("bsm")
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 + Figure 10: energy
+# --------------------------------------------------------------------------- #
+def _fig6_builder(model: str, domain: str = "total") -> ExperimentResult:
+    impls = FIG5_IMPLS[model]
+    series: Dict[str, Dict[int, float]] = {impl: {} for impl in impls}
+    for T in sweep("energy"):
+        for impl in impls:
+            secs, ws = _measure_impl(impl, T)
+            breakdown = DEFAULT_ENERGY_MODEL.energy_from_model(
+                MODEL_KEY[impl], T, ws, secs
+            )
+            value = {
+                "total": breakdown.total_joules,
+                "pkg": breakdown.pkg_joules,
+                "ram": breakdown.ram_joules,
+            }[domain]
+            series[impl][T] = value
+    fft = impls[0]
+    rows = []
+    for T in sweep("energy"):
+        base = min(series[impl][T] for impl in impls[1:])
+        rows.append([T, 100.0 * (1.0 - series[fft][T] / base)])
+    extra = [
+        (
+            "energy saved by the fft solver vs best baseline (%)",
+            ["T", "saving %"],
+            rows,
+        )
+    ]
+    return ExperimentResult(
+        experiment_id=f"fig6-{model}-{domain}",
+        title=f"Figure {'6' if domain == 'total' else '10'} ({model.upper()}): "
+        f"{domain} energy (J, modeled)",
+        series=series,
+        extra_tables=extra,
+        notes=[
+            "RAPL-substitute model: static power x measured runtime + "
+            "dynamic energy x counted work + DRAM energy x modeled traffic."
+        ],
+    )
+
+
+@register("fig6-bopm", "Fig 6(a): BOPM total energy", "paper Fig 6a")
+def fig6_bopm() -> ExperimentResult:
+    return _fig6_builder("bopm", "total")
+
+
+@register("fig6-topm", "Fig 6(b): TOPM total energy", "paper Fig 6b")
+def fig6_topm() -> ExperimentResult:
+    return _fig6_builder("topm", "total")
+
+
+@register("fig6-bsm", "Fig 6(c): BSM total energy", "paper Fig 6c")
+def fig6_bsm() -> ExperimentResult:
+    return _fig6_builder("bsm", "total")
+
+
+@register("fig10-bopm", "Fig 10: BOPM energy by domain (pkg)", "paper Fig 10a")
+def fig10_bopm_pkg() -> ExperimentResult:
+    return _fig6_builder("bopm", "pkg")
+
+
+@register("fig10-bopm-ram", "Fig 10: BOPM energy by domain (RAM)", "paper Fig 10a")
+def fig10_bopm_ram() -> ExperimentResult:
+    return _fig6_builder("bopm", "ram")
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7: cache misses (trace-driven simulation)
+# --------------------------------------------------------------------------- #
+def _tree_boundary(model: str, T: int) -> np.ndarray:
+    if model == "bopm":
+        return price_binomial(SPEC, T, return_boundary=True).boundary
+    if model == "topm":
+        return price_trinomial(SPEC, T, return_boundary=True).boundary
+    raise ValidationError(f"no tree boundary for {model!r}")
+
+
+def _trace_for(impl: str, T: int):
+    if impl == "fft-bopm":
+        return tracemod.trace_fft_tree(T, _tree_boundary("bopm", T), q=1)
+    if impl == "fft-topm":
+        return tracemod.trace_fft_tree(T, _tree_boundary("topm", T), q=2)
+    if impl == "fft-bsm":
+        b = price_bsm_fd(PUT_SPEC, T, return_boundary=True).boundary
+        return tracemod.trace_fft_bsm(T, b)
+    if impl == "ql-bopm":
+        return tracemod.trace_ql_bopm(T)
+    if impl == "zb-bopm":
+        return tracemod.trace_zb_bopm(T)
+    if impl == "vanilla-bopm":
+        return tracemod.trace_loop_bopm(T)
+    if impl == "tiled-bopm":
+        return tracemod.trace_tiled_bopm(T)
+    if impl == "oblivious-bopm":
+        return tracemod.trace_oblivious_bopm(T)
+    if impl == "vanilla-topm":
+        return tracemod.trace_loop_trinomial(T)
+    if impl == "vanilla-bsm":
+        return tracemod.trace_loop_bsm(T)
+    raise ValidationError(f"no trace generator for {impl!r}")
+
+
+#: Scaled-down geometry for the trace sweeps.  The paper's PAPI curves turn
+#: over where the Θ(T) working set crosses each cache's capacity (32 KB / 1 MB
+#: on Skylake, i.e. T ≈ 2^12 / 2^17) — far beyond per-access simulation
+#: budgets.  Dividing both capacities by 16/64 moves the *same* capacity
+#: regimes into the traceable range (T ≈ 2^8 / 2^10) while keeping the
+#: line size and associativity structure; pass ``scaled=False`` for the
+#: true Skylake geometry.
+SCALED_L1 = CacheConfig(size_bytes=2 * 1024, line_bytes=64, ways=8, name="L1/16")
+SCALED_L2 = CacheConfig(size_bytes=16 * 1024, line_bytes=64, ways=16, name="L2/64")
+
+
+def simulate_cache(impl: str, T: int, *, scaled: bool = True) -> Tuple[int, int]:
+    """(L1 misses, L2 misses) of one implementation at one step count."""
+    if scaled:
+        hier = CacheHierarchy(SCALED_L1, SCALED_L2)
+    else:
+        hier = CacheHierarchy(SKYLAKE_L1, SKYLAKE_L2)
+    for chunk in _trace_for(impl, T):
+        hier.access_elements(chunk)
+    c = hier.counters()
+    return c.l1_misses, c.l2_misses
+
+
+def _fig7_builder(model: str, *, scaled: bool = True) -> ExperimentResult:
+    impls = FIG5_IMPLS[model]
+    series: Dict[str, Dict[int, float]] = {}
+    for impl in impls:
+        series[f"{impl} L1"] = {}
+        series[f"{impl} L2"] = {}
+    for T in sweep("cache"):
+        for impl in impls:
+            l1, l2 = simulate_cache(impl, T, scaled=scaled)
+            series[f"{impl} L1"][T] = float(l1)
+            series[f"{impl} L2"][T] = float(l2)
+    geom = "1/16-scale Skylake" if scaled else "Skylake"
+    return ExperimentResult(
+        experiment_id=f"fig7-{model}",
+        title=f"Figure 7 ({model.upper()}): simulated L1/L2 cache misses "
+        f"({geom} geometry)",
+        series=series,
+        notes=[
+            "set-associative LRU simulation driven by exact per-algorithm "
+            "access traces (paper: PAPI on hardware).  Capacities are scaled "
+            "down with T so the same working-set/capacity regimes appear at "
+            "traceable step counts; repro.cachesim.model extends the curves "
+            "to full scale analytically."
+        ],
+    )
+
+
+@register("fig7-bopm", "Fig 7(a,d): BOPM cache misses", "paper Fig 7a/7d")
+def fig7_bopm() -> ExperimentResult:
+    return _fig7_builder("bopm")
+
+
+@register("fig7-topm", "Fig 7(b,e): TOPM cache misses", "paper Fig 7b/7e")
+def fig7_topm() -> ExperimentResult:
+    return _fig7_builder("topm")
+
+
+@register("fig7-bsm", "Fig 7(c,f): BSM cache misses", "paper Fig 7c/7f")
+def fig7_bsm() -> ExperimentResult:
+    return _fig7_builder("bsm")
+
+
+# --------------------------------------------------------------------------- #
+# Table 5: strong scaling at fixed T, and Proposition 1.1
+# --------------------------------------------------------------------------- #
+@register("table5", "Table 5: runtime (ms) vs p at fixed T", "paper Table 5")
+def table5() -> ExperimentResult:
+    (T,) = sweep("scaling")
+    series: Dict[str, Dict[int, float]] = {}
+    par_rows = []
+    for impl in ("fft-bopm", "ql-bopm"):
+        secs, ws = _measure_impl(impl, T)
+        model = RuntimeModel.from_measurement(ws, secs)
+        series[f"{impl} (ms, modeled)"] = {
+            p: 1e3 * model.predict_seconds(ws, p) for p in PROCESSOR_GRID
+        }
+        par_rows.append([impl, ws.parallelism])
+    return ExperimentResult(
+        experiment_id="table5",
+        title=f"Table 5: modeled parallel runtime at T = {T}",
+        series=series,
+        x_name="p",
+        extra_tables=[
+            ("instrumented parallelism", ["implementation", "T1/Tinf"], par_rows)
+        ],
+        notes=[
+            "fft-bopm's tiny span-bound parallelism (Theta(log^2 T), §5.4) "
+            "caps its scaling almost immediately, while ql-bopm scales ~p; "
+            "the paper's measured Table 5 shows the same structure "
+            "(fft flat at ~30 ms, ql dropping 26552 -> 1191 ms).",
+        ],
+    )
+
+
+@register(
+    "prop1.1",
+    "Proposition 1.1: modeled T_p ratio new/old for all p",
+    "paper Prop 1.1",
+)
+def prop11() -> ExperimentResult:
+    series: Dict[str, Dict[int, float]] = {}
+    Ts = sweep("workspan")
+    for p in (1, 8, 48, 1024):
+        series[f"T_p(fft)/T_p(zb) p={p}"] = {}
+    for T in Ts:
+        ws_new = RUNNERS["fft-bopm"](T).workspan
+        ws_old = RUNNERS["zb-bopm"](T).workspan
+        for p in (1, 8, 48, 1024):
+            series[f"T_p(fft)/T_p(zb) p={p}"][T] = ws_new.brent_time(
+                p
+            ) / ws_old.brent_time(p)
+    return ExperimentResult(
+        experiment_id="prop1.1",
+        title="Proposition 1.1: T_p(new)/T_p(old) -> 0 as T grows, for every p",
+        series=series,
+        notes=["ratios computed from instrumented work/span under Brent's bound"],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: work/span counters and fitted exponents
+# --------------------------------------------------------------------------- #
+@register("table2", "Table 2: work/span scaling of the four families", "paper Table 2")
+def table2() -> ExperimentResult:
+    impls = ("vanilla-bopm", "tiled-bopm", "oblivious-bopm", "fft-bopm")
+    Ts = sweep("workspan")
+    series: Dict[str, Dict[int, float]] = {}
+    for impl in impls:
+        series[f"{impl} work"] = {}
+        series[f"{impl} span"] = {}
+    for T in Ts:
+        for impl in impls:
+            if impl == "oblivious-bopm" and T > 4096:
+                continue  # pure-python per-cell baseline: keep runtimes sane
+            ws = RUNNERS[impl](T).workspan
+            series[f"{impl} work"][T] = ws.work
+            series[f"{impl} span"][T] = ws.span
+    rows = []
+    for impl in impls:
+        data = series[f"{impl} work"]
+        xs = sorted(data)
+        exp, _ = fit_power_law(xs, [data[x] for x in xs])
+        rows.append([impl, exp])
+    extra = [
+        (
+            "fitted work exponents (paper: Theta(T^2) for all baselines, "
+            "Theta(T log^2 T) => exponent ~1.1-1.3 at these T for fft)",
+            ["implementation", "work ~ T^a: fitted a"],
+            rows,
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table 2: instrumented work/span (flop-equivalents)",
+        series=series,
+        extra_tables=extra,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Correctness agreement (implicit in the paper; explicit here)
+# --------------------------------------------------------------------------- #
+@register("agreement", "fft vs vanilla price agreement", "correctness")
+def agreement() -> ExperimentResult:
+    series: Dict[str, Dict[int, float]] = {
+        "bopm |fft-loop|": {},
+        "topm |fft-loop|": {},
+        "bsm |fft-loop|": {},
+    }
+    for T in sweep("agreement"):
+        series["bopm |fft-loop|"][T] = abs(
+            _run_fft_bopm(T).price - price_binomial(SPEC, T).price
+        )
+        series["topm |fft-loop|"][T] = abs(
+            _run_fft_topm(T).price - price_trinomial(SPEC, T).price
+        )
+        series["bsm |fft-loop|"][T] = abs(
+            _run_fft_bsm(T).price - price_bsm_fd(PUT_SPEC, T).price
+        )
+    return ExperimentResult(
+        experiment_id="agreement",
+        title="absolute price difference, fft vs vanilla (paper params)",
+        series=series,
+        notes=["differences are pure floating-point noise (<< option tick size)"],
+    )

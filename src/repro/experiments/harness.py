@@ -1,0 +1,99 @@
+"""Experiment registry, table printing and CSV export.
+
+Every table and figure of the paper's §5 has an entry in :data:`REGISTRY`
+(populated by :mod:`repro.experiments.figures`); each benchmark file calls
+:func:`run_experiment` to regenerate the corresponding rows/series, print
+them in the paper's layout, and drop a CSV under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.util.tables import format_series, format_table, to_csv
+from repro.util.validation import ValidationError
+
+
+@dataclass
+class ExperimentResult:
+    """Series (one column per paper legend) plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    series: Mapping[str, Mapping[int, float]]
+    x_name: str = "T"
+    notes: list = field(default_factory=list)
+    extra_tables: list = field(default_factory=list)  # (title, headers, rows)
+
+    def render(self) -> str:
+        parts = [format_series(self.series, x_name=self.x_name, title=self.title)]
+        for title, headers, rows in self.extra_tables:
+            parts.append("")
+            parts.append(format_table(headers, rows, title=title))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artefact (figure or table)."""
+
+    id: str
+    title: str
+    paper_ref: str
+    builder: Callable[..., ExperimentResult]
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(id: str, title: str, paper_ref: str):
+    """Decorator adding a builder to the registry under ``id``."""
+
+    def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if id in REGISTRY:
+            raise ValidationError(f"duplicate experiment id {id!r}")
+        REGISTRY[id] = Experiment(id=id, title=title, paper_ref=paper_ref, builder=fn)
+        return fn
+
+    return wrap
+
+
+def results_dir() -> str:
+    """Directory for CSV exports (created on demand)."""
+    here = os.environ.get("REPRO_RESULTS_DIR")
+    if here is None:
+        here = os.path.join(os.getcwd(), "results")
+    os.makedirs(here, exist_ok=True)
+    return here
+
+
+def run_experiment(
+    id: str, *, print_output: bool = True, write_csv: bool = True, **kwargs
+) -> ExperimentResult:
+    """Build, print and export one registered experiment."""
+    try:
+        exp = REGISTRY[id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {id!r}; registered: {sorted(REGISTRY)}"
+        ) from None
+    result = exp.builder(**kwargs)
+    if print_output:
+        print()
+        print(f"=== {exp.id}: {exp.title}  [{exp.paper_ref}] ===")
+        print(result.render())
+    if write_csv:
+        path = os.path.join(results_dir(), f"{exp.id}.csv")
+        with open(path, "w") as fh:
+            fh.write(to_csv(result.series, x_name=result.x_name))
+    return result
+
+
+def list_experiments() -> list[tuple[str, str, str]]:
+    """(id, title, paper_ref) rows for discovery / README generation."""
+    return [(e.id, e.title, e.paper_ref) for e in REGISTRY.values()]

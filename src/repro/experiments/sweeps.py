@@ -1,0 +1,75 @@
+"""Default step-count sweeps for the benchmark harness.
+
+The paper sweeps ``T`` over powers of two up to 2^19 (runtime/energy) on a
+48-core node; our defaults are laptop-scale and environment-tunable:
+
+* ``REPRO_BENCH_FAST=1`` — tiny sweeps for CI / the test suite;
+* ``REPRO_BENCH_SCALE=<int>`` — shift every sweep's maximum exponent up
+  (e.g. ``2`` turns 2^14 into 2^16) to approach paper scale when you have
+  the minutes to spend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.util.validation import ValidationError
+
+_DEFAULT_MAX_EXP = {
+    "runtime": 14,
+    "energy": 14,
+    "cache": 11,
+    "scaling": 14,
+    "workspan": 13,
+    "agreement": 12,
+}
+_DEFAULT_MIN_EXP = {
+    "runtime": 8,
+    "energy": 8,
+    "cache": 7,
+    "scaling": 14,
+    "workspan": 8,
+    "agreement": 6,
+}
+_FAST_MAX_EXP = {
+    "runtime": 10,
+    "energy": 10,
+    "cache": 8,
+    "scaling": 10,
+    "workspan": 10,
+    "agreement": 8,
+}
+
+
+def _env_scale() -> int:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "0")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValidationError(f"REPRO_BENCH_SCALE must be an integer, got {raw!r}")
+
+
+def is_fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def sweep(kind: str) -> List[int]:
+    """Powers-of-two step counts for an experiment ``kind``."""
+    if kind not in _DEFAULT_MAX_EXP:
+        raise ValidationError(
+            f"unknown sweep kind {kind!r}; choose from {sorted(_DEFAULT_MAX_EXP)}"
+        )
+    if is_fast_mode():
+        hi = _FAST_MAX_EXP[kind]
+        lo = min(_DEFAULT_MIN_EXP[kind], hi - 2)
+    else:
+        hi = _DEFAULT_MAX_EXP[kind] + _env_scale()
+        lo = _DEFAULT_MIN_EXP[kind] + (0 if kind == "scaling" else 0)
+        lo = min(lo, hi)
+    if kind == "scaling":
+        return [2 ** min(hi, 15 + _env_scale())]  # Table 5 uses a single T
+    return [2**e for e in range(lo, hi + 1)]
+
+
+PROCESSOR_GRID = (1, 2, 4, 8, 16, 32, 48)  # paper Table 5 columns

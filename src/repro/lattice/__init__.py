@@ -1,0 +1,8 @@
+"""Vanilla Θ(T²) lattice / finite-difference solvers (correctness oracles)."""
+
+from repro.lattice.binomial import price_binomial
+from repro.lattice.trinomial import price_trinomial
+from repro.lattice.blackscholes_fd import price_bsm_fd
+from repro.lattice.common import LatticeResult
+
+__all__ = ["price_binomial", "price_trinomial", "price_bsm_fd", "LatticeResult"]

@@ -1,0 +1,127 @@
+"""Vanilla binomial-lattice pricing (the paper's Figure 1, vectorised).
+
+This is the reference Θ(T²)-work implementation of BOPM backward induction —
+the ``Nested Loop (standard)`` row of the paper's Table 2 and the correctness
+oracle for the FFT solver.  Each row update is a NumPy expression (the
+parallel-for of Figure 1); rows run sequentially.
+
+Supports calls and puts, American / European / Bermudan exercise, and can
+return the full red–green boundary (the divider of Corollary 2.7) alongside
+the price.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.lattice.common import LatticeResult, last_true_index
+from repro.options.contract import OptionSpec, Style
+from repro.options.params import BinomialParams
+from repro.options.payoff import signed_exercise, terminal_payoff
+from repro.parallel.workspan import WorkSpan, rows_cost
+from repro.util.validation import ValidationError, check_integer
+
+
+def _normalise_exercise_rows(
+    style: Style, steps: int, exercise_steps: Optional[Iterable[int]]
+) -> Optional[np.ndarray]:
+    """Return a boolean mask over rows ``0..steps-1`` where exercise applies.
+
+    ``None`` means 'exercise everywhere' (American).  Expiry (row ``steps``)
+    always pays off and is not part of the mask.
+    """
+    if style is Style.AMERICAN:
+        if exercise_steps is not None:
+            raise ValidationError("exercise_steps only applies to Bermudan style")
+        return None
+    mask = np.zeros(steps, dtype=bool)
+    if style is Style.EUROPEAN:
+        if exercise_steps is not None:
+            raise ValidationError("exercise_steps only applies to Bermudan style")
+        return mask
+    if exercise_steps is None:
+        raise ValidationError("Bermudan style requires exercise_steps")
+    for step in exercise_steps:
+        step = check_integer("exercise step", step, minimum=0)
+        if step > steps:
+            raise ValidationError(
+                f"exercise step {step} exceeds number of steps {steps}"
+            )
+        if step < steps:  # expiry handled by terminal payoff
+            mask[step] = True
+    return mask
+
+
+def price_binomial(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    exercise_steps: Optional[Iterable[int]] = None,
+    return_boundary: bool = False,
+) -> LatticeResult:
+    """Price ``spec`` on a ``steps``-step CRR lattice by backward induction.
+
+    Implements the paper's Figure 1 (with the exercise rule generalised to
+    the contract's style and right).  Work Θ(T²), span Θ(T log T).
+
+    Parameters
+    ----------
+    spec:
+        Contract; ``spec.style`` selects American/European/Bermudan.
+    steps:
+        Number of time steps ``T`` (>= 1).
+    exercise_steps:
+        For Bermudan contracts, the time rows where exercise is allowed.
+    return_boundary:
+        Also compute ``boundary[i]`` = largest exercise-suboptimal ('red')
+        column of each row (paper Corollary 2.7); adds one vectorised
+        comparison per row.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    params = BinomialParams.from_spec(spec, steps)
+    ex_mask = _normalise_exercise_rows(spec.style, steps, exercise_steps)
+
+    j = np.arange(steps + 1, dtype=np.float64)
+    prices = params.asset_price(steps, j)
+    values = terminal_payoff(spec, prices)
+
+    is_call = spec.right.value == "call"
+    boundary: Optional[np.ndarray] = None
+    if return_boundary:
+        boundary = np.full(steps + 1, -1, dtype=np.int64)
+        # Divider semantics (shared with the trinomial and FD solvers):
+        # boundary[i] = last column of the row's *left-hand* region — the
+        # continuation (red) prefix for calls (Corollary 2.7), the exercise
+        # prefix for puts (mirror orientation).  At expiry continuation is 0.
+        signed_t = signed_exercise(spec, prices)
+        mask_t = (0.0 >= signed_t) if is_call else (signed_t >= 0.0)
+        boundary[steps] = last_true_index(mask_t)
+
+    s0, s1 = params.s0, params.s1
+    ws = WorkSpan.ZERO
+    cells = steps + 1
+    for i in range(steps - 1, -1, -1):
+        cont = s0 * values[: i + 1] + s1 * values[1 : i + 2]
+        exercise_here = ex_mask is None or ex_mask[i]
+        if exercise_here or return_boundary:
+            exer = signed_exercise(spec, params.asset_price(i, np.arange(i + 1)))
+        if exercise_here:
+            values = np.maximum(cont, exer)
+        else:
+            values = cont
+        if return_boundary:
+            mask = (cont >= exer) if is_call else (exer >= cont)
+            boundary[i] = last_true_index(mask)
+        cells += i + 1
+        ws = ws.then(rows_cost(1, i + 1, 2))
+
+    return LatticeResult(
+        price=float(values[0]),
+        steps=steps,
+        boundary=boundary,
+        workspan=ws,
+        cells=cells,
+        meta={"model": "binomial", "params": params},
+    )

@@ -1,0 +1,97 @@
+"""Vanilla explicit finite-difference BSM solver (``vanilla-bsm``, Table 4).
+
+The Θ(T²)-work cone sweep for the American put under the
+Black–Scholes–Merton model, discretised per paper §4.2 (Eq. 5).  The grid is
+the dependency cone of the apex ``(n = T, k = 0)``: the initial row covers
+spatial indices ``k in [-T, T]`` and each time step shrinks the window by one
+cell per side, so no artificial far-field boundary condition is needed — the
+same trick the paper's triangle decomposition (Fig. 4b) relies on.
+
+Reference oracle for ``fft-bsm``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.lattice.common import LatticeResult, last_true_index
+from repro.options.contract import OptionSpec, Style
+from repro.options.params import BSMGridParams
+from repro.parallel.workspan import WorkSpan, rows_cost
+from repro.util.validation import ValidationError, check_integer
+
+
+def price_bsm_fd(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    lam: float | None = None,
+    return_boundary: bool = False,
+) -> LatticeResult:
+    """Price an American (or European) put by the explicit FD cone sweep.
+
+    Parameters
+    ----------
+    spec:
+        Must be a put with zero dividend yield and positive rate (paper §4).
+        ``spec.style`` selects American (free boundary, Eq. 5) or European
+        (pure heat-equation sweep, used by convergence tests).
+    steps:
+        Number of time rows ``T``; the spatial window is ``2T+1`` wide.
+    lam:
+        Parabolic ratio ``dtau/ds²``; default 0.45 (must keep the explicit
+        scheme monotone — validated by :class:`BSMGridParams`).
+    return_boundary:
+        Also return ``boundary[n]`` = largest *green* (exercise) spatial
+        index ``f_n`` at time row ``n``, in absolute ``k`` units
+        (``-(T+1)`` encodes 'no green cell inside the cone window').
+
+    Returns
+    -------
+    LatticeResult with ``price = K * v[T, 0]``.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    if spec.style is Style.BERMUDAN:
+        raise ValidationError("Bermudan exercise is not defined for the FD model")
+    params = BSMGridParams.from_spec(spec, steps, lam=lam)
+    american = spec.style is Style.AMERICAN
+
+    T = steps
+    k = np.arange(-T, T + 1, dtype=np.int64)
+    payoff_full = params.payoff(k)  # signed 1 - exp(s_k)
+    values = np.maximum(payoff_full, 0.0)
+
+    boundary: Optional[np.ndarray] = None
+    if return_boundary:
+        boundary = np.full(T + 1, -(T + 1), dtype=np.int64)
+        boundary[0] = last_true_index(payoff_full >= 0.0) - T  # k units
+
+    cd, cm, cu = params.coef_down, params.coef_mid, params.coef_up
+    ws = WorkSpan.ZERO
+    cells = 2 * T + 1
+    for n in range(1, T + 1):
+        width = 2 * (T - n) + 1
+        cont = cd * values[:width] + cm * values[1 : width + 1] + cu * values[2 : width + 2]
+        if american or return_boundary:
+            k_lo = -(T - n)
+            exer = payoff_full[n : n + width]  # payoff at k in [k_lo, -k_lo]
+        if american:
+            values = np.maximum(cont, exer)
+        else:
+            values = cont
+        if return_boundary:
+            idx = last_true_index(exer >= cont)
+            boundary[n] = (idx + k_lo) if idx >= 0 else -(T + 1)
+        cells += width
+        ws = ws.then(rows_cost(1, width, 3))
+
+    return LatticeResult(
+        price=float(spec.strike * values[0]),
+        steps=steps,
+        boundary=boundary,
+        workspan=ws,
+        cells=cells,
+        meta={"model": "bsm-fd", "params": params},
+    )

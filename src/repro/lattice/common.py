@@ -1,0 +1,58 @@
+"""Shared types for the vanilla (Θ(T²)) lattice and FD solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.parallel.workspan import WorkSpan
+
+
+@dataclass
+class LatticeResult:
+    """Result of a backward-induction sweep.
+
+    Attributes
+    ----------
+    price:
+        Option value at the valuation node (grid root / FD apex).
+    steps:
+        Number of time steps ``T`` used.
+    boundary:
+        When requested, ``boundary[i]`` is the red–green divider position for
+        time row ``i``: for tree models the largest *red* column ``j_i`` of
+        paper Corollary 2.7 (``-1`` when the whole row is green); for the BSM
+        grid the largest *green* spatial index ``f_n`` (offset so it is an
+        index into the row's cone window; see the solver docstring).
+    workspan:
+        Instrumented work/span of the sweep (flop-equivalents).
+    cells:
+        Number of grid cells evaluated.
+    meta:
+        Solver-specific extras (model constants, grid geometry).
+    """
+
+    price: float
+    steps: int
+    boundary: Optional[np.ndarray] = None
+    workspan: WorkSpan = field(default_factory=lambda: WorkSpan.ZERO)
+    cells: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+def last_true_index(mask: np.ndarray) -> int:
+    """Index of the last ``True`` in a 1-D boolean mask, or ``-1`` if none.
+
+    The red/green masks of the paper are contiguous (Corollary 2.7), so the
+    last-True position *is* the divider; this helper does not assume
+    contiguity, making it safe for the invariant-checking tests too.
+    """
+    if mask.size == 0:
+        return -1
+    rev = mask[::-1]
+    idx = int(np.argmax(rev))
+    if not rev[idx]:
+        return -1
+    return mask.size - 1 - idx

@@ -1,0 +1,79 @@
+"""Vanilla trinomial-lattice pricing (``vanilla-topm`` of the paper, Table 4).
+
+The Θ(T²)-work Boyle-lattice backward induction on the ``(T+1) x (2T+1)``
+grid of paper §3/Appendix A, vectorised per row.  Reference oracle for
+``fft-topm``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.lattice.binomial import _normalise_exercise_rows
+from repro.lattice.common import LatticeResult, last_true_index
+from repro.options.contract import OptionSpec
+from repro.options.params import TrinomialParams
+from repro.options.payoff import signed_exercise, terminal_payoff
+from repro.parallel.workspan import WorkSpan, rows_cost
+from repro.util.validation import check_integer
+
+
+def price_trinomial(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    exercise_steps: Optional[Iterable[int]] = None,
+    return_boundary: bool = False,
+) -> LatticeResult:
+    """Price ``spec`` on a ``steps``-step Boyle trinomial lattice.
+
+    Row ``i`` has columns ``0..2i`` with asset price ``S * u^(j-i)``; cell
+    ``(i, j)`` descends from ``(i+1, j)``, ``(i+1, j+1)``, ``(i+1, j+2)`` with
+    weights ``(s0, s1, s2) = m * (p_d, p_o, p_u)``.  Work Θ(T²) (with twice
+    BOPM's row width), span Θ(T log T).
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    params = TrinomialParams.from_spec(spec, steps)
+    ex_mask = _normalise_exercise_rows(spec.style, steps, exercise_steps)
+
+    j = np.arange(2 * steps + 1, dtype=np.float64)
+    prices = params.asset_price(steps, j)
+    values = terminal_payoff(spec, prices)
+
+    is_call = spec.right.value == "call"
+    boundary: Optional[np.ndarray] = None
+    if return_boundary:
+        boundary = np.full(steps + 1, -1, dtype=np.int64)
+        signed_t = signed_exercise(spec, prices)
+        mask_t = (0.0 >= signed_t) if is_call else (signed_t >= 0.0)
+        boundary[steps] = last_true_index(mask_t)
+
+    s0, s1, s2 = params.s0, params.s1, params.s2
+    ws = WorkSpan.ZERO
+    cells = 2 * steps + 1
+    for i in range(steps - 1, -1, -1):
+        width = 2 * i + 1
+        cont = s0 * values[:width] + s1 * values[1 : width + 1] + s2 * values[2 : width + 2]
+        exercise_here = ex_mask is None or ex_mask[i]
+        if exercise_here or return_boundary:
+            exer = signed_exercise(spec, params.asset_price(i, np.arange(width)))
+        if exercise_here:
+            values = np.maximum(cont, exer)
+        else:
+            values = cont
+        if return_boundary:
+            mask = (cont >= exer) if is_call else (exer >= cont)
+            boundary[i] = last_true_index(mask)
+        cells += width
+        ws = ws.then(rows_cost(1, width, 3))
+
+    return LatticeResult(
+        price=float(values[0]),
+        steps=steps,
+        boundary=boundary,
+        workspan=ws,
+        cells=cells,
+        meta={"model": "trinomial", "params": params},
+    )

@@ -1,0 +1,34 @@
+"""Option contracts, model parameterisations, and closed-form analytics."""
+
+from repro.options.contract import OptionSpec, Right, Style, paper_benchmark_spec
+from repro.options.params import BinomialParams, TrinomialParams, BSMGridParams
+from repro.options.analytic import (
+    black_scholes,
+    european_price,
+    perpetual_american_put,
+    no_early_exercise_call,
+    intrinsic_bounds,
+    BlackScholesResult,
+)
+from repro.options.payoff import terminal_payoff, signed_exercise
+from repro.options.greeks import AmericanGreeks, american_greeks
+
+__all__ = [
+    "OptionSpec",
+    "Right",
+    "Style",
+    "paper_benchmark_spec",
+    "BinomialParams",
+    "TrinomialParams",
+    "BSMGridParams",
+    "black_scholes",
+    "european_price",
+    "perpetual_american_put",
+    "no_early_exercise_call",
+    "intrinsic_bounds",
+    "BlackScholesResult",
+    "terminal_payoff",
+    "signed_exercise",
+    "AmericanGreeks",
+    "american_greeks",
+]

@@ -1,0 +1,139 @@
+"""Closed-form option-pricing formulas used as test oracles.
+
+The paper motivates the computational approach by the *absence* of closed
+forms for American options; the few that exist — the European
+Black–Scholes–Merton formula, the zero-dividend American call (= European),
+and the perpetual American put — are exactly the oracles our test suite
+anchors on, so they are implemented here from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.options.contract import OptionSpec, Right
+from repro.util.validation import ValidationError
+
+
+def _norm_cdf(x: float) -> float:
+    """Standard normal CDF via erfc (double-precision accurate in both tails)."""
+    return 0.5 * math.erfc(-x / math.sqrt(2.0))
+
+
+def _norm_pdf(x: float) -> float:
+    return math.exp(-0.5 * x * x) / math.sqrt(2.0 * math.pi)
+
+
+@dataclass(frozen=True)
+class BlackScholesResult:
+    """Price plus first-order Greeks of the European BSM formula."""
+
+    price: float
+    delta: float
+    gamma: float
+    vega: float
+    theta: float
+    rho: float
+
+
+def black_scholes(spec: OptionSpec) -> BlackScholesResult:
+    """European Black–Scholes–Merton price and Greeks with dividend yield.
+
+    Uses the standard ``d1/d2`` formulation with continuous dividend yield
+    ``Y`` (Merton 1973).  The contract's :class:`~repro.options.contract.Style`
+    is ignored — this is always the *European* value, which American tests use
+    as a lower bound and as the exact value for the zero-dividend call.
+    """
+    s, k = spec.spot, spec.strike
+    r, y, v, t = spec.rate, spec.dividend_yield, spec.volatility, spec.years
+    sqrt_t = math.sqrt(t)
+    d1 = (math.log(s / k) + (r - y + 0.5 * v * v) * t) / (v * sqrt_t)
+    d2 = d1 - v * sqrt_t
+    disc_r = math.exp(-r * t)
+    disc_y = math.exp(-y * t)
+    if spec.right is Right.CALL:
+        price = s * disc_y * _norm_cdf(d1) - k * disc_r * _norm_cdf(d2)
+        delta = disc_y * _norm_cdf(d1)
+        rho = k * t * disc_r * _norm_cdf(d2)
+        theta = (
+            -s * disc_y * _norm_pdf(d1) * v / (2.0 * sqrt_t)
+            - r * k * disc_r * _norm_cdf(d2)
+            + y * s * disc_y * _norm_cdf(d1)
+        )
+    else:
+        price = k * disc_r * _norm_cdf(-d2) - s * disc_y * _norm_cdf(-d1)
+        delta = -disc_y * _norm_cdf(-d1)
+        rho = -k * t * disc_r * _norm_cdf(-d2)
+        theta = (
+            -s * disc_y * _norm_pdf(d1) * v / (2.0 * sqrt_t)
+            + r * k * disc_r * _norm_cdf(-d2)
+            - y * s * disc_y * _norm_cdf(-d1)
+        )
+    gamma = disc_y * _norm_pdf(d1) / (s * v * sqrt_t)
+    vega = s * disc_y * _norm_pdf(d1) * sqrt_t
+    return BlackScholesResult(
+        price=price, delta=delta, gamma=gamma, vega=vega, theta=theta, rho=rho
+    )
+
+
+def european_price(spec: OptionSpec) -> float:
+    """Convenience accessor for the European BSM price."""
+    return black_scholes(spec).price
+
+
+def perpetual_american_put(spec: OptionSpec) -> float:
+    """Closed-form perpetual American put (McKean 1965; Shreve II §8.3).
+
+    For an infinite-horizon put with ``Y = 0`` the optimal exercise boundary
+    ``L* = 2 r K / (2 r + sigma^2) = K * gamma/(gamma+1)`` with
+    ``gamma = 2 r / sigma^2``; the value is ``(K - L*) (S / L*)^{-gamma}``
+    above the boundary and intrinsic below.  Serves as the ``E -> inf`` limit
+    check for the BSM solver.
+    """
+    if spec.right is not Right.PUT:
+        raise ValidationError("perpetual closed form implemented for puts")
+    if spec.dividend_yield != 0.0:
+        raise ValidationError("perpetual put closed form assumes Y = 0")
+    if spec.rate <= 0.0:
+        raise ValidationError("perpetual put requires rate > 0")
+    gamma = 2.0 * spec.rate / spec.volatility**2
+    l_star = spec.strike * gamma / (gamma + 1.0)
+    if spec.spot <= l_star:
+        return spec.strike - spec.spot
+    return (spec.strike - l_star) * (spec.spot / l_star) ** (-gamma)
+
+
+def no_early_exercise_call(spec: OptionSpec) -> bool:
+    """True when early exercise of an American call is never optimal.
+
+    Classical result (Merton 1973): with zero dividend yield the American
+    call equals the European call.  The tree solvers use this as an internal
+    consistency check and the test suite as an oracle.
+    """
+    return spec.right is Right.CALL and spec.dividend_yield == 0.0
+
+
+def intrinsic_bounds(spec: OptionSpec) -> tuple[float, float]:
+    """(lower, upper) no-arbitrage bounds for the *American* option value.
+
+    Call: ``max(S - K, S e^{-Yt} - K e^{-Rt}, 0) <= C <= S``.
+    Put:  ``max(K - S, K e^{-Rt} - S e^{-Yt}, 0) <= P <= K``.
+    Every solver result is asserted to respect these in the test suite.
+    """
+    t = spec.years
+    disc_r = math.exp(-spec.rate * t)
+    disc_y = math.exp(-spec.dividend_yield * t)
+    if spec.right is Right.CALL:
+        lower = max(
+            spec.spot - spec.strike,
+            spec.spot * disc_y - spec.strike * disc_r,
+            0.0,
+        )
+        return lower, spec.spot
+    lower = max(
+        spec.strike - spec.spot,
+        spec.strike * disc_r - spec.spot * disc_y,
+        0.0,
+    )
+    return lower, spec.strike

@@ -1,0 +1,172 @@
+"""Option contract specification.
+
+:class:`OptionSpec` is the single value object every solver in the library
+consumes.  It captures the six market/contract parameters of the paper's
+Table 1 (stock price ``S``, strike ``K``, risk-free rate ``R``, volatility
+``V``, dividend yield ``Y``, time to expiry ``E``) plus the contract right
+(call/put) and exercise style (American/European/Bermudan).
+
+Conventions
+-----------
+* ``expiry_days`` is the paper's ``E`` (in days).  Rates and volatility are
+  annualised; ``day_count`` (default 252 trading days) converts days to years,
+  so the paper's benchmark configuration ``E=252`` is exactly one year.
+* The number of time steps ``T`` is *not* part of the contract — it is a
+  discretisation choice passed to the pricing functions, mirroring the paper
+  where ``T`` is the swept experimental variable.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.util.validation import (
+    ValidationError,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class Right(enum.Enum):
+    """The contract right: an option to buy (call) or to sell (put)."""
+
+    CALL = "call"
+    PUT = "put"
+
+
+class Style(enum.Enum):
+    """Exercise style.
+
+    AMERICAN options may be exercised at any step, EUROPEAN only at expiry,
+    BERMUDAN at a supplied subset of steps.
+    """
+
+    AMERICAN = "american"
+    EUROPEAN = "european"
+    BERMUDAN = "bermudan"
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """Immutable option contract + market data (paper Table 1 notation).
+
+    Parameters
+    ----------
+    spot:
+        Current asset price ``S`` (> 0).
+    strike:
+        Strike price ``K`` (> 0).
+    rate:
+        Annualised continuously-compounded risk-free rate ``R`` (>= 0).
+    volatility:
+        Annualised volatility ``V`` (> 0).
+    dividend_yield:
+        Annualised continuous dividend yield ``Y`` (>= 0).
+    expiry_days:
+        Days to expiry ``E`` (> 0).
+    right:
+        ``Right.CALL`` or ``Right.PUT``.
+    style:
+        Exercise style; default American (the paper's subject).
+    day_count:
+        Trading days per year used to annualise ``expiry_days``.
+    """
+
+    spot: float
+    strike: float
+    rate: float
+    volatility: float
+    dividend_yield: float = 0.0
+    expiry_days: float = 252.0
+    right: Right = Right.CALL
+    style: Style = Style.AMERICAN
+    day_count: int = 252
+
+    def __post_init__(self) -> None:
+        check_positive("spot", self.spot)
+        check_positive("strike", self.strike)
+        check_nonnegative("rate", self.rate)
+        check_positive("volatility", self.volatility)
+        check_nonnegative("dividend_yield", self.dividend_yield)
+        check_positive("expiry_days", self.expiry_days)
+        if self.day_count <= 0:
+            raise ValidationError(f"day_count must be > 0, got {self.day_count}")
+        if not isinstance(self.right, Right):
+            raise ValidationError(f"right must be a Right, got {self.right!r}")
+        if not isinstance(self.style, Style):
+            raise ValidationError(f"style must be a Style, got {self.style!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def years(self) -> float:
+        """Time to expiry in years (``E / day_count``)."""
+        return self.expiry_days / self.day_count
+
+    @property
+    def moneyness(self) -> float:
+        """``S / K``; > 1 means an in-the-money call / out-of-the-money put."""
+        return self.spot / self.strike
+
+    @property
+    def log_moneyness(self) -> float:
+        """``ln(S / K)`` — the BSM solver's spatial origin."""
+        return math.log(self.spot / self.strike)
+
+    def intrinsic(self, price: float | None = None) -> float:
+        """Exercise value at asset price ``price`` (default: current spot)."""
+        s = self.spot if price is None else price
+        if self.right is Right.CALL:
+            return max(s - self.strike, 0.0)
+        return max(self.strike - s, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def with_right(self, right: Right) -> "OptionSpec":
+        """Copy of this spec with a different contract right."""
+        return replace(self, right=right)
+
+    def with_style(self, style: Style) -> "OptionSpec":
+        """Copy of this spec with a different exercise style."""
+        return replace(self, style=style)
+
+    def symmetric_dual(self) -> "OptionSpec":
+        """McDonald–Schroder put–call symmetric contract.
+
+        The American put on ``(S, K, R, Y)`` has the same value as the
+        American call on ``(K, S, Y, R)`` (and vice versa) under geometric
+        Brownian motion, and the identity is exact on a CRR lattice with
+        ``u·d = 1``.  Used by :mod:`repro.core.symmetry` to price puts with
+        the call-only fast solvers.
+        """
+        flipped = Right.PUT if self.right is Right.CALL else Right.CALL
+        return replace(
+            self,
+            spot=self.strike,
+            strike=self.spot,
+            rate=self.dividend_yield,
+            dividend_yield=self.rate,
+            right=flipped,
+        )
+
+
+def paper_benchmark_spec(right: Right = Right.CALL) -> OptionSpec:
+    """The fixed parameter set of the paper's §5 ('Parameter Values').
+
+    ``E = 252, K = 130, S = 127.62, R = 0.00163, V = 0.2, Y = 0.0163``.
+    """
+    return OptionSpec(
+        spot=127.62,
+        strike=130.0,
+        rate=0.00163,
+        volatility=0.2,
+        dividend_yield=0.0163,
+        expiry_days=252.0,
+        right=right,
+        style=Style.AMERICAN,
+        day_count=252,
+    )

@@ -1,0 +1,300 @@
+"""Discretisation parameters for the three pricing models.
+
+Each ``*Params`` class derives, from an :class:`~repro.options.contract.OptionSpec`
+and a step count ``T``, exactly the constants the paper's recurrences use:
+
+* :class:`BinomialParams` — CRR lattice (paper §2.1):
+  ``u = exp(V sqrt(dt))``, ``d = 1/u``, risk-neutral up-probability
+  ``p = (exp((R-Y) dt) - d) / (u - d)``, discount ``m = exp(-R dt)`` and the
+  stencil weights ``s0 = m (1 - p)`` (down child, column j), ``s1 = m p``
+  (up child, column j+1).
+* :class:`TrinomialParams` — Boyle lattice (paper §3 / Appendix A):
+  ``u = exp(V sqrt(2 dt))`` and the squared-root-form probabilities
+  ``p_u, p_o, p_d``; weights ``s0 = m p_d`` (col j), ``s1 = m p_o`` (col j+1),
+  ``s2 = m p_u`` (col j+2).
+* :class:`BSMGridParams` — the nondimensionalised explicit finite-difference
+  scheme of §4.2: ``omega = 2R/V^2``, ``tau_max = V^2 * years / 2``,
+  ``dtau = tau_max / T``, ``ds = sqrt(dtau / lam)`` for a user-chosen parabolic
+  ratio ``lam = dtau/ds^2``, and the three stencil coefficients of Eq. (5).
+
+Orientation conventions (shared with the solvers):
+
+* Binomial grid ``G[i, j]``, ``0 <= j <= i``: moving to column ``j`` at row
+  ``i+1`` is a *down* tick, column ``j+1`` an *up* tick; the asset price at
+  ``(i, j)`` is ``S * u^(2j - i)``.
+* Trinomial grid ``G[i, j]``, ``0 <= j <= 2i``: price ``S * u^(j - i)``.
+* BSM grid ``v[n, k]``: dimensionless log-price ``s_k = ln(S/K) + k*ds``,
+  payoff (put, strike-normalised) ``1 - exp(s_k)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.options.contract import OptionSpec
+from repro.util.validation import ValidationError, check_integer
+
+
+# --------------------------------------------------------------------------- #
+# Binomial (CRR)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BinomialParams:
+    """Cox–Ross–Rubinstein lattice constants for ``T`` steps."""
+
+    spec: OptionSpec
+    steps: int
+    dt: float
+    up: float
+    down: float
+    prob_up: float
+    discount: float
+    s0: float  # weight of the down child G[i+1, j]
+    s1: float  # weight of the up child   G[i+1, j+1]
+
+    @classmethod
+    def from_spec(cls, spec: OptionSpec, steps: int) -> "BinomialParams":
+        steps = check_integer("steps", steps, minimum=1)
+        dt = spec.years / steps
+        up = math.exp(spec.volatility * math.sqrt(dt))
+        down = 1.0 / up
+        growth = math.exp((spec.rate - spec.dividend_yield) * dt)
+        prob_up = (growth - down) / (up - down)
+        if not (0.0 < prob_up < 1.0):
+            raise ValidationError(
+                "risk-neutral probability out of (0,1): "
+                f"p={prob_up:.6g} for V={spec.volatility}, R-Y="
+                f"{spec.rate - spec.dividend_yield:.6g}, dt={dt:.6g}; "
+                "increase steps or volatility"
+            )
+        discount = math.exp(-spec.rate * dt)
+        return cls(
+            spec=spec,
+            steps=steps,
+            dt=dt,
+            up=up,
+            down=down,
+            prob_up=prob_up,
+            discount=discount,
+            s0=discount * (1.0 - prob_up),
+            s1=discount * prob_up,
+        )
+
+    @property
+    def taps(self) -> tuple[float, float]:
+        """Stencil weights ``(s0, s1)`` at child-column offsets ``(0, 1)``."""
+        return (self.s0, self.s1)
+
+    def asset_price(self, i: int, j):
+        """Asset price(s) at grid node(s) ``(i, j)``: ``S * u^(2j - i)``.
+
+        ``j`` may be a numpy array; the return type follows it.
+        """
+        import numpy as np
+
+        e = 2 * np.asarray(j, dtype=np.float64) - float(i)
+        return self.spec.spot * np.exp(e * math.log(self.up))
+
+    def exercise_value(self, i: int, j):
+        """Paper ``G^green``: the *signed* exercise value ``S u^(2j-i) - K``.
+
+        Note this is deliberately not floored at zero — the paper's green
+        value at interior rows is the raw ``S u^{2j-i} - K`` (Definition 2.1);
+        only the expiry row applies ``max(0, .)``.
+        """
+        import numpy as np
+
+        price = self.asset_price(i, j)
+        if self.spec.right.value == "call":
+            return price - self.spec.strike
+        return self.spec.strike - np.asarray(price)
+
+
+# --------------------------------------------------------------------------- #
+# Trinomial (Boyle)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TrinomialParams:
+    """Boyle trinomial lattice constants for ``T`` steps (paper §3/A.1)."""
+
+    spec: OptionSpec
+    steps: int
+    dt: float
+    up: float
+    down: float
+    prob_up: float
+    prob_mid: float
+    prob_down: float
+    discount: float
+    s0: float  # weight of G[i+1, j]   (down child)
+    s1: float  # weight of G[i+1, j+1] (flat child)
+    s2: float  # weight of G[i+1, j+2] (up child)
+
+    @classmethod
+    def from_spec(cls, spec: OptionSpec, steps: int) -> "TrinomialParams":
+        steps = check_integer("steps", steps, minimum=1)
+        dt = spec.years / steps
+        up = math.exp(spec.volatility * math.sqrt(2.0 * dt))
+        down = 1.0 / up
+        sqrt_u = math.sqrt(up)
+        sqrt_d = math.sqrt(down)
+        half_growth = math.exp((spec.rate - spec.dividend_yield) * dt / 2.0)
+        denom = sqrt_u - sqrt_d
+        prob_up = ((half_growth - sqrt_d) / denom) ** 2
+        prob_down = ((sqrt_u - half_growth) / denom) ** 2
+        prob_mid = 1.0 - prob_up - prob_down
+        for name, p in (("p_u", prob_up), ("p_o", prob_mid), ("p_d", prob_down)):
+            if not (0.0 <= p <= 1.0):
+                raise ValidationError(
+                    f"trinomial probability {name}={p:.6g} out of [0,1]; "
+                    "increase steps or volatility"
+                )
+        discount = math.exp(-spec.rate * dt)
+        return cls(
+            spec=spec,
+            steps=steps,
+            dt=dt,
+            up=up,
+            down=down,
+            prob_up=prob_up,
+            prob_mid=prob_mid,
+            prob_down=prob_down,
+            discount=discount,
+            s0=discount * prob_down,
+            s1=discount * prob_mid,
+            s2=discount * prob_up,
+        )
+
+    @property
+    def taps(self) -> tuple[float, float, float]:
+        """Stencil weights ``(s0, s1, s2)`` at child-column offsets ``(0,1,2)``."""
+        return (self.s0, self.s1, self.s2)
+
+    def asset_price(self, i: int, j):
+        """Asset price(s) at node(s) ``(i, j)``: ``S * u^(j - i)``."""
+        import numpy as np
+
+        e = np.asarray(j, dtype=np.float64) - float(i)
+        return self.spec.spot * np.exp(e * math.log(self.up))
+
+    def exercise_value(self, i: int, j):
+        """Signed exercise value ``S u^(j-i) - K`` (call) / ``K - S u^(j-i)``."""
+        import numpy as np
+
+        price = self.asset_price(i, j)
+        if self.spec.right.value == "call":
+            return price - self.spec.strike
+        return self.spec.strike - np.asarray(price)
+
+
+# --------------------------------------------------------------------------- #
+# Black–Scholes–Merton explicit finite differences
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BSMGridParams:
+    """Explicit FD scheme constants for the dimensionless BSM PDE (§4.2).
+
+    The scheme (paper Eq. 5) updates
+
+    ``v[n+1, k] = coef_down * v[n, k-1] + coef_mid * v[n, k] + coef_up * v[n, k+1]``
+
+    in the red (continuation) zone and sets ``v = 1 - exp(s_k)`` in the green
+    (exercise) zone.  Theorem 4.3's precondition — the three coefficients
+    nonnegative — is exactly the monotonicity/stability condition of the
+    explicit scheme and is enforced here.
+
+    ``lam = dtau/ds^2`` is held fixed as ``T`` grows (``ds ~ sqrt(dtau)``), so
+    the spatial window that the T-step cone spans grows like ``sqrt(T)`` in
+    ``s`` units — wide enough to contain the exercise boundary for any ``T``.
+    """
+
+    spec: OptionSpec
+    steps: int
+    omega: float
+    tau_max: float
+    dtau: float
+    ds: float
+    lam: float
+    coef_down: float  # weight of v[n, k-1]
+    coef_mid: float  # weight of v[n, k]
+    coef_up: float  # weight of v[n, k+1]
+    s_origin: float  # s at k = 0  (= ln(S/K))
+
+    DEFAULT_LAMBDA = 0.45
+
+    @classmethod
+    def from_spec(
+        cls, spec: OptionSpec, steps: int, *, lam: float | None = None
+    ) -> "BSMGridParams":
+        steps = check_integer("steps", steps, minimum=1)
+        if spec.right.value != "put":
+            raise ValidationError(
+                "the BSM finite-difference model prices American puts "
+                "(paper §4); use right=Right.PUT or the symmetry wrapper"
+            )
+        if spec.dividend_yield != 0.0:
+            raise ValidationError(
+                "the paper's BSM put formulation assumes zero dividend yield"
+            )
+        if spec.rate <= 0.0:
+            raise ValidationError(
+                "BSM American put requires rate > 0 (omega > 0) for a "
+                "nontrivial early-exercise boundary"
+            )
+        lam = cls.DEFAULT_LAMBDA if lam is None else float(lam)
+        if not (0.0 < lam < 0.5):
+            raise ValidationError(f"lam must be in (0, 0.5), got {lam}")
+        sigma2 = spec.volatility**2
+        omega = 2.0 * spec.rate / sigma2
+        tau_max = 0.5 * sigma2 * spec.years
+        dtau = tau_max / steps
+        ds = math.sqrt(dtau / lam)
+        drift = (omega - 1.0) * dtau / (2.0 * ds)
+        coef_up = lam + drift
+        coef_down = lam - drift
+        coef_mid = 1.0 - omega * dtau - 2.0 * lam
+        for name, c in (
+            ("coef_down", coef_down),
+            ("coef_mid", coef_mid),
+            ("coef_up", coef_up),
+        ):
+            if c < 0.0:
+                raise ValidationError(
+                    f"explicit-scheme coefficient {name}={c:.6g} is negative; "
+                    "Theorem 4.3's precondition fails — lower lam or raise steps"
+                )
+        return cls(
+            spec=spec,
+            steps=steps,
+            omega=omega,
+            tau_max=tau_max,
+            dtau=dtau,
+            ds=ds,
+            lam=lam,
+            coef_down=coef_down,
+            coef_mid=coef_mid,
+            coef_up=coef_up,
+            s_origin=spec.log_moneyness,
+        )
+
+    @property
+    def taps(self) -> tuple[float, float, float]:
+        """Weights at offsets ``(-1, 0, +1)`` as ``(coef_down, coef_mid, coef_up)``."""
+        return (self.coef_down, self.coef_mid, self.coef_up)
+
+    def s_values(self, k):
+        """Dimensionless log-price ``s`` at spatial index/indices ``k``."""
+        import numpy as np
+
+        return self.s_origin + np.asarray(k, dtype=np.float64) * self.ds
+
+    def payoff(self, k):
+        """Strike-normalised put payoff ``1 - exp(s_k)`` (paper's green value).
+
+        Like the tree models' green value, this is *signed* (negative above
+        the strike); the initial row applies ``max(., 0)`` separately.
+        """
+        import numpy as np
+
+        return 1.0 - np.exp(self.s_values(np.asarray(k)))

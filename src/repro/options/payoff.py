@@ -1,0 +1,23 @@
+"""Vectorised payoff helpers shared by lattice and FD solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.options.contract import OptionSpec, Right
+
+
+def terminal_payoff(spec: OptionSpec, prices: np.ndarray) -> np.ndarray:
+    """Exercise value at expiry: ``max(S_T - K, 0)`` / ``max(K - S_T, 0)``."""
+    prices = np.asarray(prices, dtype=np.float64)
+    if spec.right is Right.CALL:
+        return np.maximum(prices - spec.strike, 0.0)
+    return np.maximum(spec.strike - prices, 0.0)
+
+
+def signed_exercise(spec: OptionSpec, prices: np.ndarray) -> np.ndarray:
+    """Unfloored exercise value (the paper's interior-row 'green' value)."""
+    prices = np.asarray(prices, dtype=np.float64)
+    if spec.right is Right.CALL:
+        return prices - spec.strike
+    return spec.strike - prices

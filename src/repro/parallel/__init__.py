@@ -1,0 +1,27 @@
+"""Work–span instrumentation and greedy-scheduler runtime modeling."""
+
+from repro.parallel.workspan import (
+    WorkSpan,
+    fft_cost,
+    fft_convolution_cost,
+    rows_cost,
+    stencil_cell_flops,
+    FFT_FLOP_FACTOR,
+)
+from repro.parallel.scheduler import GreedyScheduler, Task, TaskGraph, simulate_brent
+from repro.parallel.runtime_model import RuntimeModel, calibrate_flop_rate
+
+__all__ = [
+    "WorkSpan",
+    "fft_cost",
+    "fft_convolution_cost",
+    "rows_cost",
+    "stencil_cell_flops",
+    "FFT_FLOP_FACTOR",
+    "GreedyScheduler",
+    "Task",
+    "TaskGraph",
+    "simulate_brent",
+    "RuntimeModel",
+    "calibrate_flop_rate",
+]

@@ -1,0 +1,75 @@
+"""Calibrated conversion of work–span counts to modeled wall-clock seconds.
+
+The paper reports measured seconds on a 48-core Skylake node (Table 3).  Our
+substitution measures *single-core* seconds of each implementation on this
+machine, calibrates an effective flop rate from (measured seconds, counted
+work), and then predicts ``T_p`` for any ``p`` via the greedy-scheduler bound
+the paper's own analysis uses.  Predictions carry a per-parallel-region
+overhead term so tiny-span algorithms do not show impossible super-scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.parallel.workspan import WorkSpan
+from repro.util.validation import ValidationError, check_integer, check_positive
+
+
+def calibrate_flop_rate(workspan: WorkSpan, measured_seconds: float) -> float:
+    """Effective flop-equivalents per second from one measured serial run.
+
+    Calibrated against ``brent_time(1) = work + span`` so that the model's
+    p=1 prediction reproduces the measurement exactly.
+    """
+    check_positive("measured_seconds", measured_seconds)
+    if workspan.work <= 0:
+        raise ValidationError("cannot calibrate from zero counted work")
+    return workspan.brent_time(1) / measured_seconds
+
+
+@dataclass(frozen=True)
+class RuntimeModel:
+    """Predicts parallel running times from instrumented work/span.
+
+    Parameters
+    ----------
+    flop_rate:
+        Effective flop-equivalents per second on one core (calibrated).
+    sync_overhead_s:
+        Fixed per-run scheduling/synchronisation overhead added for p > 1;
+        models the OpenMP fork-join cost that bounds strong scaling at small
+        T (visible in the paper's Table 5, where fft-bopm *slows down* past
+        p = 4).
+    per_core_overhead_s:
+        Overhead growing linearly with p (barrier traffic).
+    """
+
+    flop_rate: float
+    sync_overhead_s: float = 5e-5
+    per_core_overhead_s: float = 1e-5
+
+    def predict_seconds(self, workspan: WorkSpan, p: int = 1) -> float:
+        """Modeled ``T_p`` in seconds under a greedy scheduler."""
+        p = check_integer("p", p, minimum=1)
+        base = workspan.brent_time(p) / self.flop_rate
+        if p == 1:
+            return base
+        return base + self.sync_overhead_s + self.per_core_overhead_s * p
+
+    def predict_curve(
+        self, workspan: WorkSpan, processors: Sequence[int]
+    ) -> Mapping[int, float]:
+        """Modeled ``T_p`` for each ``p`` (the paper's Table 5 row shape)."""
+        return {p: self.predict_seconds(workspan, p) for p in processors}
+
+    @classmethod
+    def from_measurement(
+        cls,
+        workspan: WorkSpan,
+        measured_seconds: float,
+        **overheads: float,
+    ) -> "RuntimeModel":
+        """Build a model whose p=1 prediction reproduces the measurement."""
+        return cls(calibrate_flop_rate(workspan, measured_seconds), **overheads)

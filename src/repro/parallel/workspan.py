@@ -1,0 +1,112 @@
+"""Work–span accounting (the paper's analysis model, §1 and Table 2).
+
+The paper analyses every algorithm in the work–span model [CLRS]: ``T1``
+(work) is the serial operation count, ``T_inf`` (span) the critical-path
+length, and a greedy scheduler on ``p`` cores achieves
+``T_p = Theta(T1/p + T_inf)`` (Brent's bound).
+
+Our hardware substitute for the paper's 48-core node is to *instrument* every
+solver with these quantities: each routine composes a :class:`WorkSpan` for
+itself and its children using serial (``then``) and parallel (``beside``)
+composition, mirroring the recurrences in the proofs of Theorems 2.8 / 4.4 /
+A.7.  :mod:`repro.parallel.scheduler` then converts ``(T1, T_inf)`` into
+modeled parallel running times.
+
+Cost units are *flop-equivalents*: one fused multiply-add on a grid cell
+counts ~2, an N-point FFT counts ``FFT_FLOP_FACTOR * N * log2(N)`` (the
+standard 5 N log N real-FFT estimate), and a parallel reduction/scan of width
+w contributes ``log2(w)`` to span.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: flops per point-log-point of a (real) FFT — the classical 5 N log2 N.
+FFT_FLOP_FACTOR = 5.0
+
+#: flops per cell of a (q+1)-tap stencil update: q+1 multiplies, q adds, 1 max.
+def stencil_cell_flops(num_taps: int) -> float:
+    return 2.0 * num_taps
+
+
+@dataclass(frozen=True)
+class WorkSpan:
+    """An immutable (work, span) pair with composition operators.
+
+    ``a.then(b)``   — run a, then b (serial): work adds, span adds.
+    ``a.beside(b)`` — run a and b in parallel: work adds, span maxes.
+    """
+
+    work: float = 0.0
+    span: float = 0.0
+
+    ZERO: "WorkSpan" = None  # type: ignore[assignment]  # set below
+
+    def then(self, other: "WorkSpan") -> "WorkSpan":
+        """Serial composition."""
+        return WorkSpan(self.work + other.work, self.span + other.span)
+
+    def beside(self, other: "WorkSpan") -> "WorkSpan":
+        """Parallel composition."""
+        return WorkSpan(self.work + other.work, max(self.span, other.span))
+
+    def __add__(self, other: "WorkSpan") -> "WorkSpan":
+        return self.then(other)
+
+    def __or__(self, other: "WorkSpan") -> "WorkSpan":
+        return self.beside(other)
+
+    @property
+    def parallelism(self) -> float:
+        """``T1 / T_inf`` — the quantity §5.4 blames for the scaling plateau."""
+        if self.span <= 0.0:
+            return float("inf") if self.work > 0.0 else 1.0
+        return self.work / self.span
+
+    def brent_time(self, p: int) -> float:
+        """Greedy-scheduler running-time bound ``T1/p + T_inf`` in flop units."""
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        return self.work / p + self.span
+
+
+WorkSpan.ZERO = WorkSpan(0.0, 0.0)
+
+
+def fft_cost(n: int) -> WorkSpan:
+    """Work/span of one length-``n`` FFT: ``5 n log n`` work, ``O(log n loglog n)`` span.
+
+    The span matches the bound the paper quotes for the [1] subroutine.
+    """
+    if n <= 1:
+        return WorkSpan(1.0, 1.0)
+    log_n = math.log2(n)
+    return WorkSpan(FFT_FLOP_FACTOR * n * log_n, log_n * max(math.log2(log_n), 1.0))
+
+
+def fft_convolution_cost(n_out: int, n_in: int, n_kernel: int) -> WorkSpan:
+    """Cost of an FFT-based valid-mode convolution (3 FFTs + pointwise mult)."""
+    n = max(n_in + n_kernel - 1, 2)
+    three_ffts = fft_cost(n)
+    # three transforms run back-to-back; each is internally parallel
+    total = WorkSpan(3.0 * three_ffts.work + 6.0 * n, 3.0 * three_ffts.span + 1.0)
+    del n_out
+    return total
+
+
+def rows_cost(num_rows: int, width: float, num_taps: int) -> WorkSpan:
+    """Cost of ``num_rows`` sequential vectorised stencil rows of ``width`` cells.
+
+    Each row is a parallel-for over cells (span O(log width) including the
+    boundary-locating reduction), rows are sequential — the structure of the
+    paper's Figure 1 nested loop, giving span Theta(T log T) for the full
+    sweep, matching Table 2's first line.
+    """
+    width = max(width, 1.0)
+    per_row_span = math.log2(width + 2.0) + 1.0
+    return WorkSpan(
+        num_rows * width * stencil_cell_flops(num_taps),
+        num_rows * per_row_span,
+    )

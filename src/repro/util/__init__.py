@@ -1,0 +1,29 @@
+"""Shared utilities: validation, timing, table formatting, log-domain helpers.
+
+These are deliberately dependency-light so every other subpackage can import
+them without cycles.
+"""
+
+from repro.util.validation import (
+    check_finite,
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_integer,
+    ValidationError,
+)
+from repro.util.tables import format_table, format_series
+from repro.util.timing import Timer, measure
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_integer",
+    "ValidationError",
+    "format_table",
+    "format_series",
+    "Timer",
+    "measure",
+]

@@ -1,0 +1,41 @@
+"""Log-domain combinatorial helpers.
+
+The h-step weights of a 2-tap stencil are ``C(h,k) * s0^(h-k) * s1^k``.  For
+``h`` in the hundreds of thousands the binomial coefficient overflows any
+float while the power factors underflow, but their product is a well-scaled
+probability-like weight.  Working in log space keeps every intermediate
+representable; ``scipy.special.gammaln`` gives ~1e-14 relative accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+
+def log_binomial(h: int, k: np.ndarray | int) -> np.ndarray:
+    """``log C(h, k)`` elementwise, exact in log space via lgamma."""
+    k_arr = np.asarray(k, dtype=np.float64)
+    return gammaln(h + 1.0) - gammaln(k_arr + 1.0) - gammaln(h - k_arr + 1.0)
+
+
+def binomial_pmf_weights(h: int, log_s0: float, log_s1: float) -> np.ndarray:
+    """Weights ``w_k = C(h,k) * s0^(h-k) * s1^k`` for ``k = 0..h``.
+
+    Computed entirely in log space, so it is stable for any ``h`` where the
+    *result* is representable (the weights sum to ``(s0+s1)^h`` which stays
+    O(1) for discounted transition weights).
+    """
+    if h < 0:
+        raise ValueError(f"h must be >= 0, got {h}")
+    k = np.arange(h + 1, dtype=np.float64)
+    logw = log_binomial(h, k) + (h - k) * log_s0 + k * log_s1
+    return np.exp(logw)
+
+
+def logsumexp_weighted(log_terms: np.ndarray) -> float:
+    """``log(sum(exp(log_terms)))`` without overflow (small helper for tests)."""
+    m = float(np.max(log_terms))
+    if np.isinf(m):
+        return m
+    return m + float(np.log(np.sum(np.exp(log_terms - m))))

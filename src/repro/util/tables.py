@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent across every ``benchmarks/bench_*.py``
+and ``examples/*.py`` script without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _fmt_cell(value: Any, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_fmt: str = ".6g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_fmt_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            if idx < len(widths):
+                widths[idx] = max(widths[idx], len(cell))
+            else:  # ragged row: extend
+                widths.append(len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[int, float]],
+    *,
+    x_name: str = "T",
+    float_fmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``{label: {x: y}}`` as a table with one column per label.
+
+    This matches the figure layout of the paper: the x axis is the number of
+    time steps ``T`` and each curve (legend entry in Table 4) is a column.
+    """
+    xs = sorted({x for curve in series.values() for x in curve})
+    headers = [x_name] + list(series.keys())
+    rows = []
+    for x in xs:
+        row: list[Any] = [x]
+        for label in series:
+            row.append(series[label].get(x))
+        rows.append(row)
+    return format_table(headers, rows, float_fmt=float_fmt, title=title)
+
+
+def to_csv(
+    series: Mapping[str, Mapping[int, float]],
+    *,
+    x_name: str = "T",
+) -> str:
+    """Serialise ``{label: {x: y}}`` to CSV text (for ``results/`` export)."""
+    xs = sorted({x for curve in series.values() for x in curve})
+    lines = [",".join([x_name] + list(series.keys()))]
+    for x in xs:
+        cells = [str(x)]
+        for label in series:
+            y = series[label].get(x)
+            cells.append("" if y is None else repr(y))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""Lightweight wall-clock measurement used by the experiment harness.
+
+``pytest-benchmark`` owns the statistically careful timing in
+``benchmarks/``; this module provides the quick, dependency-free measurements
+the figure builders use when sweeping many (algorithm, T) points where a full
+benchmark session per point would be prohibitive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timer:
+    """Context manager accumulating elapsed wall-clock seconds.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+
+def measure(
+    fn: Callable[[], Any],
+    *,
+    min_time: float = 0.05,
+    max_repeats: int = 1_000_000,
+    warmup: bool = True,
+) -> tuple[float, Any]:
+    """Time ``fn`` adaptively; return ``(seconds_per_call, last_result)``.
+
+    Repeats the call until at least ``min_time`` seconds have been spent, so
+    fast calls are averaged over many repeats while slow calls run once.  The
+    first (warm-up) call is excluded from timing when ``warmup`` is set and
+    the call is cheap enough that a warm-up is affordable.
+    """
+    result = None
+    if warmup:
+        start = time.perf_counter()
+        result = fn()
+        first = time.perf_counter() - start
+        if first >= min_time:  # too slow to repeat; one timed run is it
+            return first, result
+    total = 0.0
+    repeats = 0
+    while total < min_time and repeats < max_repeats:
+        start = time.perf_counter()
+        result = fn()
+        total += time.perf_counter() - start
+        repeats += 1
+    return total / max(repeats, 1), result

@@ -1,0 +1,92 @@
+"""Argument validation helpers used across the library.
+
+All public entry points validate their inputs eagerly and raise
+:class:`ValidationError` (a ``ValueError`` subclass) with a message naming the
+offending parameter.  Numerical kernels deeper in the stack assume validated
+inputs and do not re-check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied parameter is invalid."""
+
+
+def check_finite(name: str, value: float) -> float:
+    """Return ``value`` as a float, requiring it to be finite."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(v) or math.isinf(v):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return v
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` as a float, requiring ``value > 0``."""
+    v = check_finite(name, value)
+    if v <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` as a float, requiring ``value >= 0``."""
+    v = check_finite(name, value)
+    if v < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as a float, requiring it to lie in ``[lo, hi]``.
+
+    With ``inclusive=False`` the interval is open: ``(lo, hi)``.
+    """
+    v = check_finite(name, value)
+    if inclusive:
+        if not (lo <= v <= hi):
+            raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    else:
+        if not (lo < v < hi):
+            raise ValidationError(f"{name} must be in ({lo}, {hi}), got {value!r}")
+    return v
+
+
+def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
+    """Return ``value`` as an int, optionally requiring ``value >= minimum``.
+
+    Floats are accepted only when they are exactly integral (``4.0`` ok,
+    ``4.5`` not), which avoids silently truncating step counts.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got bool {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    if not isinstance(value, int):
+        try:
+            import numpy as np
+
+            if isinstance(value, np.integer):
+                value = int(value)
+            else:
+                raise TypeError
+        except TypeError as exc:
+            raise ValidationError(f"{name} must be an integer, got {value!r}") from exc
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value!r}")
+    return value

@@ -1,0 +1,110 @@
+"""Tests for the Θ(T²) baseline family (all must agree with the loop oracle)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+
+from repro.baselines import (
+    BASELINES,
+    binomial_nested_loop_pure,
+    binomial_vectorised_loop,
+    get_baseline,
+    oblivious_bopm,
+    ql_bopm,
+    tiled_bopm,
+    zb_bopm,
+)
+from repro.lattice.binomial import price_binomial
+from repro.options.contract import Right, Style, paper_benchmark_spec
+from repro.util.validation import ValidationError
+from tests.conftest import call_specs
+
+SPEC = paper_benchmark_spec()
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    @pytest.mark.parametrize("T", [1, 2, 7, 33, 128])
+    def test_matches_loop_oracle(self, name, T):
+        if name == "loop-pure" and T > 33:
+            pytest.skip("pure-python oracle kept tiny")
+        ref = price_binomial(SPEC, T).price
+        v = BASELINES[name](SPEC, T).price
+        assert v == pytest.approx(ref, abs=1e-10 * SPEC.strike), name
+
+    @given(spec=call_specs())
+    def test_property_zb_equals_loop(self, spec):
+        assert zb_bopm(spec, 48).price == pytest.approx(
+            price_binomial(spec, 48).price, abs=1e-10 * spec.strike
+        )
+
+    @given(spec=call_specs())
+    def test_property_oblivious_equals_loop(self, spec):
+        assert oblivious_bopm(spec, 33).price == pytest.approx(
+            price_binomial(spec, 33).price, abs=1e-10 * spec.strike
+        )
+
+    def test_pure_loop_matches_vectorised_bitwise_scale(self):
+        a = binomial_nested_loop_pure(SPEC, 64).price
+        b = binomial_vectorised_loop(SPEC, 64).price
+        assert a == pytest.approx(b, abs=1e-12)
+
+
+class TestTiled:
+    @pytest.mark.parametrize("geometry", [(4, 4), (16, 8), (3, 64), (1000, 1000)])
+    def test_tile_geometry_invariance(self, geometry):
+        b, w = geometry
+        ref = price_binomial(SPEC, 100).price
+        v = tiled_bopm(SPEC, 100, block_rows=b, tile_width=w).price
+        assert v == pytest.approx(ref, abs=1e-10)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValidationError):
+            tiled_bopm(SPEC, 16, block_rows=0)
+
+    def test_work_counts_overlap(self):
+        """Smaller tiles re-compute more halo cells: cells must increase."""
+        wide = tiled_bopm(SPEC, 256, block_rows=32, tile_width=256).cells
+        narrow = tiled_bopm(SPEC, 256, block_rows=32, tile_width=16).cells
+        assert narrow > wide
+
+
+class TestOblivious:
+    @pytest.mark.parametrize("base_height", [1, 2, 8, 64])
+    def test_base_height_invariance(self, base_height):
+        ref = price_binomial(SPEC, 65).price
+        v = oblivious_bopm(SPEC, 65, base_height=base_height).price
+        assert v == pytest.approx(ref, abs=1e-10)
+
+    def test_span_annotation_superlinear(self):
+        r = oblivious_bopm(SPEC, 128)
+        assert r.workspan.span > 128  # Theta(T^{log2 3})
+
+
+class TestGuards:
+    @pytest.mark.parametrize(
+        "fn", [ql_bopm, zb_bopm, tiled_bopm, oblivious_bopm, binomial_nested_loop_pure]
+    )
+    def test_rejects_put(self, fn):
+        spec = dataclasses.replace(SPEC, right=Right.PUT)
+        with pytest.raises(ValidationError):
+            fn(spec, 8)
+
+    def test_rejects_european(self):
+        with pytest.raises(ValidationError):
+            ql_bopm(SPEC.with_style(Style.EUROPEAN), 8)
+
+    def test_registry_lookup(self):
+        assert get_baseline("zb") is zb_bopm
+        with pytest.raises(ValidationError, match="unknown baseline"):
+            get_baseline("nope")
+
+
+class TestWorkAnnotation:
+    @pytest.mark.parametrize("name", ["loop", "ql", "zb", "tiled"])
+    def test_quadratic_work(self, name):
+        fn = BASELINES[name]
+        w1 = fn(SPEC, 128).workspan.work
+        w2 = fn(SPEC, 512).workspan.work
+        assert 10.0 < w2 / w1 < 25.0  # ~16x for 4x T

@@ -1,0 +1,134 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cachesim.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    LRUCache,
+    SKYLAKE_L1,
+    SKYLAKE_L2,
+)
+from repro.util.validation import ValidationError
+
+
+def tiny(ways=2, sets=2, line=64):
+    return CacheConfig(size_bytes=ways * sets * line, line_bytes=line, ways=ways)
+
+
+class TestConfig:
+    def test_skylake_geometry(self):
+        assert SKYLAKE_L1.num_sets == 64
+        assert SKYLAKE_L1.num_lines == 512
+        assert SKYLAKE_L2.num_sets == 1024
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=8)
+
+
+class TestLRU:
+    def test_cold_miss_then_hit(self):
+        c = LRUCache(tiny())
+        assert not c.access_line(0)
+        assert c.access_line(0)
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_capacity_eviction_lru_order(self):
+        c = LRUCache(tiny(ways=2, sets=1))
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(2)  # evicts 0 (LRU)
+        assert not c.access_line(0)  # 0 was evicted
+        assert c.access_line(2)  # 2 still resident
+
+    def test_recency_update(self):
+        c = LRUCache(tiny(ways=2, sets=1))
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(0)  # refresh 0
+        c.access_line(2)  # evicts 1, not 0
+        assert c.access_line(0)
+        assert not c.access_line(1)
+
+    def test_set_isolation(self):
+        c = LRUCache(tiny(ways=1, sets=2))
+        c.access_line(0)  # set 0
+        c.access_line(1)  # set 1
+        assert c.access_line(0)  # untouched by line 1
+        assert c.access_line(1)
+
+    def test_reset(self):
+        c = LRUCache(tiny())
+        c.access_line(0)
+        c.reset()
+        assert c.accesses == 0
+        assert not c.access_line(0)
+
+    def test_access_lines_batch(self):
+        c = LRUCache(tiny(ways=4, sets=4))
+        added = c.access_lines([0, 1, 0, 1, 2])
+        assert added == 3
+        assert c.hits == 2
+
+    def test_sequential_stream_compulsory_only_when_fits(self):
+        c = LRUCache(tiny(ways=8, sets=8))  # 64 lines
+        for _ in range(3):
+            c.access_lines(range(32))
+        assert c.misses == 32  # first pass only
+
+    def test_streaming_larger_than_cache_always_misses(self):
+        c = LRUCache(tiny(ways=2, sets=2))  # 4 lines
+        for _ in range(3):
+            c.access_lines(range(16))
+        assert c.misses == 48  # every access misses
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    def test_property_miss_bounds(self, lines):
+        c = LRUCache(tiny(ways=2, sets=4))
+        c.access_lines(lines)
+        distinct = len(set(lines))
+        assert distinct <= c.misses <= len(lines)
+        assert c.hits + c.misses == len(lines)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=120))
+    def test_property_bigger_cache_never_worse(self, lines):
+        """LRU is a stack algorithm: more ways, same sets => fewer misses."""
+        small = LRUCache(CacheConfig(size_bytes=2 * 4 * 64, line_bytes=64, ways=2))
+        big = LRUCache(CacheConfig(size_bytes=8 * 4 * 64, line_bytes=64, ways=8))
+        small.access_lines(lines)
+        big.access_lines(lines)
+        assert big.misses <= small.misses
+
+
+class TestHierarchy:
+    def test_l1_miss_goes_to_l2(self):
+        h = CacheHierarchy(tiny(ways=1, sets=1), tiny(ways=4, sets=4))
+        h.access_lines_array(np.array([0, 1, 0]))
+        c = h.counters()
+        assert c.accesses == 3
+        assert c.l1_misses == 3  # 1-line L1 thrashes
+        assert c.l2_misses == 2  # L2 keeps both
+
+    def test_element_to_line_conversion(self):
+        h = CacheHierarchy(tiny(), tiny(ways=4), element_bytes=8)
+        h.access_elements(np.arange(8))  # 8 doubles = one 64B line
+        assert h.counters().l1_misses == 1
+
+    def test_mismatched_line_size_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheHierarchy(tiny(line=64), tiny(line=32))
+
+    def test_dram_lines_alias(self):
+        h = CacheHierarchy(tiny(ways=1, sets=1), tiny(ways=1, sets=1))
+        h.access_lines_array(np.array([0, 1, 2]))
+        assert h.counters().dram_lines == h.counters().l2_misses
+
+    def test_reset(self):
+        h = CacheHierarchy(tiny(), tiny(ways=4))
+        h.access_elements(np.arange(100))
+        h.reset()
+        assert h.counters().accesses == 0

@@ -1,0 +1,81 @@
+"""Tests for the analytic cache-miss models (shape + simulator cross-check)."""
+
+import pytest
+
+from repro.cachesim.cache import CacheConfig, CacheHierarchy
+from repro.cachesim.model import (
+    CacheLevelSpec,
+    MODELED_IMPLS,
+    analytic_misses,
+    dram_bytes,
+)
+from repro.cachesim import trace as tr
+from repro.util.validation import ValidationError
+
+L1 = CacheLevelSpec(capacity_bytes=32 * 1024)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("impl", sorted(MODELED_IMPLS))
+    def test_monotone_in_T(self, impl):
+        a = analytic_misses(impl, 1 << 10, L1)
+        b = analytic_misses(impl, 1 << 13, L1)
+        assert b > a > 0
+
+    def test_streaming_quadratic_beyond_capacity(self):
+        big, bigger = 1 << 14, 1 << 16
+        ratio = analytic_misses("loop", bigger, L1) / analytic_misses("loop", big, L1)
+        assert 8.0 < ratio < 20.0  # ~16x
+
+    def test_fft_subquadratic(self):
+        big, bigger = 1 << 14, 1 << 16
+        ratio = analytic_misses("fft-bopm", bigger, L1) / analytic_misses(
+            "fft-bopm", big, L1
+        )
+        assert ratio < 8.0
+
+    def test_fft_beats_loop_at_scale(self):
+        T = 1 << 16
+        assert analytic_misses("fft-bopm", T, L1) < analytic_misses("loop", T, L1)
+
+    def test_zb_below_ql(self):
+        T = 1 << 14
+        assert analytic_misses("zb", T, L1) < analytic_misses("ql", T, L1)
+
+    def test_tiled_below_loop_beyond_capacity(self):
+        T = 1 << 15
+        assert analytic_misses("tiled", T, L1) < analytic_misses("loop", T, L1)
+
+    def test_small_T_resident_compulsory_only(self):
+        T = 256  # 2 streams * 257 * 8B = 4KB << 32KB
+        assert analytic_misses("loop", T, L1) < 3 * (T + 1)
+
+    def test_unknown_impl(self):
+        with pytest.raises(ValidationError):
+            analytic_misses("quantum", 100, L1)
+
+    def test_dram_bytes_scales_with_line(self):
+        assert dram_bytes("loop", 1 << 12) > 0
+
+
+class TestModelVsSimulator:
+    """The analytic model must land within a constant band of the simulator
+    in the regime both can reach (streaming beyond a tiny cache)."""
+
+    @pytest.mark.parametrize("impl,gen", [
+        ("loop", tr.trace_loop_bopm),
+        ("zb", tr.trace_zb_bopm),
+        ("ql", tr.trace_ql_bopm),
+    ])
+    def test_streaming_band(self, impl, gen):
+        T = 512
+        cap = 2 * 1024  # tiny cache so T=512 rows (4KB) stream
+        hier = CacheHierarchy(
+            CacheConfig(size_bytes=cap, line_bytes=64, ways=8),
+            CacheConfig(size_bytes=4 * cap, line_bytes=64, ways=8),
+        )
+        for chunk in gen(T):
+            hier.access_elements(chunk)
+        simulated = hier.counters().l1_misses
+        modeled = analytic_misses(impl, T, CacheLevelSpec(capacity_bytes=cap))
+        assert modeled == pytest.approx(simulated, rel=0.6), (modeled, simulated)

@@ -1,0 +1,107 @@
+"""Tests for the per-algorithm memory-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import trace as tr
+from repro.lattice.binomial import price_binomial
+from repro.lattice.blackscholes_fd import price_bsm_fd
+from repro.lattice.trinomial import price_trinomial
+from repro.options.contract import Right, paper_benchmark_spec
+import dataclasses
+
+SPEC = paper_benchmark_spec()
+PUT = dataclasses.replace(SPEC, right=Right.PUT, dividend_yield=0.0)
+
+
+def total_accesses(gen):
+    return sum(len(chunk) for chunk in gen)
+
+
+class TestStencilRowHelper:
+    def test_interleaving(self):
+        out = tr._stencil_row(100, 200, 5, 2, 2)
+        np.testing.assert_array_equal(out, [105, 106, 205, 106, 107, 206])
+
+    def test_three_taps(self):
+        out = tr._stencil_row(0, 50, 0, 1, 3)
+        np.testing.assert_array_equal(out, [0, 1, 2, 50])
+
+
+class TestBaselineTraces:
+    def test_loop_access_count(self):
+        T = 32
+        n = total_accesses(tr.trace_loop_bopm(T))
+        # terminal fill + 3 accesses per interior cell
+        cells = sum(i + 1 for i in range(T))
+        assert n == (T + 1) + 3 * cells
+
+    def test_ql_has_more_accesses_than_loop(self):
+        T = 32
+        assert total_accesses(tr.trace_ql_bopm(T)) > total_accesses(
+            tr.trace_loop_bopm(T)
+        )
+
+    def test_zb_access_count(self):
+        T = 16
+        n = total_accesses(tr.trace_zb_bopm(T))
+        cells = sum(i + 1 for i in range(T))
+        assert n == 2 * (T + 1) + 3 * cells
+
+    def test_tiled_covers_all_cells(self):
+        # tiled touches at least as many cells as the plain loop (halo overlap)
+        T = 64
+        plain = total_accesses(tr.trace_loop_bopm(T))
+        tiled = total_accesses(tr.trace_tiled_bopm(T, block_rows=8, tile_width=8))
+        assert tiled >= plain * 0.8
+
+    def test_oblivious_touches_every_cell_once(self):
+        T = 40
+        n = total_accesses(tr.trace_oblivious_bopm(T))
+        cells = sum(i + 1 for i in range(T))
+        assert n == (T + 1) + 3 * cells
+
+    def test_trinomial_width(self):
+        T = 16
+        n = total_accesses(tr.trace_loop_trinomial(T))
+        cells = sum(2 * i + 1 for i in range(T))
+        assert n == (2 * T + 1) + 4 * cells
+
+    def test_bsm_trace_has_payoff_stream(self):
+        T = 16
+        n = total_accesses(tr.trace_loop_bsm(T))
+        cells = sum(2 * (T - k) + 1 for k in range(1, T + 1))
+        assert n == (2 * T + 1) + 5 * cells  # 4 stencil + 1 payoff per cell
+
+
+class TestFFTTraces:
+    def test_tree_replay_runs_and_is_subquadratic(self):
+        T = 256
+        boundary = price_binomial(SPEC, T, return_boundary=True).boundary
+        n = total_accesses(tr.trace_fft_tree(T, boundary, q=1))
+        loop_n = total_accesses(tr.trace_loop_bopm(T))
+        assert 0 < n < loop_n
+
+    def test_trinomial_replay(self):
+        T = 128
+        boundary = price_trinomial(SPEC, T, return_boundary=True).boundary
+        assert total_accesses(tr.trace_fft_tree(T, boundary, q=2)) > 0
+
+    def test_bsm_replay_subquadratic(self):
+        T = 256
+        boundary = price_bsm_fd(PUT, T, return_boundary=True).boundary
+        n = total_accesses(tr.trace_fft_bsm(T, boundary))
+        loop_n = total_accesses(tr.trace_loop_bsm(T))
+        assert 0 < n < loop_n
+
+    def test_regions_disjoint(self):
+        """Different logical arrays must never share a cache line."""
+        T = 64
+        boundary = price_binomial(SPEC, T, return_boundary=True).boundary
+        for chunk in tr.trace_fft_tree(T, boundary, q=1):
+            regions = np.unique(chunk // tr.REGION)
+            for r in regions:
+                assert 0 <= r < 8
+
+    def test_fft_passes_grow_with_size(self):
+        assert tr._fft_passes(10**6) > tr._fft_passes(100)

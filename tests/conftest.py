@@ -1,0 +1,75 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.options.contract import OptionSpec, Right, Style, paper_benchmark_spec
+
+# Keep property tests fast and deterministic-ish on a single core.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def spec() -> OptionSpec:
+    """The paper's §5 benchmark contract (American call)."""
+    return paper_benchmark_spec()
+
+
+@pytest.fixture
+def put_spec() -> OptionSpec:
+    """Zero-dividend American put matching the BSM model's preconditions."""
+    return dataclasses.replace(
+        paper_benchmark_spec(), right=Right.PUT, dividend_yield=0.0
+    )
+
+
+def call_specs() -> st.SearchStrategy[OptionSpec]:
+    """Random valid American-call contracts (tree-model domain).
+
+    Ranges keep the CRR probability in (0,1) at the step counts the tests
+    use and avoid degenerate (deep ITM/OTM beyond float interest) regimes —
+    those get dedicated edge-case tests instead.
+    """
+    return st.builds(
+        OptionSpec,
+        spot=st.floats(40.0, 250.0),
+        strike=st.floats(40.0, 250.0),
+        rate=st.floats(0.0, 0.10),
+        volatility=st.floats(0.08, 0.6),
+        dividend_yield=st.floats(0.0, 0.12),
+        expiry_days=st.sampled_from([63.0, 126.0, 252.0, 504.0]),
+        right=st.just(Right.CALL),
+        style=st.just(Style.AMERICAN),
+    )
+
+
+def put_specs() -> st.SearchStrategy[OptionSpec]:
+    """Random zero-dividend American puts (BSM-model domain)."""
+    return st.builds(
+        OptionSpec,
+        spot=st.floats(60.0, 220.0),
+        strike=st.floats(60.0, 220.0),
+        rate=st.floats(0.005, 0.10),
+        volatility=st.floats(0.10, 0.6),
+        dividend_yield=st.just(0.0),
+        expiry_days=st.sampled_from([126.0, 252.0, 504.0]),
+        right=st.just(Right.PUT),
+        style=st.just(Style.AMERICAN),
+    )
+
+
+def small_steps() -> st.SearchStrategy[int]:
+    """Step counts spanning base-case, mixed and recursive regimes."""
+    return st.sampled_from([1, 2, 3, 5, 7, 8, 9, 13, 16, 31, 64, 100, 257])

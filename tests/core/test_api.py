@@ -1,0 +1,186 @@
+"""Tests for the public API (dispatch, result envelope, boundary curves)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    OptionSpec,
+    Right,
+    Style,
+    exercise_boundary,
+    paper_benchmark_spec,
+    price_american,
+    price_bermudan,
+    price_european,
+)
+from repro.options.analytic import european_price
+from repro.util.validation import ValidationError
+
+SPEC = paper_benchmark_spec()
+PUT = dataclasses.replace(SPEC, right=Right.PUT, dividend_yield=0.0)
+
+
+class TestPriceAmericanDispatch:
+    @pytest.mark.parametrize("method", ["fft", "loop", "tiled", "oblivious", "ql", "zb"])
+    def test_binomial_methods_agree(self, method):
+        ref = price_american(SPEC, 128, model="binomial", method="loop").price
+        v = price_american(SPEC, 128, model="binomial", method=method).price
+        assert v == pytest.approx(ref, abs=1e-9 * SPEC.strike)
+
+    @pytest.mark.parametrize("method", ["fft", "loop"])
+    def test_trinomial_methods_agree(self, method):
+        ref = price_american(SPEC, 96, model="trinomial", method="loop").price
+        v = price_american(SPEC, 96, model="trinomial", method=method).price
+        assert v == pytest.approx(ref, abs=1e-9 * SPEC.strike)
+
+    @pytest.mark.parametrize("method", ["fft", "loop"])
+    def test_bsm_methods_agree(self, method):
+        ref = price_american(PUT, 96, model="bsm-fd", method="loop").price
+        v = price_american(PUT, 96, model="bsm-fd", method=method).price
+        assert v == pytest.approx(ref, abs=1e-9 * PUT.strike)
+
+    def test_put_via_fft_uses_symmetry(self):
+        spec = dataclasses.replace(SPEC, right=Right.PUT)
+        fft = price_american(spec, 128, method="fft").price
+        loop = price_american(spec, 128, method="loop").price
+        assert fft == pytest.approx(loop, abs=1e-9 * spec.strike)
+
+    def test_result_fields(self):
+        r = price_american(SPEC, 64, method="fft")
+        assert r.model == "binomial"
+        assert r.method == "fft"
+        assert r.steps == 64
+        assert r.workspan.work > 0
+        assert "trapezoids" in r.stats
+
+    def test_style_forced_to_american(self):
+        r = price_american(SPEC.with_style(Style.EUROPEAN), 64, method="loop")
+        ref = price_american(SPEC, 64, method="loop")
+        assert r.price == ref.price
+
+    def test_unknown_model(self):
+        with pytest.raises(ValidationError, match="model"):
+            price_american(SPEC, 16, model="heston")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError, match="method"):
+            price_american(SPEC, 16, method="magic")
+
+    def test_trinomial_rejects_binomial_only_methods(self):
+        with pytest.raises(ValidationError):
+            price_american(SPEC, 16, model="trinomial", method="zb")
+
+    def test_bsm_rejects_call(self):
+        with pytest.raises(ValidationError):
+            price_american(SPEC, 16, model="bsm-fd", method="fft")
+
+    def test_baselines_reject_puts(self):
+        spec = dataclasses.replace(SPEC, right=Right.PUT)
+        with pytest.raises(ValidationError):
+            price_american(spec, 16, method="zb")
+
+    def test_baselines_reject_boundary_request(self):
+        with pytest.raises(ValidationError):
+            price_american(SPEC, 16, method="zb", return_boundary=True)
+
+    def test_base_override(self):
+        a = price_american(SPEC, 128, method="fft", base=4).price
+        b = price_american(SPEC, 128, method="fft", base=32).price
+        assert a == pytest.approx(b, abs=1e-10)
+
+
+class TestPriceEuropean:
+    @pytest.mark.parametrize("model", ["binomial", "trinomial", "bsm-fd"])
+    def test_fft_matches_loop(self, model):
+        spec = PUT if model == "bsm-fd" else SPEC
+        fft = price_european(spec, 128, model=model, method="fft").price
+        loop = price_european(spec, 128, model=model, method="loop").price
+        assert fft == pytest.approx(loop, abs=1e-9 * spec.strike)
+
+    def test_converges_to_closed_form(self):
+        fft = price_european(SPEC, 4096, method="fft").price
+        assert fft == pytest.approx(european_price(SPEC), abs=0.02)
+
+    def test_european_leq_american(self):
+        eu = price_european(PUT, 256, model="bsm-fd", method="fft").price
+        am = price_american(PUT, 256, model="bsm-fd", method="fft").price
+        assert eu <= am + 1e-10
+
+    def test_rejects_baseline_methods(self):
+        with pytest.raises(ValidationError):
+            price_european(SPEC, 16, method="zb")
+
+
+class TestPriceBermudan:
+    def test_fft_matches_loop(self):
+        spec = dataclasses.replace(SPEC, right=Right.PUT)
+        dates = [16, 32, 48]
+        fft = price_bermudan(spec, 64, dates, method="fft").price
+        loop = price_bermudan(spec, 64, dates, method="loop").price
+        assert fft == pytest.approx(loop, abs=1e-9 * spec.strike)
+
+    def test_rejects_bsm(self):
+        with pytest.raises(ValidationError):
+            price_bermudan(PUT, 16, [8], model="bsm-fd")
+
+
+class TestExerciseBoundary:
+    def test_loop_dense_curve(self):
+        curve = exercise_boundary(SPEC, 128, method="loop")
+        assert len(curve.rows) > 0
+        assert len(curve.rows) == len(curve.prices) == len(curve.times_years)
+        # American call boundary prices must exceed the strike
+        assert np.all(curve.prices >= SPEC.strike * 0.99)
+
+    def test_fft_sparse_curve_agrees_with_loop(self):
+        dense = exercise_boundary(SPEC, 128, method="loop")
+        sparse = exercise_boundary(SPEC, 128, method="fft")
+        dense_map = dict(zip(dense.rows.tolist(), dense.indices.tolist()))
+        assert len(sparse.rows) > 5
+        for row, idx in zip(sparse.rows.tolist(), sparse.indices.tolist()):
+            assert dense_map.get(row) == idx, f"row {row}"
+
+    def test_put_boundary_below_strike(self):
+        spec = dataclasses.replace(SPEC, right=Right.PUT)
+        curve = exercise_boundary(spec, 128, method="loop")
+        assert np.all(curve.prices <= spec.strike * 1.01)
+
+    def test_put_fft_matches_loop(self):
+        # a high-rate zero-dividend put exercises early over a wide region,
+        # giving the divider plenty of rows to compare on
+        spec = OptionSpec(
+            spot=100.0, strike=110.0, rate=0.06, volatility=0.25, right=Right.PUT
+        )
+        dense = exercise_boundary(spec, 96, method="loop")
+        sparse = exercise_boundary(spec, 96, method="fft")
+        dense_map = dict(zip(dense.rows.tolist(), dense.indices.tolist()))
+        matched = 0
+        for row, idx in zip(sparse.rows.tolist(), sparse.indices.tolist()):
+            if row in dense_map:
+                assert dense_map[row] == idx, f"row {row}"
+                matched += 1
+        assert matched > 5
+
+    def test_bsm_boundary_monotone_in_time(self):
+        curve = exercise_boundary(PUT, 128, model="bsm-fd", method="loop")
+        # Thm 4.2: the boundary decreases with time-to-expiry tau; in
+        # calendar order (valuation -> expiry, tau decreasing) the boundary
+        # price therefore rises toward the strike
+        order = np.argsort(curve.times_years)
+        prices = curve.prices[order]
+        assert np.all(np.diff(prices) >= -1e-6)
+        assert prices[-1] == pytest.approx(PUT.strike, rel=0.05)
+
+    def test_bsm_fft_boundary_agrees(self):
+        dense = exercise_boundary(PUT, 96, model="bsm-fd", method="loop")
+        sparse = exercise_boundary(PUT, 96, model="bsm-fd", method="fft")
+        dense_map = dict(zip(dense.rows.tolist(), dense.indices.tolist()))
+        for row, idx in zip(sparse.rows.tolist(), sparse.indices.tolist()):
+            if row in dense_map:
+                assert dense_map[row] == idx, f"row {row}"
+
+    def test_rejects_baseline_method(self):
+        with pytest.raises(ValidationError):
+            exercise_boundary(SPEC, 16, method="zb")

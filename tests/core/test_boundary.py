@@ -1,0 +1,119 @@
+"""Tests for divider scanning, recording and invariant checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.boundary import (
+    BoundaryRecorder,
+    check_bsm_boundary_invariants,
+    check_tree_boundary_invariants,
+    is_prefix_mask,
+    scan_prefix_boundary,
+)
+
+
+class TestScanPrefixBoundary:
+    def test_empty(self):
+        assert scan_prefix_boundary(np.array([], dtype=bool)) == -1
+
+    def test_all_true(self):
+        assert scan_prefix_boundary(np.array([True, True, True])) == 2
+
+    def test_all_false(self):
+        assert scan_prefix_boundary(np.array([False, False])) == -1
+
+    def test_proper_prefix(self):
+        assert scan_prefix_boundary(np.array([True, True, False, False])) == 1
+
+    def test_noise_after_divider_ignored(self):
+        """First-False semantics: a stray True past the divider is ignored."""
+        assert scan_prefix_boundary(np.array([True, False, True])) == 0
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_property_constructed_prefix(self, a, b):
+        mask = np.array([True] * a + [False] * b)
+        assert scan_prefix_boundary(mask) == a - 1
+
+
+class TestIsPrefixMask:
+    def test_valid_prefixes(self):
+        assert is_prefix_mask(np.array([], dtype=bool))
+        assert is_prefix_mask(np.array([True, False]))
+        assert is_prefix_mask(np.array([False, False]))
+        assert is_prefix_mask(np.array([True, True]))
+
+    def test_invalid(self):
+        assert not is_prefix_mask(np.array([False, True]))
+        assert not is_prefix_mask(np.array([True, False, True]))
+
+
+class TestRecorder:
+    def test_record_and_expand(self):
+        r = BoundaryRecorder()
+        r.record(3, 5)
+        r.record(0, 1)
+        arr = r.as_array(4, fill=-99)
+        assert arr[3] == 5
+        assert arr[0] == 1
+        assert arr[1] == -99
+
+    def test_overwrite_keeps_latest(self):
+        r = BoundaryRecorder()
+        r.record(2, 1)
+        r.record(2, 4)
+        assert r.points[2] == 4
+
+    def test_out_of_range_rows_dropped_in_array(self):
+        r = BoundaryRecorder()
+        r.record(10, 3)
+        arr = r.as_array(4)
+        assert arr.shape == (5,)
+
+
+class TestTreeInvariantChecker:
+    def test_clean_boundary_passes(self):
+        # divider drops by one every other row: legal
+        b = np.array([0, 1, 1, 2, 3], dtype=np.int64)
+        assert check_tree_boundary_invariants(b, steps=4, columns_per_row=1) == []
+
+    def test_fast_drop_flagged(self):
+        # j_1 = 0 while j_2 = 2: a two-cell drop in one step
+        b = np.array([0, 0, 2, 3, 4], dtype=np.int64)
+        v = check_tree_boundary_invariants(b, steps=4, columns_per_row=1)
+        assert any(x.kind == "movement" for x in v)
+
+    def test_rightward_jump_flagged(self):
+        b = np.array([3, 1, 2, 3, 4], dtype=np.int64)
+        v = check_tree_boundary_invariants(b, steps=4, columns_per_row=1)
+        assert v  # j_0=3 > j_1=1
+
+    def test_row_end_clamp_allowed_q2(self):
+        # fully red rows pin the divider to 2i; the drop of 2 between
+        # consecutive fully-red rows is legal clamping, not a violation
+        b = np.array([0, 2, 4, 6, 8], dtype=np.int64)
+        assert check_tree_boundary_invariants(b, steps=4, columns_per_row=2) == []
+
+    def test_out_of_range_flagged(self):
+        b = np.array([0, 5, 2, 3, 4], dtype=np.int64)
+        v = check_tree_boundary_invariants(b, steps=4, columns_per_row=1)
+        assert any(x.kind == "range" for x in v)
+
+
+class TestBSMInvariantChecker:
+    def test_monotone_decreasing_passes(self):
+        b = np.array([5, 5, 4, 4, 3], dtype=np.int64)
+        assert check_bsm_boundary_invariants(b, steps=4) == []
+
+    def test_increase_flagged(self):
+        b = np.array([3, 4, 4, 4, 4], dtype=np.int64)
+        assert check_bsm_boundary_invariants(b, steps=4)
+
+    def test_fast_drop_flagged(self):
+        b = np.array([5, 3, 3, 3, 3], dtype=np.int64)
+        assert check_bsm_boundary_invariants(b, steps=4)
+
+    def test_missing_rows_skipped(self):
+        b = np.array([5, -99, 4, -99, 3], dtype=np.int64)
+        assert check_bsm_boundary_invariants(b, steps=4, missing=-99) == []

@@ -1,0 +1,121 @@
+"""Tests for the multi-step linear advance (the [1] subroutine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fftstencil import AdvancePolicy, advance
+from repro.util.validation import ValidationError
+
+
+def naive_steps(x: np.ndarray, taps, h: int) -> np.ndarray:
+    """Reference: h explicit one-step applications."""
+    y = np.asarray(x, dtype=np.float64)
+    for _ in range(h):
+        acc = taps[0] * y[: len(y) - len(taps) + 1]
+        for k in range(1, len(taps)):
+            acc = acc + taps[k] * y[k : k + len(y) - len(taps) + 1]
+        y = acc
+    return y
+
+
+class TestAdvanceCorrectness:
+    @pytest.mark.parametrize("h", [0, 1, 2, 5, 16])
+    @pytest.mark.parametrize("taps", [(0.45, 0.52), (0.2, 0.5, 0.25)])
+    def test_matches_naive(self, h, taps):
+        rng = np.random.default_rng(42)
+        x = rng.uniform(0, 100, size=(len(taps) - 1) * h + 17)
+        y, rec = advance(x, taps, h)
+        np.testing.assert_allclose(y, naive_steps(x, taps, h), rtol=1e-9, atol=1e-9)
+        assert rec.h == h
+
+    def test_output_length(self):
+        x = np.ones(50)
+        y, _ = advance(x, (0.4, 0.5), 10)
+        assert len(y) == 40
+        y, _ = advance(x, (0.2, 0.5, 0.25), 10)
+        assert len(y) == 30
+
+    def test_h0_copy_not_view(self):
+        x = np.ones(5)
+        y, rec = advance(x, (0.4, 0.5), 0)
+        y[0] = 7.0
+        assert x[0] == 1.0
+        assert rec.method == "copy"
+
+    def test_too_short_input(self):
+        with pytest.raises(ValidationError, match="too short"):
+            advance(np.ones(5), (0.4, 0.5), 10)
+
+    @given(
+        h=st.integers(1, 40),
+        extra=st.integers(1, 30),
+        seed=st.integers(0, 2**31),
+    )
+    def test_property_fft_matches_naive(self, h, extra, seed):
+        rng = np.random.default_rng(seed)
+        taps = (0.47, 0.51)
+        x = rng.uniform(0, 50, size=h + extra)
+        y, _ = advance(x, taps, h, policy=AdvancePolicy(mode="fft"))
+        np.testing.assert_allclose(y, naive_steps(x, taps, h), rtol=1e-8, atol=1e-8)
+
+    @given(h=st.integers(1, 20), seed=st.integers(0, 2**31))
+    def test_property_composition(self, h, seed):
+        """advance(h1) then advance(h2) == advance(h1+h2)."""
+        rng = np.random.default_rng(seed)
+        taps = (0.3, 0.4, 0.28)
+        h1, h2 = h, h // 2 + 1
+        x = rng.uniform(0, 10, size=2 * (h1 + h2) + 9)
+        step1, _ = advance(x, taps, h1)
+        two_step, _ = advance(step1, taps, h2)
+        direct, _ = advance(x, taps, h1 + h2)
+        np.testing.assert_allclose(two_step, direct, rtol=1e-8, atol=1e-10)
+
+
+class TestPolicy:
+    def test_forced_direct(self):
+        x = np.ones(100)
+        _, rec = advance(x, (0.4, 0.5), 30, policy=AdvancePolicy(mode="direct"))
+        assert rec.method == "direct"
+
+    def test_forced_fft(self):
+        x = np.ones(100)
+        _, rec = advance(x, (0.4, 0.5), 30, policy=AdvancePolicy(mode="fft"))
+        assert rec.method == "fft"
+
+    def test_small_kernel_prefers_direct(self):
+        x = np.ones(100)
+        _, rec = advance(x, (0.4, 0.5), 3)  # kernel length 4 < min_fft_size
+        assert rec.method == "direct"
+
+    def test_amplification_guard_triggers(self):
+        """Huge inputs relative to scale fall back to direct correlation."""
+        x = np.full(200, 1e40)
+        _, rec = advance(x, (0.4, 0.5), 64, scale=1.0)
+        assert rec.method == "direct"
+
+    def test_amplification_guard_respects_scale(self):
+        x = np.full(200, 1e40)
+        _, rec = advance(x, (0.4, 0.5), 64, scale=1e40)
+        assert rec.method == "fft"
+
+    def test_no_scale_disables_guard(self):
+        x = np.full(200, 1e40)
+        _, rec = advance(x, (0.4, 0.5), 64)
+        assert rec.method == "fft"
+
+    def test_direct_fallback_is_relatively_accurate(self):
+        """The guard exists so extreme dynamic range keeps relative accuracy."""
+        h = 64
+        x = np.exp(np.linspace(0, 90, h + 40))  # spans e^90
+        y_direct, _ = advance(x, (0.45, 0.54), h, policy=AdvancePolicy(mode="direct"))
+        ref = naive_steps(x, (0.45, 0.54), h)
+        np.testing.assert_allclose(y_direct, ref, rtol=1e-9)
+
+    def test_workspan_recorded(self):
+        x = np.ones(200)
+        _, rec = advance(x, (0.4, 0.5), 50, policy=AdvancePolicy(mode="fft"))
+        assert rec.workspan.work > 0
+        assert rec.workspan.span > 0
+        assert rec.workspan.parallelism > 1

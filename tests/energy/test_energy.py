@@ -1,0 +1,66 @@
+"""Tests for the RAPL-style energy model."""
+
+import pytest
+
+from repro.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.parallel.workspan import WorkSpan
+from repro.util.validation import ValidationError
+
+
+def test_total_is_pkg_plus_ram():
+    b = DEFAULT_ENERGY_MODEL.energy(WorkSpan(1e9, 1), 1.0, 1e6)
+    assert b.total_joules == pytest.approx(b.pkg_joules + b.ram_joules)
+
+
+def test_static_term_scales_with_runtime():
+    m = EnergyModel(pkg_nj_per_flop=0.0, ram_nj_per_line=0.0)
+    a = m.energy(WorkSpan(0, 0), 1.0, 0)
+    b = m.energy(WorkSpan(0, 0), 2.0, 0)
+    assert b.total_joules == pytest.approx(2 * a.total_joules)
+
+
+def test_dynamic_term_scales_with_work():
+    m = EnergyModel(pkg_static_watts=0.0, ram_static_watts=0.0, ram_nj_per_line=0.0)
+    a = m.energy(WorkSpan(1e9, 1), 0.0, 0)
+    b = m.energy(WorkSpan(2e9, 1), 0.0, 0)
+    assert b.pkg_joules == pytest.approx(2 * a.pkg_joules)
+
+
+def test_ram_term_scales_with_lines():
+    m = EnergyModel(pkg_static_watts=0.0, ram_static_watts=0.0, pkg_nj_per_flop=0.0)
+    a = m.energy(WorkSpan(0, 0), 0.0, 1e6)
+    b = m.energy(WorkSpan(0, 0), 0.0, 3e6)
+    assert b.ram_joules == pytest.approx(3 * a.ram_joules)
+
+
+def test_negative_runtime_rejected():
+    with pytest.raises(ValidationError):
+        DEFAULT_ENERGY_MODEL.energy(WorkSpan(1, 1), -1.0, 0)
+
+
+def test_negative_lines_rejected():
+    with pytest.raises(ValidationError):
+        DEFAULT_ENERGY_MODEL.energy(WorkSpan(1, 1), 1.0, -5)
+
+
+def test_energy_from_model_dispatch():
+    b = DEFAULT_ENERGY_MODEL.energy_from_model("loop", 4096, WorkSpan(1e9, 1), 0.5)
+    assert b.total_joules > 0
+
+
+def test_work_gap_drives_energy_gap():
+    """§5.2: at equal runtime, the T² work baseline burns far more energy."""
+    t = 1.0
+    fft_ws = WorkSpan(1e8, 1e3)
+    loop_ws = WorkSpan(1e11, 1e3)
+    e_fft = DEFAULT_ENERGY_MODEL.energy(fft_ws, t, 1e5).total_joules
+    e_loop = DEFAULT_ENERGY_MODEL.energy(loop_ws, t, 1e8).total_joules
+    assert e_loop > 1.5 * e_fft
+
+
+def test_paper_savings_shape_at_scale():
+    """>99% saving when both runtime and work differ by ~T/log²T."""
+    fft = DEFAULT_ENERGY_MODEL.energy(WorkSpan(3e9, 1e4), 0.5, 1e6)
+    loop = DEFAULT_ENERGY_MODEL.energy(WorkSpan(3e12, 1e6), 500.0, 1e9)
+    saving = 1.0 - fft.total_joules / loop.total_joules
+    assert saving > 0.99

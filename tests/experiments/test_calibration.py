@@ -1,0 +1,57 @@
+"""Tests for scaling-law fitting helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.calibration import fit_power_law, fit_t_logsq, relative_spread
+from repro.util.validation import ValidationError
+
+
+def test_exact_power_law_recovered():
+    xs = [2**k for k in range(4, 12)]
+    ys = [3.5 * x**2 for x in xs]
+    a, c = fit_power_law(xs, ys)
+    assert a == pytest.approx(2.0, abs=1e-9)
+    assert c == pytest.approx(3.5, rel=1e-9)
+
+    a, c = fit_power_law(xs, [7.0 * x for x in xs])
+    assert a == pytest.approx(1.0, abs=1e-9)
+
+
+def test_tlogsq_exponent_between_1_and_2():
+    xs = [2**k for k in range(6, 16)]
+    ys = [x * math.log2(x) ** 2 for x in xs]
+    a, _ = fit_power_law(xs, ys)
+    assert 1.1 < a < 1.6
+
+
+def test_fit_t_logsq_recovers_constant():
+    xs = [2**k for k in range(6, 14)]
+    c = fit_t_logsq(xs, [2.5 * x * math.log2(x) ** 2 for x in xs])
+    assert c == pytest.approx(2.5, rel=1e-9)
+
+
+def test_power_law_needs_two_points():
+    with pytest.raises(ValidationError):
+        fit_power_law([1], [1])
+
+
+def test_power_law_rejects_nonpositive():
+    with pytest.raises(ValidationError):
+        fit_power_law([1, 2], [0.0, 1.0])
+
+
+def test_relative_spread_flat():
+    assert relative_spread({1: 2.0, 2: 2.0}) == pytest.approx(1.0)
+
+
+def test_relative_spread_errors_on_empty():
+    with pytest.raises(ValidationError):
+        relative_spread({})
+
+
+def test_spread_of_normalised_tlogsq_is_tight():
+    xs = [2**k for k in range(8, 16)]
+    series = {x: (x * math.log2(x) ** 2) / (x * math.log2(x) ** 2) for x in xs}
+    assert relative_spread(series) == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Tests for the experiment registry, runner and builders (fast mode)."""
+
+import os
+
+import pytest
+
+import repro.experiments  # populates the registry  # noqa: F401
+from repro.experiments.harness import (
+    REGISTRY,
+    ExperimentResult,
+    list_experiments,
+    register,
+    run_experiment,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def fast_mode(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    yield
+
+
+EXPECTED_IDS = {
+    "fig5-bopm",
+    "fig5-topm",
+    "fig5-bsm",
+    "fig6-bopm",
+    "fig6-topm",
+    "fig6-bsm",
+    "fig10-bopm",
+    "fig10-bopm-ram",
+    "fig7-bopm",
+    "fig7-topm",
+    "fig7-bsm",
+    "table2",
+    "table5",
+    "prop1.1",
+    "agreement",
+    "ablation-base",
+}
+
+
+def test_every_paper_artifact_registered():
+    assert EXPECTED_IDS <= set(REGISTRY)
+
+
+def test_list_experiments_rows():
+    rows = list_experiments()
+    assert all(len(r) == 3 for r in rows)
+
+
+def test_unknown_experiment():
+    with pytest.raises(ValidationError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValidationError):
+        register("table5", "dup", "x")(lambda: None)
+
+
+def test_run_writes_csv(tmp_path):
+    result = run_experiment("agreement", print_output=False)
+    assert isinstance(result, ExperimentResult)
+    csv_path = os.path.join(os.environ["REPRO_RESULTS_DIR"], "agreement.csv")
+    assert os.path.exists(csv_path)
+    with open(csv_path) as fh:
+        assert fh.readline().startswith("T,")
+
+
+def test_render_contains_title_and_notes():
+    result = run_experiment("agreement", print_output=False, write_csv=False)
+    text = result.render()
+    assert "absolute price difference" in text
+    assert "note:" in text
+
+
+def test_agreement_values_tiny():
+    result = run_experiment("agreement", print_output=False, write_csv=False)
+    for series in result.series.values():
+        assert all(v < 1e-8 for v in series.values())
+
+
+def test_prop11_ratios_decrease():
+    result = run_experiment("prop1.1", print_output=False, write_csv=False)
+    for series in result.series.values():
+        xs = sorted(series)
+        assert series[xs[-1]] < series[xs[0]]
+
+
+def test_fig7_bopm_fft_wins_l1():
+    result = run_experiment("fig7-bopm", print_output=False, write_csv=False)
+    top = max(result.series["fft-bopm L1"])
+    assert result.series["fft-bopm L1"][top] < result.series["ql-bopm L1"][top]

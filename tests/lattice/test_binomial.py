@@ -1,0 +1,185 @@
+"""Tests for the vanilla binomial sweep against financial-theory oracles."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.boundary import check_tree_boundary_invariants, is_prefix_mask
+from repro.lattice.binomial import price_binomial
+from repro.options.analytic import european_price, intrinsic_bounds
+from repro.options.contract import OptionSpec, Right, Style, paper_benchmark_spec
+from repro.util.validation import ValidationError
+from tests.conftest import call_specs
+
+
+def make(**kw):
+    defaults = dict(
+        spot=100.0, strike=100.0, rate=0.05, volatility=0.2, dividend_yield=0.03
+    )
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+class TestEuropeanConvergence:
+    @pytest.mark.parametrize("right", [Right.CALL, Right.PUT])
+    def test_converges_to_black_scholes(self, right):
+        s = make(right=right, style=Style.EUROPEAN)
+        exact = european_price(s)
+        err_256 = abs(price_binomial(s, 256).price - exact)
+        err_2048 = abs(price_binomial(s, 2048).price - exact)
+        assert err_2048 < 0.01
+        assert err_2048 < err_256 + 1e-6  # refinement helps (CRR oscillates)
+
+    def test_t1_matches_hand_computation(self):
+        s = make(style=Style.EUROPEAN, dividend_yield=0.0)
+        from repro.options.params import BinomialParams
+
+        p = BinomialParams.from_spec(s, 1)
+        up_payoff = max(s.spot * p.up - s.strike, 0.0)
+        dn_payoff = max(s.spot * p.down - s.strike, 0.0)
+        expected = p.s1 * up_payoff + p.s0 * dn_payoff
+        assert price_binomial(s, 1).price == pytest.approx(expected, rel=1e-14)
+
+
+class TestAmericanProperties:
+    def test_american_geq_european(self):
+        am = price_binomial(make(right=Right.PUT), 300).price
+        eu = price_binomial(make(right=Right.PUT, style=Style.EUROPEAN), 300).price
+        assert am >= eu - 1e-12
+
+    def test_zero_dividend_call_equals_european(self):
+        """Merton: never exercise an American call on a non-dividend stock."""
+        s = make(dividend_yield=0.0)
+        am = price_binomial(s, 500).price
+        eu = price_binomial(s.with_style(Style.EUROPEAN), 500).price
+        assert am == pytest.approx(eu, abs=1e-10)
+
+    def test_dominates_intrinsic(self):
+        for spot in (70.0, 100.0, 140.0):
+            s = make(spot=spot, right=Right.PUT)
+            assert price_binomial(s, 200).price >= s.intrinsic() - 1e-10
+
+    def test_respects_no_arbitrage_bounds(self):
+        for right in (Right.CALL, Right.PUT):
+            s = make(right=right)
+            lo, hi = intrinsic_bounds(s)
+            v = price_binomial(s, 200).price
+            assert lo - 1e-9 <= v <= hi + 1e-9
+
+    def test_monotone_in_spot_call(self):
+        prices = [price_binomial(make(spot=s0), 128).price for s0 in (80, 100, 120)]
+        assert prices[0] < prices[1] < prices[2]
+
+    def test_monotone_in_strike_put(self):
+        prices = [
+            price_binomial(make(right=Right.PUT, strike=k), 128).price
+            for k in (90, 100, 110)
+        ]
+        assert prices[0] < prices[1] < prices[2]
+
+    def test_monotone_in_volatility(self):
+        prices = [
+            price_binomial(make(volatility=v), 128).price for v in (0.1, 0.2, 0.4)
+        ]
+        assert prices[0] < prices[1] < prices[2]
+
+    def test_deep_itm_call_with_dividends_exercised(self):
+        s = make(spot=1000.0, strike=10.0, dividend_yield=0.08)
+        assert price_binomial(s, 64).price == pytest.approx(990.0, rel=1e-6)
+
+    @given(spec=call_specs())
+    def test_property_bounds(self, spec):
+        lo, hi = intrinsic_bounds(spec)
+        v = price_binomial(spec, 64).price
+        assert lo - 1e-8 * spec.strike <= v <= hi + 1e-8 * spec.strike
+
+
+class TestBermudan:
+    def test_no_dates_equals_european(self):
+        s = make(right=Right.PUT, style=Style.BERMUDAN)
+        eu = price_binomial(make(right=Right.PUT, style=Style.EUROPEAN), 64).price
+        bm = price_binomial(s, 64, exercise_steps=[]).price
+        assert bm == pytest.approx(eu, abs=1e-12)
+
+    def test_all_dates_equals_american(self):
+        s = make(right=Right.PUT, style=Style.BERMUDAN)
+        am = price_binomial(make(right=Right.PUT), 64).price
+        bm = price_binomial(s, 64, exercise_steps=range(64)).price
+        assert bm == pytest.approx(am, abs=1e-12)
+
+    def test_sandwiched_between_european_and_american(self):
+        s = make(right=Right.PUT, style=Style.BERMUDAN)
+        eu = price_binomial(make(right=Right.PUT, style=Style.EUROPEAN), 64).price
+        am = price_binomial(make(right=Right.PUT), 64).price
+        bm = price_binomial(s, 64, exercise_steps=[16, 32, 48]).price
+        assert eu - 1e-12 <= bm <= am + 1e-12
+
+    def test_more_dates_never_hurts(self):
+        s = make(right=Right.PUT, style=Style.BERMUDAN)
+        few = price_binomial(s, 64, exercise_steps=[32]).price
+        more = price_binomial(s, 64, exercise_steps=[16, 32, 48]).price
+        assert more >= few - 1e-12
+
+    def test_exercise_steps_validated(self):
+        s = make(style=Style.BERMUDAN)
+        with pytest.raises(ValidationError):
+            price_binomial(s, 16, exercise_steps=[20])
+        with pytest.raises(ValidationError):
+            price_binomial(make(), 16, exercise_steps=[4])  # American + steps
+
+    def test_bermudan_requires_steps(self):
+        with pytest.raises(ValidationError):
+            price_binomial(make(style=Style.BERMUDAN), 16)
+
+
+class TestBoundary:
+    def test_boundary_invariants_paper_spec(self):
+        r = price_binomial(paper_benchmark_spec(), 256, return_boundary=True)
+        violations = check_tree_boundary_invariants(
+            r.boundary, steps=256, columns_per_row=1
+        )
+        assert violations == []
+
+    def test_boundary_red_prefix_matches_values(self):
+        """The reported divider must agree with a direct mask computation."""
+        spec = paper_benchmark_spec()
+        r = price_binomial(spec, 64, return_boundary=True)
+        from repro.options.params import BinomialParams
+
+        p = BinomialParams.from_spec(spec, 64)
+        # recompute rows 63 and 0 by hand
+        import numpy as np
+
+        vals = np.maximum(p.exercise_value(64, np.arange(65)), 0.0)
+        cont = p.s0 * vals[:64] + p.s1 * vals[1:65]
+        exer = p.exercise_value(63, np.arange(64))
+        mask = cont >= exer
+        assert is_prefix_mask(mask)
+        assert r.boundary[63] == np.argmin(mask) - 1 if not mask.all() else 63
+
+    def test_put_boundary_is_green_prefix(self):
+        s = make(right=Right.PUT)
+        r = price_binomial(s, 64, return_boundary=True)
+        # for a put the divider is the exercise prefix: it must be a valid
+        # column index or -1 at every row
+        assert np.all(r.boundary >= -1)
+        assert np.all(r.boundary <= np.arange(65))
+
+    def test_metadata(self):
+        r = price_binomial(make(), 32)
+        assert r.steps == 32
+        assert r.cells == sum(i + 1 for i in range(33))
+        assert r.workspan.work > 0
+        assert r.meta["model"] == "binomial"
+
+
+class TestErrors:
+    def test_zero_steps(self):
+        with pytest.raises(ValidationError):
+            price_binomial(make(), 0)
+
+    def test_fractional_steps(self):
+        with pytest.raises(ValidationError):
+            price_binomial(make(), 2.5)

@@ -1,0 +1,118 @@
+"""Tests for the explicit FD Black–Scholes–Merton cone solver."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import check_bsm_boundary_invariants
+from repro.lattice.binomial import price_binomial
+from repro.lattice.blackscholes_fd import price_bsm_fd
+from repro.options.analytic import european_price, perpetual_american_put
+from repro.options.contract import OptionSpec, Right, Style
+from repro.util.validation import ValidationError
+
+
+def make(**kw):
+    defaults = dict(
+        spot=100.0,
+        strike=100.0,
+        rate=0.04,
+        volatility=0.25,
+        dividend_yield=0.0,
+        right=Right.PUT,
+    )
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+class TestEuropeanConvergence:
+    def test_converges_to_black_scholes_put(self):
+        s = make(style=Style.EUROPEAN)
+        exact = european_price(s)
+        err_128 = abs(price_bsm_fd(s, 128).price - exact)
+        err_1024 = abs(price_bsm_fd(s, 1024).price - exact)
+        assert err_1024 < 0.02
+        assert err_1024 < err_128
+
+
+class TestAmericanProperties:
+    def test_american_geq_european(self):
+        am = price_bsm_fd(make(), 256).price
+        eu = price_bsm_fd(make(style=Style.EUROPEAN), 256).price
+        assert am >= eu - 1e-12
+
+    def test_dominates_intrinsic(self):
+        for spot in (70.0, 100.0, 130.0):
+            s = make(spot=spot)
+            assert price_bsm_fd(s, 256).price >= s.intrinsic() - 1e-9
+
+    def test_close_to_binomial_american_put(self):
+        s = make()
+        fd = price_bsm_fd(s, 2048).price
+        tree = price_binomial(s, 2048).price
+        assert fd == pytest.approx(tree, abs=0.05)
+
+    def test_below_perpetual_put(self):
+        s = make(rate=0.03)
+        finite = price_bsm_fd(s, 512).price
+        assert finite <= perpetual_american_put(s) + 1e-6
+
+    def test_bounded_by_strike(self):
+        assert price_bsm_fd(make(), 128).price <= 100.0
+
+    def test_monotone_in_volatility(self):
+        prices = [
+            price_bsm_fd(make(volatility=v), 256).price for v in (0.15, 0.25, 0.4)
+        ]
+        assert prices[0] < prices[1] < prices[2]
+
+    def test_deep_otm_near_zero(self):
+        s = make(spot=400.0)
+        assert price_bsm_fd(s, 128).price < 0.05
+
+    def test_deep_itm_near_intrinsic(self):
+        s = make(spot=25.0)
+        assert price_bsm_fd(s, 256).price == pytest.approx(75.0, abs=0.5)
+
+
+class TestBoundary:
+    def test_thm43_movement(self):
+        r = price_bsm_fd(make(), 256, return_boundary=True)
+        violations = check_bsm_boundary_invariants(
+            r.boundary, steps=256, missing=-(256 + 1)
+        )
+        assert violations == []
+
+    def test_boundary_starts_near_strike(self):
+        r = price_bsm_fd(make(), 128, return_boundary=True)
+        # at tau=0 the exercise boundary is at s=0, i.e. x=K: index near
+        # -ln(S/K)/ds = 0 for the at-the-money contract
+        assert abs(int(r.boundary[0])) <= 1
+
+    def test_boundary_decreases(self):
+        r = price_bsm_fd(make(), 256, return_boundary=True)
+        b = r.boundary
+        valid = b > -(256 + 1)
+        assert b[valid][0] >= b[valid][-1]
+
+
+class TestValidationAndMeta:
+    def test_rejects_call(self):
+        with pytest.raises(ValidationError):
+            price_bsm_fd(make(right=Right.CALL), 16)
+
+    def test_rejects_bermudan(self):
+        with pytest.raises(ValidationError):
+            price_bsm_fd(make(style=Style.BERMUDAN), 16)
+
+    def test_lam_passthrough(self):
+        a = price_bsm_fd(make(), 128, lam=0.3).price
+        b = price_bsm_fd(make(), 128, lam=0.45).price
+        # different discretisations, same limit: close but not identical
+        assert a == pytest.approx(b, abs=0.2)
+        assert a != b
+
+    def test_cells_count(self):
+        r = price_bsm_fd(make(), 16)
+        assert r.cells == sum(2 * (16 - n) + 1 for n in range(17))

@@ -1,0 +1,102 @@
+"""Tests for the vanilla trinomial (Boyle) sweep."""
+
+import pytest
+
+from repro.core.boundary import check_tree_boundary_invariants
+from repro.lattice.binomial import price_binomial
+from repro.lattice.trinomial import price_trinomial
+from repro.options.analytic import european_price, intrinsic_bounds
+from repro.options.contract import OptionSpec, Right, Style, paper_benchmark_spec
+from repro.util.validation import ValidationError
+
+
+def make(**kw):
+    defaults = dict(
+        spot=100.0, strike=100.0, rate=0.05, volatility=0.2, dividend_yield=0.03
+    )
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+class TestEuropeanConvergence:
+    @pytest.mark.parametrize("right", [Right.CALL, Right.PUT])
+    def test_converges_to_black_scholes(self, right):
+        s = make(right=right, style=Style.EUROPEAN)
+        exact = european_price(s)
+        assert price_trinomial(s, 1024).price == pytest.approx(exact, abs=0.02)
+
+    def test_faster_convergence_than_binomial(self):
+        """Langat et al. (paper §3): TOPM needs roughly half the steps.
+
+        We verify the weaker, robust form: at equal steps the trinomial
+        error is not worse than the binomial error at half the steps.
+        """
+        s = make(style=Style.EUROPEAN)
+        exact = european_price(s)
+        tri = abs(price_trinomial(s, 128).price - exact)
+        bino_half = abs(price_binomial(s, 64).price - exact)
+        assert tri <= bino_half * 2.0  # generous: CRR error oscillates
+
+
+class TestAmericanProperties:
+    def test_american_geq_european(self):
+        am = price_trinomial(make(right=Right.PUT), 200).price
+        eu = price_trinomial(make(right=Right.PUT, style=Style.EUROPEAN), 200).price
+        assert am >= eu - 1e-12
+
+    def test_close_to_binomial_american(self):
+        s = make()
+        tri = price_trinomial(s, 400).price
+        bino = price_binomial(s, 400).price
+        assert tri == pytest.approx(bino, abs=0.05)
+
+    def test_zero_dividend_call_equals_european(self):
+        s = make(dividend_yield=0.0)
+        am = price_trinomial(s, 300).price
+        eu = price_trinomial(s.with_style(Style.EUROPEAN), 300).price
+        assert am == pytest.approx(eu, abs=1e-10)
+
+    def test_respects_bounds(self):
+        for right in (Right.CALL, Right.PUT):
+            s = make(right=right)
+            lo, hi = intrinsic_bounds(s)
+            assert lo - 1e-9 <= price_trinomial(s, 128).price <= hi + 1e-9
+
+    def test_t1_matches_hand_computation(self):
+        s = make(style=Style.EUROPEAN, dividend_yield=0.0)
+        from repro.options.params import TrinomialParams
+
+        p = TrinomialParams.from_spec(s, 1)
+        payoffs = [
+            max(s.spot * p.down - s.strike, 0.0),
+            max(s.spot - s.strike, 0.0),
+            max(s.spot * p.up - s.strike, 0.0),
+        ]
+        expected = p.s0 * payoffs[0] + p.s1 * payoffs[1] + p.s2 * payoffs[2]
+        assert price_trinomial(s, 1).price == pytest.approx(expected, rel=1e-14)
+
+
+class TestBoundaryAndBermudan:
+    def test_boundary_invariants_paper_spec(self):
+        r = price_trinomial(paper_benchmark_spec(), 128, return_boundary=True)
+        violations = check_tree_boundary_invariants(
+            r.boundary, steps=128, columns_per_row=2
+        )
+        assert violations == []
+
+    def test_bermudan_sandwich(self):
+        s = make(right=Right.PUT, style=Style.BERMUDAN)
+        eu = price_trinomial(make(right=Right.PUT, style=Style.EUROPEAN), 48).price
+        am = price_trinomial(make(right=Right.PUT), 48).price
+        bm = price_trinomial(s, 48, exercise_steps=[12, 24, 36]).price
+        assert eu - 1e-12 <= bm <= am + 1e-12
+
+    def test_cells_count(self):
+        r = price_trinomial(make(), 16)
+        assert r.cells == sum(2 * i + 1 for i in range(17))
+
+
+class TestErrors:
+    def test_zero_steps(self):
+        with pytest.raises(ValidationError):
+            price_trinomial(make(), 0)

@@ -1,0 +1,142 @@
+"""Tests for the closed-form oracles (Black–Scholes, perpetual put, bounds)."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.options.analytic import (
+    black_scholes,
+    european_price,
+    intrinsic_bounds,
+    no_early_exercise_call,
+    perpetual_american_put,
+)
+from repro.options.contract import OptionSpec, Right
+from repro.util.validation import ValidationError
+from tests.conftest import call_specs
+
+
+def make(**kw):
+    defaults = dict(
+        spot=100.0, strike=100.0, rate=0.05, volatility=0.2, expiry_days=252.0
+    )
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+class TestBlackScholes:
+    def test_textbook_call_value(self):
+        """Hull's classic example: S=42, K=40, r=10%, sigma=20%, T=0.5y."""
+        s = OptionSpec(
+            spot=42.0, strike=40.0, rate=0.10, volatility=0.2, expiry_days=126.0
+        )
+        assert european_price(s) == pytest.approx(4.759, abs=2e-3)
+
+    def test_textbook_put_value(self):
+        s = OptionSpec(
+            spot=42.0,
+            strike=40.0,
+            rate=0.10,
+            volatility=0.2,
+            expiry_days=126.0,
+            right=Right.PUT,
+        )
+        assert european_price(s) == pytest.approx(0.808, abs=2e-3)
+
+    def test_put_call_parity(self):
+        call = make()
+        put = make(right=Right.PUT)
+        t = call.years
+        lhs = european_price(call) - european_price(put)
+        rhs = call.spot * math.exp(-call.dividend_yield * t) - call.strike * math.exp(
+            -call.rate * t
+        )
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    @given(spec=call_specs())
+    def test_property_put_call_parity(self, spec):
+        call = spec
+        put = spec.with_right(Right.PUT)
+        t = spec.years
+        lhs = european_price(call) - european_price(put)
+        rhs = spec.spot * math.exp(-spec.dividend_yield * t) - spec.strike * math.exp(
+            -spec.rate * t
+        )
+        assert lhs == pytest.approx(rhs, abs=1e-9 * spec.strike)
+
+    def test_delta_bounds(self):
+        r = black_scholes(make())
+        assert 0.0 <= r.delta <= 1.0
+        rp = black_scholes(make(right=Right.PUT))
+        assert -1.0 <= rp.delta <= 0.0
+
+    def test_gamma_vega_positive(self):
+        r = black_scholes(make())
+        assert r.gamma > 0
+        assert r.vega > 0
+
+    def test_delta_matches_finite_difference(self):
+        base = make()
+        h = 1e-4 * base.spot
+        up = european_price(make(spot=base.spot + h))
+        dn = european_price(make(spot=base.spot - h))
+        assert black_scholes(base).delta == pytest.approx((up - dn) / (2 * h), abs=1e-5)
+
+    def test_vega_matches_finite_difference(self):
+        base = make()
+        h = 1e-5
+        up = european_price(make(volatility=0.2 + h))
+        dn = european_price(make(volatility=0.2 - h))
+        assert black_scholes(base).vega == pytest.approx((up - dn) / (2 * h), rel=1e-4)
+
+    def test_dividend_lowers_call(self):
+        assert european_price(make(dividend_yield=0.05)) < european_price(make())
+
+
+class TestPerpetualPut:
+    def test_above_boundary_formula(self):
+        s = make(right=Right.PUT, rate=0.02)
+        v = perpetual_american_put(s)
+        gamma = 2 * 0.02 / 0.04
+        l_star = 100.0 * gamma / (gamma + 1)
+        assert v == pytest.approx((100.0 - l_star) * (100.0 / l_star) ** (-gamma))
+
+    def test_below_boundary_intrinsic(self):
+        s = make(spot=10.0, right=Right.PUT, rate=0.05)
+        assert perpetual_american_put(s) == pytest.approx(90.0)
+
+    def test_dominates_intrinsic(self):
+        s = make(right=Right.PUT)
+        assert perpetual_american_put(s) >= s.intrinsic()
+
+    def test_requires_put(self):
+        with pytest.raises(ValidationError):
+            perpetual_american_put(make())
+
+    def test_requires_zero_dividend(self):
+        with pytest.raises(ValidationError):
+            perpetual_american_put(make(right=Right.PUT, dividend_yield=0.01))
+
+
+class TestBoundsAndFacts:
+    def test_no_early_exercise_flag(self):
+        assert no_early_exercise_call(make(dividend_yield=0.0))
+        assert not no_early_exercise_call(make(dividend_yield=0.01))
+        assert not no_early_exercise_call(make(right=Right.PUT))
+
+    def test_call_bounds_contain_european(self):
+        s = make()
+        lo, hi = intrinsic_bounds(s)
+        v = european_price(s)
+        assert lo <= v <= hi
+
+    def test_put_bounds_contain_european(self):
+        s = make(right=Right.PUT)
+        lo, hi = intrinsic_bounds(s)
+        assert lo <= european_price(s) <= hi
+
+    @given(spec=call_specs())
+    def test_property_bounds_ordering(self, spec):
+        lo, hi = intrinsic_bounds(spec)
+        assert 0.0 <= lo <= hi

@@ -1,0 +1,115 @@
+"""Unit tests for the OptionSpec contract object."""
+
+import math
+
+import pytest
+
+from repro.options.contract import OptionSpec, Right, Style, paper_benchmark_spec
+from repro.util.validation import ValidationError
+
+
+def make(**kw):
+    defaults = dict(spot=100.0, strike=100.0, rate=0.02, volatility=0.2)
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        s = make()
+        assert s.right is Right.CALL
+        assert s.style is Style.AMERICAN
+
+    @pytest.mark.parametrize("field", ["spot", "strike", "volatility", "expiry_days"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ValidationError, match=field):
+            make(**{field: 0.0})
+
+    @pytest.mark.parametrize("field", ["rate", "dividend_yield"])
+    def test_nonnegative_fields(self, field):
+        with pytest.raises(ValidationError, match=field):
+            make(**{field: -0.01})
+        assert getattr(make(**{field: 0.0}), field) == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            make(spot=math.nan)
+
+    def test_right_type_checked(self):
+        with pytest.raises(ValidationError):
+            make(right="call")
+
+    def test_style_type_checked(self):
+        with pytest.raises(ValidationError):
+            make(style="american")
+
+    def test_day_count_positive(self):
+        with pytest.raises(ValidationError):
+            OptionSpec(
+                spot=1, strike=1, rate=0, volatility=0.2, day_count=0
+            )
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make().spot = 50.0
+
+
+class TestDerived:
+    def test_years(self):
+        assert make(expiry_days=126.0).years == pytest.approx(0.5)
+
+    def test_moneyness(self):
+        assert make(spot=110.0, strike=100.0).moneyness == pytest.approx(1.1)
+
+    def test_log_moneyness(self):
+        s = make(spot=110.0, strike=100.0)
+        assert s.log_moneyness == pytest.approx(math.log(1.1))
+
+    def test_intrinsic_call(self):
+        assert make(spot=110.0).intrinsic() == pytest.approx(10.0)
+        assert make(spot=90.0).intrinsic() == 0.0
+
+    def test_intrinsic_put(self):
+        s = make(spot=90.0, right=Right.PUT)
+        assert s.intrinsic() == pytest.approx(10.0)
+        assert s.intrinsic(price=120.0) == 0.0
+
+
+class TestTransforms:
+    def test_with_right(self):
+        s = make().with_right(Right.PUT)
+        assert s.right is Right.PUT
+        assert s.spot == 100.0
+
+    def test_with_style(self):
+        s = make().with_style(Style.EUROPEAN)
+        assert s.style is Style.EUROPEAN
+
+    def test_symmetric_dual_swaps(self):
+        s = make(spot=90.0, strike=110.0, rate=0.03, dividend_yield=0.01)
+        d = s.symmetric_dual()
+        assert d.spot == 110.0
+        assert d.strike == 90.0
+        assert d.rate == 0.01
+        assert d.dividend_yield == 0.03
+        assert d.right is Right.PUT  # call flipped to put
+
+    def test_symmetric_dual_involution(self):
+        s = make(spot=90.0, strike=110.0, rate=0.03, dividend_yield=0.01)
+        assert s.symmetric_dual().symmetric_dual() == s
+
+
+class TestPaperSpec:
+    def test_paper_values(self):
+        s = paper_benchmark_spec()
+        assert s.spot == 127.62
+        assert s.strike == 130.0
+        assert s.rate == 0.00163
+        assert s.volatility == 0.2
+        assert s.dividend_yield == 0.0163
+        assert s.expiry_days == 252.0
+        assert s.years == pytest.approx(1.0)
+
+    def test_paper_put_variant(self):
+        s = paper_benchmark_spec(Right.PUT)
+        assert s.right is Right.PUT

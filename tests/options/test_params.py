@@ -1,0 +1,169 @@
+"""Unit tests for the lattice/FD parameterisations (paper §2.1, §3, §4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.options.contract import OptionSpec, Right
+from repro.options.params import BinomialParams, BSMGridParams, TrinomialParams
+from repro.util.validation import ValidationError
+from tests.conftest import call_specs
+
+
+def make_spec(**kw):
+    defaults = dict(spot=100.0, strike=100.0, rate=0.02, volatility=0.2)
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+class TestBinomialParams:
+    def test_ud_identity(self):
+        p = BinomialParams.from_spec(make_spec(), 100)
+        assert p.up * p.down == pytest.approx(1.0)
+
+    def test_crr_up_factor(self):
+        s = make_spec()
+        p = BinomialParams.from_spec(s, 252)
+        assert p.up == pytest.approx(math.exp(0.2 * math.sqrt(s.years / 252)))
+
+    def test_probability_in_unit_interval(self):
+        p = BinomialParams.from_spec(make_spec(dividend_yield=0.05), 50)
+        assert 0.0 < p.prob_up < 1.0
+
+    def test_martingale_property(self):
+        """E[S_{t+1}] = S_t e^{(R-Y) dt} under the risk-neutral measure."""
+        s = make_spec(dividend_yield=0.01)
+        p = BinomialParams.from_spec(s, 40)
+        expected = p.prob_up * p.up + (1 - p.prob_up) * p.down
+        assert expected == pytest.approx(
+            math.exp((s.rate - s.dividend_yield) * p.dt), rel=1e-12
+        )
+
+    def test_weights_sum_to_discount(self):
+        p = BinomialParams.from_spec(make_spec(), 10)
+        assert p.s0 + p.s1 == pytest.approx(p.discount)
+
+    def test_degenerate_probability_raises(self):
+        # huge negative drift vs tiny volatility pushes p out of (0,1)
+        with pytest.raises(ValidationError, match="probability"):
+            BinomialParams.from_spec(
+                make_spec(volatility=0.01, dividend_yield=2.0), 1
+            )
+
+    def test_asset_price_identity(self):
+        s = make_spec()
+        p = BinomialParams.from_spec(s, 16)
+        # root price is S; top-right leaf is S*u^T
+        assert float(p.asset_price(0, 0)) == pytest.approx(s.spot)
+        assert float(p.asset_price(16, 16)) == pytest.approx(s.spot * p.up**16)
+
+    def test_exercise_value_signed(self):
+        s = make_spec(strike=150.0)
+        p = BinomialParams.from_spec(s, 8)
+        assert float(p.exercise_value(0, 0)) == pytest.approx(100.0 - 150.0)
+
+    def test_steps_validation(self):
+        with pytest.raises(ValidationError):
+            BinomialParams.from_spec(make_spec(), 0)
+
+    def test_taps_tuple(self):
+        p = BinomialParams.from_spec(make_spec(), 4)
+        assert p.taps == (p.s0, p.s1)
+
+    @given(spec=call_specs())
+    def test_property_valid_parameterisation(self, spec):
+        p = BinomialParams.from_spec(spec, 64)
+        assert 0.0 < p.prob_up < 1.0
+        assert 0.0 < p.discount <= 1.0
+        assert p.up > 1.0 > p.down > 0.0
+
+
+class TestTrinomialParams:
+    def test_probabilities_sum_to_one(self):
+        p = TrinomialParams.from_spec(make_spec(), 50)
+        assert p.prob_up + p.prob_mid + p.prob_down == pytest.approx(1.0)
+
+    def test_up_factor_sqrt2(self):
+        s = make_spec()
+        p = TrinomialParams.from_spec(s, 252)
+        dt = s.years / 252
+        assert p.up == pytest.approx(math.exp(0.2 * math.sqrt(2 * dt)))
+
+    def test_martingale_property(self):
+        s = make_spec(dividend_yield=0.02)
+        p = TrinomialParams.from_spec(s, 40)
+        expected = p.prob_up * p.up + p.prob_mid + p.prob_down * p.down
+        assert expected == pytest.approx(
+            math.exp((s.rate - s.dividend_yield) * p.dt), rel=1e-10
+        )
+
+    def test_weights_sum_to_discount(self):
+        p = TrinomialParams.from_spec(make_spec(), 10)
+        assert p.s0 + p.s1 + p.s2 == pytest.approx(p.discount)
+
+    def test_asset_price_grid_convention(self):
+        s = make_spec()
+        p = TrinomialParams.from_spec(s, 8)
+        # column j = i is the flat (spot) node at every row
+        for i in (0, 3, 8):
+            assert float(p.asset_price(i, i)) == pytest.approx(s.spot)
+
+    def test_taps_tuple(self):
+        p = TrinomialParams.from_spec(make_spec(), 4)
+        assert p.taps == (p.s0, p.s1, p.s2)
+
+
+class TestBSMGridParams:
+    def put_spec(self, **kw):
+        return make_spec(right=Right.PUT, **kw)
+
+    def test_requires_put(self):
+        with pytest.raises(ValidationError, match="put"):
+            BSMGridParams.from_spec(make_spec(), 16)
+
+    def test_requires_zero_dividend(self):
+        with pytest.raises(ValidationError, match="dividend"):
+            BSMGridParams.from_spec(self.put_spec(dividend_yield=0.02), 16)
+
+    def test_requires_positive_rate(self):
+        with pytest.raises(ValidationError, match="rate"):
+            BSMGridParams.from_spec(self.put_spec(rate=0.0), 16)
+
+    def test_omega(self):
+        p = BSMGridParams.from_spec(self.put_spec(), 16)
+        assert p.omega == pytest.approx(2 * 0.02 / 0.04)
+
+    def test_parabolic_ratio(self):
+        p = BSMGridParams.from_spec(self.put_spec(), 64, lam=0.3)
+        assert p.dtau / p.ds**2 == pytest.approx(0.3)
+
+    def test_lam_bounds(self):
+        with pytest.raises(ValidationError):
+            BSMGridParams.from_spec(self.put_spec(), 16, lam=0.6)
+        with pytest.raises(ValidationError):
+            BSMGridParams.from_spec(self.put_spec(), 16, lam=0.0)
+
+    def test_coefficients_nonnegative_and_substochastic(self):
+        p = BSMGridParams.from_spec(self.put_spec(), 64)
+        assert p.coef_down >= 0 and p.coef_mid >= 0 and p.coef_up >= 0
+        assert p.coef_down + p.coef_mid + p.coef_up <= 1.0
+
+    def test_payoff_at_origin(self):
+        s = self.put_spec(spot=90.0, strike=100.0)
+        p = BSMGridParams.from_spec(s, 16)
+        # k=0 is s = ln(S/K): payoff = 1 - S/K
+        assert float(p.payoff(0)) == pytest.approx(1.0 - 0.9)
+
+    def test_s_values_spacing(self):
+        p = BSMGridParams.from_spec(self.put_spec(), 16)
+        sv = p.s_values(np.array([0, 1, 2]))
+        assert sv[1] - sv[0] == pytest.approx(p.ds)
+
+    def test_monotonicity_condition_violation_detected(self):
+        # gigantic omega (rate >> vol^2) makes coef_mid negative at tiny T
+        with pytest.raises(ValidationError, match="coefficient"):
+            BSMGridParams.from_spec(
+                self.put_spec(rate=0.5, volatility=0.1), 1
+            )

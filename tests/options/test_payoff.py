@@ -1,0 +1,39 @@
+"""Tests for the vectorised payoff helpers."""
+
+import numpy as np
+
+from repro.options.contract import OptionSpec, Right
+from repro.options.payoff import signed_exercise, terminal_payoff
+
+
+def make(right=Right.CALL):
+    return OptionSpec(spot=100.0, strike=100.0, rate=0.02, volatility=0.2, right=right)
+
+
+def test_terminal_payoff_call_floor():
+    out = terminal_payoff(make(), np.array([80.0, 100.0, 130.0]))
+    np.testing.assert_allclose(out, [0.0, 0.0, 30.0])
+
+
+def test_terminal_payoff_put_floor():
+    out = terminal_payoff(make(Right.PUT), np.array([80.0, 100.0, 130.0]))
+    np.testing.assert_allclose(out, [20.0, 0.0, 0.0])
+
+
+def test_signed_exercise_call_unfloored():
+    out = signed_exercise(make(), np.array([80.0, 130.0]))
+    np.testing.assert_allclose(out, [-20.0, 30.0])
+
+
+def test_signed_exercise_put_unfloored():
+    out = signed_exercise(make(Right.PUT), np.array([80.0, 130.0]))
+    np.testing.assert_allclose(out, [20.0, -30.0])
+
+
+def test_relationship_terminal_is_floored_signed():
+    prices = np.linspace(50, 150, 11)
+    for right in (Right.CALL, Right.PUT):
+        s = make(right)
+        np.testing.assert_allclose(
+            terminal_payoff(s, prices), np.maximum(signed_exercise(s, prices), 0.0)
+        )

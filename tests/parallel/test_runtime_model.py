@@ -1,0 +1,58 @@
+"""Tests for the calibrated runtime model."""
+
+import pytest
+
+from repro.parallel.runtime_model import RuntimeModel, calibrate_flop_rate
+from repro.parallel.workspan import WorkSpan
+from repro.util.validation import ValidationError
+
+
+def test_calibration_roundtrip():
+    ws = WorkSpan(1e9, 1e4)
+    model = RuntimeModel.from_measurement(ws, 0.5)
+    assert model.predict_seconds(ws, 1) == pytest.approx(0.5)
+
+
+def test_calibrate_flop_rate():
+    assert calibrate_flop_rate(WorkSpan(2e9, 1), 2.0) == pytest.approx(1e9)
+
+
+def test_calibrate_rejects_zero_work():
+    with pytest.raises(ValidationError):
+        calibrate_flop_rate(WorkSpan(0, 0), 1.0)
+
+
+def test_calibrate_rejects_zero_time():
+    with pytest.raises(ValidationError):
+        calibrate_flop_rate(WorkSpan(1, 1), 0.0)
+
+
+def test_parallel_prediction_monotone_until_overhead():
+    ws = WorkSpan(1e9, 1e3)
+    model = RuntimeModel.from_measurement(ws, 1.0)
+    t2 = model.predict_seconds(ws, 2)
+    t8 = model.predict_seconds(ws, 8)
+    assert t8 < t2 < 1.0
+
+
+def test_low_parallelism_plateaus():
+    """A span-bound workload stops scaling (the paper's fft-bopm Table 5 row)."""
+    ws = WorkSpan(1e6, 1e5)  # parallelism 10
+    model = RuntimeModel.from_measurement(ws, 1.0)
+    t8 = model.predict_seconds(ws, 8)
+    t48 = model.predict_seconds(ws, 48)
+    assert t48 > 0.5 * t8  # barely improves past p=8
+
+
+def test_predict_curve_keys():
+    ws = WorkSpan(1e6, 1e2)
+    model = RuntimeModel.from_measurement(ws, 1.0)
+    curve = model.predict_curve(ws, (1, 2, 48))
+    assert set(curve) == {1, 2, 48}
+
+
+def test_overheads_only_for_parallel_runs():
+    ws = WorkSpan(1e6, 1e2)
+    model = RuntimeModel(flop_rate=1e6, sync_overhead_s=1.0)
+    assert model.predict_seconds(ws, 1) == pytest.approx(1.0001)
+    assert model.predict_seconds(ws, 2) > 1.0  # overhead applied

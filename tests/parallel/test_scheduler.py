@@ -1,0 +1,130 @@
+"""Tests for the task-DAG greedy scheduler (Brent-bound invariants)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.scheduler import (
+    GreedyScheduler,
+    TaskGraph,
+    simulate_brent,
+    speedup_curve,
+)
+from repro.parallel.workspan import WorkSpan
+from repro.util.validation import ValidationError
+
+
+def chain(n, cost=1.0):
+    g = TaskGraph()
+    prev = []
+    for i in range(n):
+        g.add(f"t{i}", cost, prev)
+        prev = [f"t{i}"]
+    return g
+
+
+def independent(n, cost=1.0):
+    g = TaskGraph()
+    for i in range(n):
+        g.add(f"t{i}", cost)
+    return g
+
+
+class TestTaskGraph:
+    def test_work_and_span_chain(self):
+        g = chain(10)
+        assert g.work == 10.0
+        assert g.span == 10.0
+
+    def test_work_and_span_independent(self):
+        g = independent(10)
+        assert g.work == 10.0
+        assert g.span == 1.0
+
+    def test_diamond_span(self):
+        g = TaskGraph()
+        g.add("a", 1.0)
+        g.add("b", 5.0, ["a"])
+        g.add("c", 2.0, ["a"])
+        g.add("d", 1.0, ["b", "c"])
+        assert g.span == 7.0  # a -> b -> d
+        assert g.work == 9.0
+
+    def test_duplicate_id_rejected(self):
+        g = TaskGraph()
+        g.add("a", 1.0)
+        with pytest.raises(ValidationError):
+            g.add("a", 1.0)
+
+    def test_unknown_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValidationError):
+            g.add("a", 1.0, ["ghost"])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            TaskGraph().add("a", -1.0)
+
+
+class TestGreedyScheduler:
+    def test_chain_not_parallelisable(self):
+        assert GreedyScheduler(8).run(chain(20)) == 20.0
+
+    def test_independent_perfect_speedup(self):
+        assert GreedyScheduler(4).run(independent(20)) == 5.0
+
+    def test_single_processor_is_work(self):
+        g = independent(7, cost=2.0)
+        assert GreedyScheduler(1).run(g) == 14.0
+
+    def test_diamond(self):
+        g = TaskGraph()
+        g.add("a", 1.0)
+        g.add("b", 5.0, ["a"])
+        g.add("c", 2.0, ["a"])
+        g.add("d", 1.0, ["b", "c"])
+        assert GreedyScheduler(2).run(g) == 7.0
+
+    def test_empty_graph(self):
+        assert GreedyScheduler(4).run(TaskGraph()) == 0.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            GreedyScheduler(0)
+
+    @given(
+        n=st.integers(1, 40),
+        p=st.integers(1, 8),
+        fanout=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_brent_window(self, n, p, fanout, seed):
+        """Any greedy schedule satisfies max(T1/p, Tinf) <= Tp <= T1/p + Tinf."""
+        import random
+
+        rng = random.Random(seed)
+        g = TaskGraph()
+        ids = []
+        for i in range(n):
+            deps = rng.sample(ids, min(len(ids), rng.randint(0, fanout)))
+            g.add(f"t{i}", rng.uniform(0.1, 3.0), deps)
+            ids.append(f"t{i}")
+        makespan = GreedyScheduler(p).run(g)
+        t1, tinf = g.work, g.span
+        assert makespan >= max(t1 / p, tinf) - 1e-9
+        assert makespan <= t1 / p + tinf + 1e-9
+
+
+class TestHelpers:
+    def test_simulate_brent(self):
+        assert simulate_brent(WorkSpan(100, 10), 10) == 20.0
+
+    def test_speedup_curve_monotone(self):
+        curve = speedup_curve(WorkSpan(1e6, 1e3), [1, 2, 4, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[1] <= curve[2] <= curve[4] <= curve[8]
+
+    def test_speedup_capped_by_parallelism(self):
+        ws = WorkSpan(1e6, 1e3)  # parallelism 1000
+        curve = speedup_curve(ws, [10**6])
+        assert curve[10**6] < 1001.0

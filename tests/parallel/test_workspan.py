@@ -1,0 +1,101 @@
+"""Tests for the work–span algebra and cost helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.workspan import (
+    WorkSpan,
+    fft_cost,
+    fft_convolution_cost,
+    rows_cost,
+    stencil_cell_flops,
+)
+
+ws_values = st.builds(
+    WorkSpan, work=st.floats(0.0, 1e9), span=st.floats(0.0, 1e6)
+)
+
+
+class TestAlgebra:
+    def test_then_adds_both(self):
+        a, b = WorkSpan(10, 2), WorkSpan(5, 3)
+        c = a.then(b)
+        assert c.work == 15 and c.span == 5
+
+    def test_beside_maxes_span(self):
+        a, b = WorkSpan(10, 2), WorkSpan(5, 3)
+        c = a.beside(b)
+        assert c.work == 15 and c.span == 3
+
+    def test_operators(self):
+        a, b = WorkSpan(1, 1), WorkSpan(2, 2)
+        assert (a + b) == a.then(b)
+        assert (a | b) == a.beside(b)
+
+    def test_zero_identity(self):
+        a = WorkSpan(7, 3)
+        assert a.then(WorkSpan.ZERO) == a
+        assert a.beside(WorkSpan.ZERO) == a
+
+    @given(a=ws_values, b=ws_values, c=ws_values)
+    def test_property_then_associative(self, a, b, c):
+        lhs = a.then(b).then(c)
+        rhs = a.then(b.then(c))
+        assert lhs.work == pytest.approx(rhs.work)
+        assert lhs.span == pytest.approx(rhs.span)
+
+    @given(a=ws_values, b=ws_values)
+    def test_property_span_bounds(self, a, b):
+        assert a.beside(b).span <= a.then(b).span
+
+
+class TestBrent:
+    def test_p1_is_work(self):
+        assert WorkSpan(100, 5).brent_time(1) == 105.0
+
+    def test_large_p_approaches_span(self):
+        ws = WorkSpan(1e6, 10)
+        assert ws.brent_time(10**9) == pytest.approx(10.0, rel=1e-3)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            WorkSpan(1, 1).brent_time(0)
+
+    def test_parallelism(self):
+        assert WorkSpan(100, 4).parallelism == 25.0
+        assert WorkSpan(0, 0).parallelism == 1.0
+        assert WorkSpan(5, 0).parallelism == math.inf
+
+    @given(ws=ws_values, p=st.integers(1, 1024))
+    def test_property_brent_window(self, ws, p):
+        tp = ws.brent_time(p)
+        assert tp >= max(ws.work / p, ws.span) - 1e-9
+        assert tp <= ws.work + ws.span + 1e-9
+
+
+class TestCosts:
+    def test_fft_cost_nlogn(self):
+        assert fft_cost(1024).work == pytest.approx(5 * 1024 * 10)
+
+    def test_fft_cost_tiny(self):
+        assert fft_cost(1).work == 1.0
+
+    def test_fft_span_sublinear(self):
+        assert fft_cost(1 << 20).span < 200
+
+    def test_conv_cost_triple_transform(self):
+        c = fft_convolution_cost(10, 100, 50)
+        assert c.work > 3 * fft_cost(149).work
+
+    def test_rows_cost_linear_in_rows(self):
+        one = rows_cost(1, 100, 2)
+        ten = rows_cost(10, 100, 2)
+        assert ten.work == pytest.approx(10 * one.work)
+        assert ten.span == pytest.approx(10 * one.span)
+
+    def test_stencil_cell_flops(self):
+        assert stencil_cell_flops(2) == 4.0
+        assert stencil_cell_flops(3) == 6.0

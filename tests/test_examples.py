@@ -1,0 +1,62 @@
+"""Every example must run end-to-end (small arguments, captured output)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [path] + argv
+    try:
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_path(path, run_name="__main__")
+        assert exc.value.code in (0, None)
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("examples/quickstart.py", ["--steps", "128"], capsys)
+    assert "fft price" in out
+    assert "Black–Scholes closed form" in out
+
+
+def test_exercise_boundary(capsys):
+    out = run_example("examples/exercise_boundary.py", ["--steps", "128"], capsys)
+    assert "binomial" in out
+    assert "bsm-fd" in out
+    assert "boundary price" in out
+
+
+def test_convergence(capsys):
+    out = run_example("examples/convergence.py", ["--max-exp", "9"], capsys)
+    assert "Richardson" in out
+
+
+def test_speedup_demo(capsys):
+    out = run_example(
+        "examples/speedup_demo.py", ["--min-exp", "8", "--max-exp", "9"], capsys
+    )
+    assert "speedup vs zb" in out
+
+
+def test_portfolio(capsys):
+    out = run_example("examples/portfolio.py", ["--steps", "64"], capsys)
+    assert "early-ex premium" in out
+    assert "ms/contract" in out
+
+
+def test_paper_tables_list(capsys):
+    out = run_example("examples/paper_tables.py", ["--list"], capsys)
+    assert "fig5-bopm" in out
+    assert "table5" in out
+
+
+def test_paper_tables_run_one(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    out = run_example("examples/paper_tables.py", ["agreement"], capsys)
+    assert "fft vs vanilla" in out

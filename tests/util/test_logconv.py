@@ -1,0 +1,70 @@
+"""Unit + property tests for the log-domain combinatorics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.logconv import binomial_pmf_weights, log_binomial, logsumexp_weighted
+
+
+class TestLogBinomial:
+    def test_small_values_exact(self):
+        for h in range(10):
+            for k in range(h + 1):
+                assert math.isclose(
+                    math.exp(float(log_binomial(h, k))),
+                    math.comb(h, k),
+                    rel_tol=1e-12,
+                )
+
+    def test_vectorised(self):
+        out = log_binomial(5, np.array([0, 1, 2]))
+        assert out.shape == (3,)
+        assert math.isclose(math.exp(out[2]), 10.0, rel_tol=1e-12)
+
+
+class TestBinomialPmfWeights:
+    def test_sums_to_power(self):
+        s0, s1 = 0.45, 0.52
+        w = binomial_pmf_weights(100, math.log(s0), math.log(s1))
+        assert math.isclose(w.sum(), (s0 + s1) ** 100, rel_tol=1e-12)
+
+    def test_matches_direct_for_small_h(self):
+        s0, s1 = 0.3, 0.65
+        w = binomial_pmf_weights(12, math.log(s0), math.log(s1))
+        direct = np.array(
+            [math.comb(12, k) * s0 ** (12 - k) * s1**k for k in range(13)]
+        )
+        np.testing.assert_allclose(w, direct, rtol=1e-12)
+
+    def test_huge_h_stays_finite(self):
+        w = binomial_pmf_weights(500_000, math.log(0.5), math.log(0.4999))
+        assert np.all(np.isfinite(w))
+        assert w.sum() <= 1.0
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_pmf_weights(-1, 0.0, 0.0)
+
+    @given(
+        h=st.integers(1, 400),
+        s0=st.floats(0.05, 0.9),
+        s1=st.floats(0.05, 0.9),
+    )
+    def test_property_sum_identity(self, h, s0, s1):
+        total = s0 + s1
+        w = binomial_pmf_weights(h, math.log(s0), math.log(s1))
+        assert math.isclose(w.sum(), total**h, rel_tol=1e-9)
+
+
+def test_logsumexp_weighted():
+    terms = np.log(np.array([1.0, 2.0, 3.0]))
+    assert math.isclose(logsumexp_weighted(terms), math.log(6.0), rel_tol=1e-12)
+
+
+def test_logsumexp_handles_neg_inf():
+    terms = np.array([-np.inf, 0.0])
+    assert math.isclose(logsumexp_weighted(terms), 0.0, abs_tol=1e-12)

@@ -1,0 +1,65 @@
+"""Unit tests for the table/series formatting helpers."""
+
+from repro.util.tables import format_series, format_table, to_csv
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[-1]
+        # all rows render to the same width
+        assert len({len(line) for line in lines}) <= 2  # header sep differs
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_float_format_applied(self):
+        out = format_table(["x"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+        assert "3.1416" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+
+class TestFormatSeries:
+    def test_union_of_x_values(self):
+        series = {"a": {1: 10.0, 2: 20.0}, "b": {2: 5.0, 3: 7.0}}
+        out = format_series(series)
+        lines = out.splitlines()
+        assert len(lines) == 2 + 3  # header + sep + three x rows
+
+    def test_missing_points_dash(self):
+        series = {"a": {1: 10.0}, "b": {2: 5.0}}
+        out = format_series(series)
+        assert "-" in out
+
+    def test_x_name(self):
+        out = format_series({"a": {1: 1.0}}, x_name="steps")
+        assert out.splitlines()[0].startswith("steps")
+
+
+class TestToCsv:
+    def test_header_and_rows(self):
+        csv = to_csv({"a": {1: 10.0}, "b": {1: 2.5}})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "T,a,b"
+        assert lines[1].startswith("1,")
+
+    def test_missing_cell_empty(self):
+        csv = to_csv({"a": {1: 10.0}, "b": {2: 2.5}})
+        lines = csv.strip().splitlines()
+        assert lines[1].endswith(",")  # b missing at x=1
+
+    def test_roundtrip_precision(self):
+        value = 0.1234567890123456789
+        csv = to_csv({"a": {1: value}})
+        assert repr(value) in csv

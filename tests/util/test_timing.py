@@ -1,0 +1,41 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+from repro.util.timing import Timer, measure
+
+
+def test_timer_accumulates():
+    t = Timer()
+    with t:
+        time.sleep(0.002)
+    first = t.elapsed
+    with t:
+        time.sleep(0.002)
+    assert t.elapsed > first >= 0.002
+
+
+def test_measure_returns_result():
+    secs, result = measure(lambda: 41 + 1, min_time=0.001)
+    assert result == 42
+    assert secs >= 0.0
+
+
+def test_measure_slow_call_runs_once():
+    calls = []
+
+    def slow():
+        calls.append(1)
+        time.sleep(0.06)
+        return "done"
+
+    secs, result = measure(slow, min_time=0.05)
+    assert result == "done"
+    assert len(calls) == 1
+    assert secs >= 0.05
+
+
+def test_measure_fast_call_repeats():
+    calls = []
+    measure(lambda: calls.append(1), min_time=0.01)
+    assert len(calls) > 3

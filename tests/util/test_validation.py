@@ -1,0 +1,109 @@
+"""Unit tests for the argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_finite,
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_float(self):
+        assert check_finite("x", 1.5) == 1.5
+
+    def test_accepts_int(self):
+        assert check_finite("x", 3) == 3.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_finite("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_finite("x", math.inf)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_finite("x", "not a number")
+
+    def test_rejects_none(self):
+        with pytest.raises(ValidationError):
+            check_finite("x", None)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1.0)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -1e-12)
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="volatility"):
+            check_in_range("volatility", -1.0, 0.0, 1.0)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer("n", 5) == 5
+
+    def test_accepts_integral_float(self):
+        assert check_integer("n", 4.0) == 4
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 4.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", True)
+
+    def test_accepts_numpy_integer(self):
+        import numpy as np
+
+        assert check_integer("n", np.int64(7)) == 7
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 0, minimum=1)
+
+    def test_minimum_boundary_ok(self):
+        assert check_integer("n", 1, minimum=1) == 1
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
