@@ -1,0 +1,205 @@
+"""Old-vs-new advance throughput for the plan-caching AdvanceEngine.
+
+Measures three things across ``T in {2^10 .. 2^17}`` and writes
+``BENCH_advance_engine.json`` (repo root by default):
+
+1. **Repeated same-height advances** — the kernel-spectrum cache-hit path
+   (one rFFT + pointwise multiply + irFFT against a cached conjugated
+   kernel spectrum) versus the legacy stateless ``fftconvolve`` path (three
+   transforms of a larger pad plus a reversed-kernel copy per call).  This
+   is the access pattern of the trapezoid recursion, which requests the
+   same ``(taps, h)`` kernel at every level.
+2. **Full solves** — ``solve_tree_fft`` with a warm plan-caching engine
+   versus ``AdvanceEngine(reuse=False)`` (the exact pre-engine behaviour),
+   with the price agreement checked to 1e-10 relative.
+3. **Batched portfolio jumps** — ``advance_many`` over a strike strip
+   versus the same advances issued sequentially.
+
+Run ``python benchmarks/bench_advance_engine.py`` for the full sweep or
+``--quick`` for a CI smoke pass (not a substitute for the pytest suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core.fftstencil import AdvanceEngine  # noqa: E402
+from repro.core.tree_solver import solve_tree_fft  # noqa: E402
+from repro.options.contract import paper_benchmark_spec  # noqa: E402
+from repro.options.params import BinomialParams  # noqa: E402
+
+SPEC = paper_benchmark_spec()
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` timed calls (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_repeated_advance(T: int, inner: int, repeats: int) -> dict:
+    """Same-height advance issued ``inner`` times: legacy vs warm engine."""
+    params = BinomialParams.from_spec(SPEC, T)
+    h = T // 2
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0.0, 100.0, size=T + 1)
+
+    legacy = AdvanceEngine(reuse=False)
+    warm = AdvanceEngine()
+    warm.advance(x, params.taps, h, scale=SPEC.strike)  # materialise the plan
+
+    def run(engine):
+        for _ in range(inner):
+            engine.advance(x, params.taps, h, scale=SPEC.strike)
+
+    t_legacy = _best_of(lambda: run(legacy), repeats) / inner
+    t_cached = _best_of(lambda: run(warm), repeats) / inner
+    y_old, _ = legacy.advance(x, params.taps, h)
+    y_new, _ = warm.advance(x, params.taps, h)
+    rel_err = float(np.max(np.abs(y_new - y_old)) / np.max(np.abs(y_old)))
+    return {
+        "T": T,
+        "h": h,
+        "input_len": len(x),
+        "legacy_s": t_legacy,
+        "cached_s": t_cached,
+        "speedup": t_legacy / t_cached,
+        "max_rel_err": rel_err,
+    }
+
+
+def bench_full_solve(T: int, repeats: int) -> dict:
+    """solve_tree_fft with plan caching vs the stateless legacy path."""
+    params = BinomialParams.from_spec(SPEC, T)
+    t_legacy = _best_of(
+        lambda: solve_tree_fft(params, engine=AdvanceEngine(reuse=False)), repeats
+    )
+    shared = AdvanceEngine()
+    solve_tree_fft(params, engine=shared)  # warm (batch-of-solves scenario)
+    t_engine = _best_of(lambda: solve_tree_fft(params, engine=shared), repeats)
+    r_old = solve_tree_fft(params, engine=AdvanceEngine(reuse=False))
+    r_new = solve_tree_fft(params, engine=AdvanceEngine())
+    rel = abs(r_new.price - r_old.price) / abs(r_old.price)
+    return {
+        "T": T,
+        "legacy_s": t_legacy,
+        "engine_s": t_engine,
+        "speedup": t_legacy / t_engine,
+        "price_legacy": r_old.price,
+        "price_engine": r_new.price,
+        "price_rel_err": rel,
+        "spectrum_hits": r_new.stats.spectrum_hits,
+        "spectrum_misses": r_new.stats.spectrum_misses,
+        "fft_calls": r_new.stats.fft_calls,
+    }
+
+
+def bench_batched(T: int, batch: int, repeats: int) -> dict:
+    """advance_many over a strike strip vs sequential same-kernel advances."""
+    params = BinomialParams.from_spec(SPEC, T)
+    h = T
+    rng = np.random.default_rng(1)
+    xs = [rng.uniform(0.0, 100.0, size=T + h + 1) for _ in range(batch)]
+    engine = AdvanceEngine()
+    engine.advance(xs[0], params.taps, h, scale=SPEC.strike)  # warm
+
+    t_seq = _best_of(
+        lambda: [engine.advance(x, params.taps, h, scale=SPEC.strike) for x in xs],
+        repeats,
+    )
+    t_batch = _best_of(
+        lambda: engine.advance_many(xs, params.taps, h, scale=SPEC.strike), repeats
+    )
+    return {
+        "T": T,
+        "batch": batch,
+        "sequential_s": t_seq,
+        "batched_s": t_batch,
+        "speedup": t_seq / t_batch,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sweep for CI smoke runs"
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_advance_engine.json",
+        ),
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        sizes = [2**10, 2**12]
+        repeats, inner = 2, 4
+    else:
+        sizes = [2**k for k in range(10, 18)]
+        repeats, inner = 3, 8
+
+    report = {
+        "benchmark": "advance_engine",
+        "quick": args.quick,
+        "sizes": sizes,
+        "repeated_advance": [],
+        "full_solve": [],
+        "batched": [],
+    }
+    for T in sizes:
+        row = bench_repeated_advance(T, inner, repeats)
+        report["repeated_advance"].append(row)
+        print(
+            f"advance  T={T:>7} h={row['h']:>6}  legacy {row['legacy_s']*1e3:8.3f} ms"
+            f"  cached {row['cached_s']*1e3:8.3f} ms  speedup {row['speedup']:5.2f}x"
+        )
+    for T in sizes:
+        row = bench_full_solve(T, repeats)
+        report["full_solve"].append(row)
+        print(
+            f"solve    T={T:>7}  legacy {row['legacy_s']:8.3f} s"
+            f"  engine {row['engine_s']:8.3f} s  speedup {row['speedup']:5.2f}x"
+            f"  rel_err {row['price_rel_err']:.2e}"
+        )
+        assert row["price_rel_err"] <= 1e-10, "engine price drifted from legacy"
+    for T in sizes[: len(sizes) // 2 + 1]:
+        row = bench_batched(T, batch=16, repeats=repeats)
+        report["batched"].append(row)
+        print(
+            f"batch    T={T:>7} x16  sequential {row['sequential_s']*1e3:8.3f} ms"
+            f"  batched {row['batched_s']*1e3:8.3f} ms  speedup {row['speedup']:5.2f}x"
+        )
+
+    report["summary"] = {
+        "max_advance_speedup": max(
+            r["speedup"] for r in report["repeated_advance"]
+        ),
+        "max_solve_speedup": max(r["speedup"] for r in report["full_solve"]),
+        "max_price_rel_err": max(
+            r["price_rel_err"] for r in report["full_solve"]
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

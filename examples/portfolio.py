@@ -17,7 +17,8 @@ import argparse
 import dataclasses
 import time
 
-from repro import OptionSpec, Right, paper_benchmark_spec, price_american, price_european
+from repro import OptionSpec, Right, Style, paper_benchmark_spec, price_many
+from repro.core import AdvanceEngine
 from repro.util.tables import format_table
 
 
@@ -46,25 +47,33 @@ def main(argv: list[str] | None = None) -> int:
     chain = build_chain(base)
 
     t0 = time.perf_counter()
+    # One shared plan-caching engine across the whole book: same-expiry
+    # contracts reuse kernel spectra, and the European reference strip
+    # collapses into batched advance_many transforms.
+    engine = AdvanceEngine()
+    americans = price_many(chain, args.steps, engine=engine)
+    eu_chain = [dataclasses.replace(s, style=Style.EUROPEAN) for s in chain]
+    europeans = price_many(eu_chain, args.steps, engine=engine)
     rows = []
-    for spec in chain:
-        am = price_american(spec, args.steps, method="fft").price
-        eu = price_european(spec, args.steps, method="fft").price
+    for spec, am_r, eu_r in zip(chain, americans, europeans):
         rows.append(
             [
                 spec.right.value,
                 spec.strike,
                 int(spec.expiry_days),
-                am,
-                eu,
-                am - eu,
+                am_r.price,
+                eu_r.price,
+                am_r.price - eu_r.price,
             ]
         )
     elapsed = time.perf_counter() - t0
 
+    info = engine.cache_info()
     print(
         f"Priced {len(chain)} American contracts at T={args.steps} in "
-        f"{elapsed:.2f}s ({elapsed / len(chain) * 1e3:.1f} ms/contract)\n"
+        f"{elapsed:.2f}s ({elapsed / len(chain) * 1e3:.1f} ms/contract); "
+        f"kernel-spectrum cache: {info['spectrum_hits']} hits / "
+        f"{info['spectrum_misses']} transforms\n"
     )
     print(
         format_table(

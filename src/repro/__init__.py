@@ -31,6 +31,7 @@ from repro.core.api import (
     price_american,
     price_european,
     price_bermudan,
+    price_many,
     exercise_boundary,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "price_american",
     "price_european",
     "price_bermudan",
+    "price_many",
     "exercise_boundary",
     "__version__",
 ]

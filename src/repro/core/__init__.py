@@ -7,6 +7,7 @@ from repro.core.api import (
     price_american,
     price_bermudan,
     price_european,
+    price_many,
 )
 from repro.core.bermudan import (
     price_bsm_european_fft,
@@ -14,7 +15,12 @@ from repro.core.bermudan import (
     price_tree_european_fft,
 )
 from repro.core.bsm_solver import BSMFFTResult, solve_bsm_fft
-from repro.core.fftstencil import AdvancePolicy, DEFAULT_POLICY, advance
+from repro.core.fftstencil import (
+    AdvanceEngine,
+    AdvancePolicy,
+    DEFAULT_POLICY,
+    advance,
+)
 from repro.core.symmetry import solve_put_via_symmetry
 from repro.core.tree_solver import TreeFFTResult, solve_tree_fft
 from repro.core.weights import (
@@ -31,11 +37,13 @@ __all__ = [
     "price_american",
     "price_bermudan",
     "price_european",
+    "price_many",
     "price_bsm_european_fft",
     "price_tree_bermudan_fft",
     "price_tree_european_fft",
     "BSMFFTResult",
     "solve_bsm_fft",
+    "AdvanceEngine",
     "AdvancePolicy",
     "DEFAULT_POLICY",
     "advance",

@@ -34,7 +34,8 @@ from repro.core.bermudan import (
     price_tree_european_fft,
 )
 from repro.core.bsm_solver import DEFAULT_BSM_BASE, solve_bsm_fft
-from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
+from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
+from repro.core.metrics import SolveStats
 from repro.core.symmetry import solve_put_via_symmetry
 from repro.core.tree_solver import DEFAULT_BASE, solve_tree_fft
 from repro.lattice.binomial import price_binomial
@@ -42,7 +43,8 @@ from repro.lattice.blackscholes_fd import price_bsm_fd
 from repro.lattice.trinomial import price_trinomial
 from repro.options.contract import OptionSpec, Right, Style
 from repro.options.params import BinomialParams, BSMGridParams, TrinomialParams
-from repro.parallel.workspan import WorkSpan
+from repro.options.payoff import terminal_payoff
+from repro.parallel.workspan import WorkSpan, rows_cost
 from repro.util.validation import ValidationError, check_integer
 
 MODELS = ("binomial", "trinomial", "bsm-fd")
@@ -99,6 +101,7 @@ def price_american(
     base: Optional[int] = None,
     lam: Optional[float] = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
     return_boundary: bool = False,
 ) -> PricingResult:
     """Price an American option (see module docstring for model/method).
@@ -111,6 +114,9 @@ def price_american(
       exact put–call symmetry (:mod:`repro.core.symmetry`).
     * ``base`` overrides the recursion base-case height (paper default 8 for
       trees, 10 for BSM); ``lam`` the FD parabolic ratio.
+    * ``engine`` supplies a shared plan-caching
+      :class:`~repro.core.fftstencil.AdvanceEngine` for the fft methods
+      (see :func:`price_many`); default is a fresh engine per solve.
     """
     steps = check_integer("steps", steps, minimum=1)
     _check_model_method(model, method)
@@ -123,6 +129,7 @@ def price_american(
                 params,
                 base=DEFAULT_BSM_BASE if base is None else base,
                 policy=policy,
+                engine=engine,
                 record_boundary=return_boundary,
             )
             return PricingResult(
@@ -141,7 +148,8 @@ def price_american(
             r = solve_put_via_symmetry(
                 spec, steps, model=model,
                 base=DEFAULT_BASE if base is None else base,
-                policy=policy, record_boundary=return_boundary,
+                policy=policy, engine=engine,
+                record_boundary=return_boundary,
             )
         else:
             params = (
@@ -153,6 +161,7 @@ def price_american(
                 params,
                 base=DEFAULT_BASE if base is None else base,
                 policy=policy,
+                engine=engine,
                 record_boundary=return_boundary,
             )
         return PricingResult(
@@ -199,6 +208,7 @@ def price_european(
     method: str = "fft",
     lam: Optional[float] = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> PricingResult:
     """European pricing: ``fft`` = one O(T log T) jump; ``loop`` = sweep."""
     steps = check_integer("steps", steps, minimum=1)
@@ -210,7 +220,7 @@ def price_european(
     if model == "bsm-fd":
         if method == "fft":
             params = BSMGridParams.from_spec(spec, steps, lam=lam)
-            r = price_bsm_european_fft(params, policy=policy)
+            r = price_bsm_european_fft(params, policy=policy, engine=engine)
             return PricingResult(
                 r.price, steps, model, method, r.workspan, r.stats.as_dict(), None, r.meta
             )
@@ -226,7 +236,7 @@ def price_european(
             if model == "binomial"
             else TrinomialParams.from_spec(spec, steps)
         )
-        r = price_tree_european_fft(params, policy=policy)
+        r = price_tree_european_fft(params, policy=policy, engine=engine)
         return PricingResult(
             r.price, steps, model, method, r.workspan, r.stats.as_dict(), None, r.meta
         )
@@ -249,6 +259,7 @@ def price_bermudan(
     model: str = "binomial",
     method: str = "fft",
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> PricingResult:
     """Bermudan pricing: ``fft`` = O((k+1) T log T) jump chain; ``loop`` sweep."""
     steps = check_integer("steps", steps, minimum=1)
@@ -265,7 +276,9 @@ def price_bermudan(
             if model == "binomial"
             else TrinomialParams.from_spec(spec, steps)
         )
-        r = price_tree_bermudan_fft(params, exercise_steps, policy=policy)
+        r = price_tree_bermudan_fft(
+            params, exercise_steps, policy=policy, engine=engine
+        )
         return PricingResult(
             r.price, steps, model, method, r.workspan, r.stats.as_dict(), None, r.meta
         )
@@ -278,6 +291,137 @@ def price_bermudan(
         lr.price, steps, model, method, lr.workspan,
         {"cells_evaluated": lr.cells}, None, lr.meta,
     )
+
+
+def _batch_european_tree_fft(
+    specs: Sequence[OptionSpec],
+    steps: int,
+    model: str,
+    engine: AdvanceEngine,
+) -> list[PricingResult]:
+    """Batched European tree pricing: one ``advance_many`` jump per kernel.
+
+    All specs sharing identical lattice taps (same rate, volatility,
+    dividend yield and expiry — e.g. a strip of strikes on one underlying)
+    are stacked into a single batched rFFT jump from the expiry row to the
+    root.  Specs with distinct taps fall into separate groups, each still
+    amortising its kernel spectrum through the shared engine.
+    """
+    cls = BinomialParams if model == "binomial" else TrinomialParams
+    params_list = [
+        cls.from_spec(s.with_style(Style.EUROPEAN), steps) for s in specs
+    ]
+    q = len(params_list[0].taps) - 1 if params_list else 1
+    groups: dict[tuple, list[int]] = {}
+    for idx, p in enumerate(params_list):
+        groups.setdefault(tuple(p.taps), []).append(idx)
+
+    results: list[Optional[PricingResult]] = [None] * len(specs)
+    j = np.arange(q * steps + 1, dtype=np.float64)
+    for taps, idxs in groups.items():
+        xs = [
+            terminal_payoff(
+                params_list[i].spec, params_list[i].asset_price(steps, j)
+            )
+            for i in idxs
+        ]
+        scale = min(params_list[i].spec.strike for i in idxs)
+        ys, rec = engine.advance_many(xs, taps, steps, scale=scale)
+        row_ws = rows_cost(1, q * steps + 1, 1)
+        # Each contract's share of the batched transform: work splits evenly,
+        # the span is shared (the batch rows transform in parallel).
+        share = WorkSpan(rec.workspan.work / max(len(idxs), 1), rec.workspan.span)
+        for r, i in enumerate(idxs):
+            stats = SolveStats()
+            stats.cells_evaluated += q * steps + 1
+            stats.note_advance(rec.method, len(xs[r]))
+            if r == 0:
+                # The whole group shares the batched transform's cache
+                # consultations; charge them once, not once per contract.
+                stats.spectrum_hits += rec.spectrum_hits
+                stats.spectrum_misses += rec.spectrum_misses
+            results[i] = PricingResult(
+                price=float(ys[r][0]),
+                steps=steps,
+                model=model,
+                method="fft",
+                workspan=row_ws.then(share),
+                stats=stats.as_dict(),
+                boundary=None,
+                meta={
+                    "style": "european",
+                    "batched": True,
+                    "batch_size": len(idxs),
+                    "params": params_list[i],
+                },
+            )
+    return results  # type: ignore[return-value]
+
+
+def price_many(
+    specs: Sequence[OptionSpec],
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+) -> list[PricingResult]:
+    """Price a portfolio of contracts, amortising FFT plans across solves.
+
+    Each spec is priced per its own ``style`` (American or European;
+    Bermudan contracts need explicit dates — use :func:`price_bermudan`).
+    All solves share one plan-caching
+    :class:`~repro.core.fftstencil.AdvanceEngine`, so contracts with
+    identical lattice parameters (a strike strip on one underlying, a
+    calibration grid, a risk scenario sweep) pay each kernel transform once
+    across the whole batch.  European tree contracts with ``method="fft"``
+    additionally collapse into batched ``advance_many`` jumps — one stacked
+    rFFT per distinct kernel — the portfolio fast path.
+
+    Returns results in input order.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    _check_model_method(model, method)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    for spec in specs:
+        if spec.style is Style.BERMUDAN:
+            raise ValidationError(
+                "price_many handles American and European styles; Bermudan "
+                "contracts need exercise dates — call price_bermudan directly"
+            )
+
+    results: list[Optional[PricingResult]] = [None] * len(specs)
+    euro_idx = [
+        i
+        for i, s in enumerate(specs)
+        if s.style is Style.EUROPEAN
+        and method == "fft"
+        and model in ("binomial", "trinomial")
+    ]
+    if euro_idx:
+        batched = _batch_european_tree_fft(
+            [specs[i] for i in euro_idx], steps, model, engine
+        )
+        for i, r in zip(euro_idx, batched):
+            results[i] = r
+    for i, spec in enumerate(specs):
+        if results[i] is not None:
+            continue
+        if spec.style is Style.EUROPEAN:
+            results[i] = price_european(
+                spec, steps, model=model, method=method, lam=lam,
+                policy=policy, engine=engine,
+            )
+        else:
+            results[i] = price_american(
+                spec, steps, model=model, method=method, base=base, lam=lam,
+                policy=policy, engine=engine,
+            )
+    return results  # type: ignore[return-value]
 
 
 @dataclass
@@ -376,13 +520,8 @@ def exercise_boundary(
         node_cols = idx
     times = rows * dt_years  # tree row i is calendar time i*dt from valuation
     prices = (
-        np.array(
-            [
-                float(np.asarray(params_tree.asset_price(int(r), int(j))))
-                for r, j in zip(rows, node_cols)
-            ]
-        )
+        np.asarray(params_tree.asset_price(rows, node_cols), dtype=np.float64)
         if len(rows)
-        else np.empty(0)
+        else np.empty(0, dtype=np.float64)
     )
     return BoundaryCurve(rows, idx, times, prices, model, method)

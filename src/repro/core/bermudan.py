@@ -17,12 +17,11 @@ tracking is needed — the valid-mode advance shrinks row ``i+h`` (width
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
-from repro.core.fftstencil import advance as linear_advance
+from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
 from repro.core.metrics import SolveStats
 from repro.core.tree_solver import TreeFFTResult
 from repro.options.contract import Right
@@ -48,17 +47,23 @@ def price_tree_bermudan_fft(
     exercise_steps: Sequence[int] = (),
     *,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> TreeFFTResult:
     """Bermudan (or, with no exercise steps, European) tree pricing via FFT.
 
     Works for calls and puts — without the American free boundary there is
-    no divider orientation to respect.
+    no divider orientation to respect.  Pass a shared ``engine`` to reuse
+    kernel spectra across a batch of same-parameter contracts (e.g. a strip
+    of strikes); the checkpoint gap heights are known up front and are
+    prepared on entry.
     """
     T = params.steps
     spec = params.spec
     q = len(params.taps) - 1
     rows = _validated_rows(T, exercise_steps)
     stats = SolveStats()
+    if engine is None:
+        engine = AdvanceEngine(policy)
 
     j = np.arange(q * T + 1, dtype=np.float64)
     values = terminal_payoff(spec, params.asset_price(T, j))
@@ -70,13 +75,22 @@ def price_tree_bermudan_fft(
     checkpoints = list(reversed(rows))
     if not checkpoints or checkpoints[-1] != 0:
         checkpoints.append(0)  # always finish the jump chain at the root
+    # Full plans are known statically: each jump advances the full row at
+    # `prev` (width q*prev + 1) down by the checkpoint gap.
+    jobs = []
+    prev = T
+    for row in checkpoints:
+        if prev - row > 0:
+            jobs.append((prev - row, q * prev + 1))
+        prev = row
+    engine.prepare(params.taps, jobs)
     for row in checkpoints:
         h = current - row
         if h > 0:
-            values, rec = linear_advance(
-                values, params.taps, h, scale=spec.strike, policy=policy
+            values, rec = engine.advance(
+                values, params.taps, h, scale=spec.strike
             )
-            stats.note_advance(rec.method, rec.input_len)
+            stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
             ws = ws.then(rec.workspan)
             current = row
         if row in exercise_rows:
@@ -103,14 +117,20 @@ def price_tree_bermudan_fft(
 
 
 def price_tree_european_fft(
-    params: TreeParams, *, policy: AdvancePolicy = DEFAULT_POLICY
+    params: TreeParams,
+    *,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> TreeFFTResult:
     """European tree pricing: one ``O(T log T)`` jump from expiry to root."""
-    return price_tree_bermudan_fft(params, (), policy=policy)
+    return price_tree_bermudan_fft(params, (), policy=policy, engine=engine)
 
 
 def price_bsm_european_fft(
-    params: BSMGridParams, *, policy: AdvancePolicy = DEFAULT_POLICY
+    params: BSMGridParams,
+    *,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> TreeFFTResult:
     """European put on the FD cone grid: a single ``O(T log T)`` jump.
 
@@ -122,11 +142,13 @@ def price_bsm_european_fft(
         raise ValidationError("the BSM FD grid prices puts")
     T = params.steps
     stats = SolveStats()
+    if engine is None:
+        engine = AdvanceEngine(policy)
     k = np.arange(-T, T + 1)
     values = np.maximum(params.payoff(k), 0.0)
     ws = rows_cost(1, 2 * T + 1, 1)
-    values, rec = linear_advance(values, params.taps, T, scale=1.0, policy=policy)
-    stats.note_advance(rec.method, rec.input_len)
+    values, rec = engine.advance(values, params.taps, T, scale=1.0)
+    stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
     return TreeFFTResult(
         price=float(params.spec.strike * values[0]),
         steps=T,

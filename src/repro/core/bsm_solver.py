@@ -19,7 +19,7 @@ window ``[k_lo..k_hi]`` returns ``(values on [k_lo+h .. k_hi-h], f')`` where
 ``f'`` is the exact global divider whenever ``f' >= k_lo + h``, and any value
 ``< k_lo + h`` means "every output cell is red; the divider lies left of the
 window".  The composition rules in :meth:`_BSMSolver.advance` preserve these
-semantics (see DESIGN.md §2.4 for the case analysis).
+semantics (see docs/DESIGN.md §2.4 for the case analysis).
 """
 
 from __future__ import annotations
@@ -30,8 +30,12 @@ from typing import Optional
 import numpy as np
 
 from repro.core.boundary import BoundaryRecorder, scan_prefix_boundary
-from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
-from repro.core.fftstencil import advance as linear_advance
+from repro.core.fftstencil import (
+    DEFAULT_POLICY,
+    AdvanceEngine,
+    AdvancePolicy,
+    engine_delta as _engine_delta,
+)
 from repro.core.metrics import SolveStats
 from repro.options.params import BSMGridParams
 from repro.parallel.workspan import WorkSpan, rows_cost
@@ -58,20 +62,20 @@ class _BSMSolver:
         self,
         params: BSMGridParams,
         base: int,
-        policy: AdvancePolicy,
+        engine: AdvanceEngine,
         recorder: Optional[BoundaryRecorder],
     ):
         self.p = params
         self.taps = tuple(params.taps)  # (coef_down, coef_mid, coef_up)
         self.base = base
-        self.policy = policy
+        self.engine = engine
         self.stats = SolveStats()
         self.rec = recorder
 
     def payoff(self, lo: int, hi: int) -> np.ndarray:
         """Signed green values ``1 - e^{s_k}`` for ``k = lo..hi``."""
         if hi < lo:
-            return np.empty(0)
+            return np.empty(0, dtype=np.float64)
         return np.asarray(self.p.payoff(np.arange(lo, hi + 1)), dtype=np.float64)
 
     def _record(self, row: int, f: int, window_lo: int) -> None:
@@ -121,10 +125,8 @@ class _BSMSolver:
 
         if f < k_lo:
             # Every cell of every involved row is red: one linear jump.
-            y, rec = linear_advance(
-                values, self.taps, h, scale=1.0, policy=self.policy
-            )
-            self.stats.note_advance(rec.method, rec.input_len)
+            y, rec = self.engine.advance(values, self.taps, h, scale=1.0)
+            self.stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
             return y, min(f, out_lo - 1), rec.workspan
 
         h1 = h // 2
@@ -154,10 +156,8 @@ class _BSMSolver:
         # ---- provably-red block: everything right of the 45° line from f --
         fft_lo = max(f + h1, mid_lo)  # == f + h1 given the guard
         xin = values[(fft_lo - h1) - k_lo : (mid_hi + h1) - k_lo + 1]
-        y, rec = linear_advance(
-            xin, self.taps, h1, scale=1.0, policy=self.policy
-        )
-        self.stats.note_advance(rec.method, rec.input_len)
+        y, rec = self.engine.advance(xin, self.taps, h1, scale=1.0)
+        self.stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
         ws_fft = rec.workspan
 
         # ---- assemble the mid row on [mid_lo .. mid_hi] -------------------
@@ -190,18 +190,24 @@ def solve_bsm_fft(
     *,
     base: int = DEFAULT_BSM_BASE,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
     record_boundary: bool = False,
 ) -> BSMFFTResult:
     """Price the American put of ``params.spec`` in ``O(T log^2 T)`` work.
 
     The answer is the apex value ``K * v[T, 0]`` of the dependency cone whose
     base is the initial condition ``v[0, k] = max(1 - e^{s_k}, 0)`` on
-    ``k in [-T, T]`` (paper Fig 4b).
+    ``k in [-T, T]`` (paper Fig 4b).  ``engine`` (default: fresh per solve)
+    carries the kernel-spectrum plan cache; share one across solves with
+    identical grid coefficients to amortise the kernel transforms further.
     """
     base = check_integer("base", base, minimum=1)
     T = params.steps
     recorder = BoundaryRecorder() if record_boundary else None
-    solver = _BSMSolver(params, base, policy, recorder)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine_before = engine.cache_info()
+    solver = _BSMSolver(params, base, engine, recorder)
 
     pay0 = solver.payoff(-T, T)
     vals = np.maximum(pay0, 0.0)
@@ -242,5 +248,10 @@ def solve_bsm_fft(
         workspan=ws,
         stats=solver.stats,
         boundary=recorder,
-        meta={"model": "bsm-fd", "base": base, "params": params},
+        meta={
+            "model": "bsm-fd",
+            "base": base,
+            "params": params,
+            "engine": _engine_delta(engine_before, engine.cache_info()),
+        },
     )

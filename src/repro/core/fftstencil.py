@@ -10,18 +10,31 @@ where ``A`` is the one-step stencil operator and ``W`` the h-step kernel from
 :mod:`repro.core.weights`.  The result covers exactly the cells whose full
 dependency cone lies inside ``x`` (output length ``len(x) - q*h``).
 
-Numerical-robustness extension (documented in DESIGN.md §1): FFT convolution
-carries an *absolute* error ~``eps * ||x||_2 * ||W||_2``, so when the input's
-magnitude dwarfs the caller's meaningful output scale the routine falls back
-to direct correlation, whose error is relative to each output's own positive
-term sum.  The paper's evaluated regime (bounded red values) never triggers
-the fallback; the Y=0 all-red regime does.
+Plan caching (docs/DESIGN.md §3): the trapezoid decomposition requests the
+same ``(taps, h)`` kernels at every recursion level — hundreds of
+identical-shape advances per solve — so :class:`AdvanceEngine` amortises the
+kernel's forward transform across reuses (as [1] does): it caches the
+*conjugated rFFT of the kernel* keyed by ``(taps, h, padded_n)``, memoises
+``next_fast_len`` pad sizes, and reuses zero-padded scratch buffers.  A warm
+advance is then one forward rFFT of ``x``, one pointwise multiply, one
+inverse — versus ``fftconvolve``'s three transforms of a larger padded
+length plus a reversed-kernel copy.  :meth:`AdvanceEngine.advance_many`
+additionally stacks same-kernel advances into one batched
+``scipy.fft.rfft(axis=-1)`` call for portfolio workloads.
+
+Numerical-robustness extension (documented in docs/DESIGN.md §1): FFT
+convolution carries an *absolute* error ~``eps * ||x||_2 * ||W||_2``, so when
+the input's magnitude dwarfs the caller's meaningful output scale the routine
+falls back to direct correlation, whose error is relative to each output's
+own positive term sum.  The paper's evaluated regime (bounded red values)
+never triggers the fallback; the Y=0 all-red regime does.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import Iterable, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import fft as sfft
@@ -70,12 +83,26 @@ DEFAULT_POLICY = AdvancePolicy()
 
 @dataclass
 class AdvanceRecord:
-    """Bookkeeping for one advance call (aggregated into solver stats)."""
+    """Bookkeeping for one advance call (aggregated into solver stats).
+
+    ``spectrum_hit`` is ``True``/``False`` when the engine's kernel-spectrum
+    cache was consulted (hit/miss), ``None`` on paths that never touch it
+    (direct correlation, h=0 copies, the legacy ``fftconvolve`` path).  For
+    batched records it is ``True`` only when *every* length group hit.
+    ``spectrum_hits``/``spectrum_misses`` carry the exact per-call counts
+    (a batched advance consults the cache once per length group).
+    ``batch`` counts the inputs a single :meth:`AdvanceEngine.advance_many`
+    transform carried (1 for plain advances).
+    """
 
     method: str
     input_len: int
     h: int
     workspan: WorkSpan
+    spectrum_hit: Optional[bool] = None
+    spectrum_hits: int = 0
+    spectrum_misses: int = 0
+    batch: int = 1
 
 
 def _direct_correlate(x: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -84,8 +111,356 @@ def _direct_correlate(x: np.ndarray, w: np.ndarray) -> np.ndarray:
 
 
 def _fft_correlate(x: np.ndarray, w: np.ndarray) -> np.ndarray:
-    """Valid-mode correlation via FFT (convolve with reversed kernel)."""
+    """Legacy valid-mode correlation (convolve with reversed kernel).
+
+    Kept as the ``reuse=False`` reference path: it re-transforms the kernel
+    on every call, exactly the behaviour the plan cache amortises away.  The
+    old-vs-new benchmark (``benchmarks/bench_advance_engine.py``) times this
+    against the cached path.
+    """
     return fftconvolve(x, w[::-1], mode="valid")
+
+
+def _legacy_fft_workspan(input_len: int, kernel_len: int) -> WorkSpan:
+    """Work/span of the fftconvolve path: 3 transforms of the padded length."""
+    n = sfft.next_fast_len(input_len + kernel_len - 1)
+    one_fft = fft_cost(n)
+    return WorkSpan(3.0 * one_fft.work + 2.0 * n, 3.0 * one_fft.span + 1.0)
+
+
+class AdvanceEngine:
+    """Stateful, plan-caching multi-step advance (docs/DESIGN.md §3).
+
+    Each solver instantiates one engine per solve — or shares one across a
+    batch of solves (:func:`repro.core.api.price_many`) — and calls
+    :meth:`advance` where it previously called the free function.  The engine
+    caches, across calls:
+
+    * the conjugated kernel spectrum ``conj(rfft(W, n))`` keyed by
+      ``(taps, h, n)`` — one forward kernel transform per distinct shape,
+      however many advances reuse it;
+    * memoised ``next_fast_len`` pad sizes (one lookup per distinct input
+      length, i.e. per recursion level);
+    * zero-padded scratch buffers keyed by pad size, so warm advances do not
+      allocate the padded input.
+
+    Correlation uses the conjugate trick: ``irfft(rfft(x, n) * conj(rfft(W,
+    n)))[c] = sum_k W_k x_{c+k}`` for ``c <= len(x) - len(W)`` whenever
+    ``n >= len(x)`` (no circular wrap can reach the valid prefix), so the pad
+    length is ``next_fast_len(len(x))`` — smaller than ``fftconvolve``'s
+    ``next_fast_len(len(x) + len(W) - 1)`` — and no reversed-kernel copy is
+    ever made.
+
+    Parameters
+    ----------
+    policy:
+        FFT-vs-direct robustness policy applied per call.
+    reuse:
+        ``False`` disables every cache and routes FFT advances through the
+        legacy ``fftconvolve`` path — the exact pre-engine behaviour, kept
+        for the old-vs-new benchmark and regression comparisons.
+
+    An engine is **not thread-safe** (the scratch buffers are shared across
+    its calls); use one engine per solve/thread.  The module-level
+    :func:`advance` wrapper keeps one default engine per thread.
+    max_spectra / max_scratch:
+        Bounds on the two caches (oldest-first eviction); a single solve
+        stays far below them, the defaults only matter for long-lived shared
+        engines.
+    """
+
+    def __init__(
+        self,
+        policy: AdvancePolicy = DEFAULT_POLICY,
+        *,
+        reuse: bool = True,
+        max_spectra: int = 512,
+        max_scratch: int = 64,
+    ):
+        self.policy = policy
+        self.reuse = reuse
+        self.max_spectra = max_spectra
+        self.max_scratch = max_scratch
+        self._spectra: dict[tuple, np.ndarray] = {}
+        self._scratch: dict[int, np.ndarray] = {}
+        self._fast_len: dict[int, int] = {}
+        # Counters (exposed through SolveStats / cache_info for benchmarks).
+        self.spectrum_hits = 0
+        self.spectrum_misses = 0
+        self.advances = 0
+        self.batched_inputs = 0
+
+    # ------------------------------------------------------------------ #
+    # Plan helpers
+    # ------------------------------------------------------------------ #
+    def fast_len(self, n: int) -> int:
+        """Memoised ``scipy.fft.next_fast_len`` (one lookup per level)."""
+        cached = self._fast_len.get(n)
+        if cached is None:
+            cached = sfft.next_fast_len(n)
+            self._fast_len[n] = cached
+        return cached
+
+    def prepare(
+        self, taps: Sequence[float], jobs: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Precompute full plans for known ``(h, input_len)`` advance shapes.
+
+        Drivers whose advance shapes are known up front — the Bermudan jump
+        chain advances full rows of statically known widths — pass them here
+        to materialise the h-step kernel, the ``next_fast_len`` pad size,
+        *and* the kernel spectrum before the solve starts.  Shapes that only
+        emerge at runtime (the trapezoid recursion's divider-dependent
+        windows) plan themselves on first use instead.
+        """
+        taps_t = tuple(float(v) for v in taps)
+        for h, input_len in jobs:
+            h = int(h)
+            if h <= 0:
+                continue
+            w = hstep_weights(taps_t, h)
+            if len(w) <= input_len:
+                self._kernel_spectrum(taps_t, h, self.fast_len(int(input_len)), w)
+
+    def cache_info(self) -> dict:
+        """Counters for benchmarks and the engine regression tests."""
+        return {
+            "spectrum_hits": self.spectrum_hits,
+            "spectrum_misses": self.spectrum_misses,
+            "cached_spectra": len(self._spectra),
+            "cached_scratch": len(self._scratch),
+            "advances": self.advances,
+            "batched_inputs": self.batched_inputs,
+        }
+
+    def _kernel_spectrum(
+        self, taps_t: tuple, h: int, n: int, w: np.ndarray
+    ) -> tuple[np.ndarray, bool]:
+        key = (taps_t, h, n)
+        spec = self._spectra.get(key)
+        if spec is not None:
+            self.spectrum_hits += 1
+            return spec, True
+        self.spectrum_misses += 1
+        spec = np.conj(sfft.rfft(w, n=n))
+        if len(self._spectra) >= self.max_spectra:
+            self._spectra.pop(next(iter(self._spectra)))
+        self._spectra[key] = spec
+        return spec, False
+
+    def _padded(self, x: np.ndarray, n: int) -> np.ndarray:
+        buf = self._scratch.get(n)
+        if buf is None:
+            if len(self._scratch) >= self.max_scratch:
+                self._scratch.pop(next(iter(self._scratch)))
+            buf = np.zeros(n, dtype=np.float64)
+            self._scratch[n] = buf
+        m = len(x)
+        buf[:m] = x
+        buf[m:] = 0.0
+        return buf
+
+    # ------------------------------------------------------------------ #
+    # Advances
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(x: np.ndarray, q: int, h: int) -> int:
+        kernel_len = q * h + 1
+        if len(x) < kernel_len:
+            raise ValidationError(
+                f"input of length {len(x)} too short for h={h} steps of a "
+                f"{q + 1}-tap stencil (needs >= {kernel_len})"
+            )
+        return kernel_len
+
+    def _fft_cached(
+        self, x: np.ndarray, taps_t: tuple, h: int, w: np.ndarray
+    ) -> tuple[np.ndarray, WorkSpan, bool]:
+        m = len(x)
+        n = self.fast_len(m)
+        spec, hit = self._kernel_spectrum(taps_t, h, n, w)
+        X = sfft.rfft(self._padded(x, n))
+        X *= spec
+        y = sfft.irfft(X, n=n)[: m - len(w) + 1]
+        one_fft = fft_cost(n)
+        transforms = 2.0 if hit else 3.0
+        ws = WorkSpan(
+            transforms * one_fft.work + 2.0 * n, transforms * one_fft.span + 1.0
+        )
+        return y, ws, hit
+
+    def advance(
+        self,
+        x: np.ndarray,
+        taps: Sequence[float],
+        h: int,
+        *,
+        scale: float | None = None,
+    ) -> tuple[np.ndarray, AdvanceRecord]:
+        """Advance ``x`` by ``h`` linear stencil steps; return (values, record).
+
+        Same contract as the module-level :func:`advance` (which now wraps a
+        default engine): ``y[c'] = (A^h x)[c']`` on the ``len(x) - q*h``
+        left-aligned output columns.
+        """
+        h = check_integer("h", h, minimum=0)
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        taps_t = tuple(float(v) for v in taps)
+        q = len(taps_t) - 1
+        self.advances += 1
+        if h == 0:
+            return x.copy(), AdvanceRecord("copy", len(x), 0, WorkSpan(len(x), 1.0))
+        kernel_len = self._validate(x, q, h)
+        w = hstep_weights(taps_t, h)
+        x_max = float(np.max(np.abs(x))) if len(x) else 0.0
+        method = self.policy.choose(
+            x_max, scale if scale is not None else 0.0, kernel_len
+        )
+        if method == "fft":
+            if self.reuse:
+                y, ws, hit = self._fft_cached(x, taps_t, h, w)
+                return y, AdvanceRecord(
+                    "fft",
+                    len(x),
+                    h,
+                    ws,
+                    spectrum_hit=hit,
+                    spectrum_hits=int(hit),
+                    spectrum_misses=int(not hit),
+                )
+            y = _fft_correlate(x, w)
+            return y, AdvanceRecord(
+                "fft", len(x), h, _legacy_fft_workspan(len(x), kernel_len)
+            )
+        y = _direct_correlate(x, w)
+        ws = WorkSpan(2.0 * len(y) * kernel_len, np.log2(kernel_len + 1.0) + 1.0)
+        return y, AdvanceRecord(method, len(x), h, ws)
+
+    def advance_many(
+        self,
+        xs: Sequence[np.ndarray],
+        taps: Sequence[float],
+        h: int,
+        *,
+        scale: float | None = None,
+    ) -> tuple[list[np.ndarray], AdvanceRecord]:
+        """Advance many inputs by the *same* ``(taps, h)`` kernel at once.
+
+        Inputs of equal length are stacked and transformed in a single
+        batched ``rfft(axis=-1)``/``irfft(axis=-1)`` pair against one cached
+        kernel spectrum — the portfolio fast path behind
+        :func:`repro.core.api.price_many`.  Mixed lengths are grouped by
+        length.  Returns the per-input outputs (input order preserved) and
+        one aggregate record.
+        """
+        h = check_integer("h", h, minimum=0)
+        taps_t = tuple(float(v) for v in taps)
+        q = len(taps_t) - 1
+        arrs = [np.ascontiguousarray(x, dtype=np.float64) for x in xs]
+        total = sum(len(a) for a in arrs)
+        if not arrs:
+            return [], AdvanceRecord("copy", 0, h, WorkSpan.ZERO, batch=0)
+        if h == 0:
+            self.advances += 1
+            return [a.copy() for a in arrs], AdvanceRecord(
+                "copy", total, 0, WorkSpan(total, 1.0), batch=len(arrs)
+            )
+        kernel_len = q * h + 1
+        for a in arrs:
+            self._validate(a, q, h)
+        w = hstep_weights(taps_t, h)
+        x_max = max(float(np.max(np.abs(a))) if len(a) else 0.0 for a in arrs)
+        method = self.policy.choose(
+            x_max, scale if scale is not None else 0.0, kernel_len
+        )
+        self.advances += 1
+        self.batched_inputs += len(arrs)
+        if method != "fft" or not self.reuse:
+            outs = [
+                _fft_correlate(a, w) if method == "fft" else _direct_correlate(a, w)
+                for a in arrs
+            ]
+            if method == "fft":
+                ws = WorkSpan.ZERO
+                for a in arrs:
+                    ws = ws.then(_legacy_fft_workspan(len(a), kernel_len))
+            else:
+                n_out = sum(len(o) for o in outs)
+                ws = WorkSpan(
+                    2.0 * n_out * kernel_len, np.log2(kernel_len + 1.0) + 1.0
+                )
+            return outs, AdvanceRecord(method, total, h, ws, batch=len(arrs))
+
+        # Group indices by input length; one batched transform per group.
+        groups: dict[int, list[int]] = {}
+        for idx, a in enumerate(arrs):
+            groups.setdefault(len(a), []).append(idx)
+        outs: list[Optional[np.ndarray]] = [None] * len(arrs)
+        ws = WorkSpan.ZERO
+        hits = misses = 0
+        for m, idxs in groups.items():
+            n = self.fast_len(m)
+            spec, hit = self._kernel_spectrum(taps_t, h, n, w)
+            if hit:
+                hits += 1
+            else:
+                misses += 1
+            stack = np.zeros((len(idxs), n), dtype=np.float64)
+            for r, idx in enumerate(idxs):
+                stack[r, :m] = arrs[idx]
+            X = sfft.rfft(stack, axis=-1)
+            X *= spec
+            Y = sfft.irfft(X, n=n, axis=-1)
+            out_len = m - kernel_len + 1
+            for r, idx in enumerate(idxs):
+                outs[idx] = Y[r, :out_len].copy()
+            one_fft = fft_cost(n)
+            transforms = 2.0 * len(idxs) + (0.0 if hit else 1.0)
+            # batched rows transform independently: critical path is one
+            # forward/inverse pair (plus the kernel transform on a miss)
+            ws = ws.then(
+                WorkSpan(
+                    transforms * one_fft.work + 2.0 * n * len(idxs),
+                    (2.0 if hit else 3.0) * one_fft.span + 1.0,
+                )
+            )
+        return list(outs), AdvanceRecord(  # type: ignore[arg-type]
+            "fft",
+            total,
+            h,
+            ws,
+            spectrum_hit=misses == 0,
+            spectrum_hits=hits,
+            spectrum_misses=misses,
+            batch=len(arrs),
+        )
+
+
+def engine_delta(before: dict, after: dict) -> dict:
+    """Per-solve view of two :meth:`AdvanceEngine.cache_info` snapshots.
+
+    Cumulative counters become this-solve deltas (so results from solves
+    sharing one engine report their own activity, not the whole batch's);
+    cache sizes stay absolute — they describe the engine, not the solve.
+    """
+    out = dict(after)
+    for key in ("spectrum_hits", "spectrum_misses", "advances", "batched_inputs"):
+        out[key] = after[key] - before[key]
+    return out
+
+
+#: Default engines behind the module-level compatibility wrapper are
+#: per-thread: an engine's scratch buffers are reused across calls, so a
+#: single engine must not serve concurrent advances (each solver creates
+#: its own per-solve engine; only this stateless wrapper needs the guard).
+_DEFAULT_ENGINES = threading.local()
+
+
+def _default_engine() -> AdvanceEngine:
+    engine = getattr(_DEFAULT_ENGINES, "engine", None)
+    if engine is None:
+        engine = _DEFAULT_ENGINES.engine = AdvanceEngine()
+    return engine
 
 
 def advance(
@@ -95,8 +470,14 @@ def advance(
     *,
     scale: float | None = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> tuple[np.ndarray, AdvanceRecord]:
     """Advance ``x`` by ``h`` linear stencil steps; return (values, record).
+
+    Compatibility wrapper over :class:`AdvanceEngine` — stateless callers get
+    a shared default engine (or a fresh one when ``policy`` differs from the
+    default, so the policy argument keeps its old per-call meaning).  Solvers
+    on the hot path thread an explicit per-solve engine instead.
 
     Parameters
     ----------
@@ -110,6 +491,11 @@ def advance(
     scale:
         Meaningful output magnitude for the robustness guard (see
         :class:`AdvancePolicy`); ``None`` disables the guard.
+    policy:
+        FFT-vs-direct decision policy (ignored when ``engine`` is given —
+        the engine carries its own).
+    engine:
+        Explicit engine to advance on (and whose caches to warm).
 
     Returns
     -------
@@ -118,29 +504,9 @@ def advance(
     the work/span this call contributes (FFT: ``O(n log n)`` work,
     ``O(log n loglog n)`` span; direct: ``O(n * qh)`` work, ``O(log)`` span).
     """
-    h = check_integer("h", h, minimum=0)
-    x = np.ascontiguousarray(x, dtype=np.float64)
-    q = len(taps) - 1
-    if h == 0:
-        return x.copy(), AdvanceRecord("copy", len(x), 0, WorkSpan(len(x), 1.0))
-    kernel_len = q * h + 1
-    if len(x) < kernel_len:
-        raise ValidationError(
-            f"input of length {len(x)} too short for h={h} steps of a "
-            f"{q + 1}-tap stencil (needs >= {kernel_len})"
-        )
-    w = hstep_weights(taps, h)
-    x_max = float(np.max(np.abs(x))) if len(x) else 0.0
-    method = policy.choose(x_max, scale if scale is not None else 0.0, kernel_len)
-    if method == "fft":
-        y = _fft_correlate(x, w)
-        n = sfft.next_fast_len(len(x) + kernel_len - 1)
-        one_fft = fft_cost(n)
-        ws = WorkSpan(3.0 * one_fft.work + 2.0 * n, 3.0 * one_fft.span + 1.0)
-    else:
-        y = _direct_correlate(x, w)
-        ws = WorkSpan(2.0 * len(y) * kernel_len, np.log2(kernel_len + 1.0) + 1.0)
-    return y, AdvanceRecord(method, len(x), h, ws)
+    if engine is None:
+        engine = _default_engine() if policy is DEFAULT_POLICY else AdvanceEngine(policy)
+    return engine.advance(x, taps, h, scale=scale)
 
 
 def advance_full_row(
@@ -150,6 +516,7 @@ def advance_full_row(
     *,
     scale: float | None = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
 ) -> tuple[np.ndarray, AdvanceRecord]:
     """Alias of :func:`advance` named for the Bermudan/European jump use-case.
 
@@ -158,4 +525,4 @@ def advance_full_row(
     valid-mode output shrinks by ``q*h`` — no padding or boundary conditions
     are ever needed inside the lattice triangle.
     """
-    return advance(x, taps, h, scale=scale, policy=policy)
+    return advance(x, taps, h, scale=scale, policy=policy, engine=engine)

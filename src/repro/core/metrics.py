@@ -20,13 +20,17 @@ class SolveStats:
     fft_points: int = 0  # total transform input points
     direct_calls: int = 0
     direct_points: int = 0
+    spectrum_hits: int = 0  # engine advances that reused a cached kernel rFFT
+    spectrum_misses: int = 0  # engine advances that had to transform the kernel
     trapezoids: int = 0
     base_cases: int = 0
     base_rows: int = 0
     cells_evaluated: int = 0
     max_depth: int = 0
 
-    def note_advance(self, method: str, input_len: int) -> None:
+    def note_advance(
+        self, method: str, input_len: int, spectrum_hit: bool | None = None
+    ) -> None:
         if method == "fft":
             self.fft_calls += 1
             self.fft_points += input_len
@@ -34,6 +38,11 @@ class SolveStats:
             self.direct_calls += 1
             self.direct_points += input_len
         # "copy" (h=0) is free
+        if spectrum_hit is not None:
+            if spectrum_hit:
+                self.spectrum_hits += 1
+            else:
+                self.spectrum_misses += 1
 
     def note_depth(self, depth: int) -> None:
         if depth > self.max_depth:
@@ -45,6 +54,8 @@ class SolveStats:
             "fft_points": self.fft_points,
             "direct_calls": self.direct_calls,
             "direct_points": self.direct_points,
+            "spectrum_hits": self.spectrum_hits,
+            "spectrum_misses": self.spectrum_misses,
             "trapezoids": self.trapezoids,
             "base_cases": self.base_cases,
             "base_rows": self.base_rows,

@@ -23,7 +23,9 @@ the mirrored put divider.
 
 from __future__ import annotations
 
-from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
+from typing import Optional
+
+from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
 from repro.core.tree_solver import DEFAULT_BASE, TreeFFTResult, solve_tree_fft
 from repro.options.contract import OptionSpec, Right
 from repro.options.params import BinomialParams, TrinomialParams
@@ -37,6 +39,7 @@ def solve_put_via_symmetry(
     model: str = "binomial",
     base: int = DEFAULT_BASE,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
     record_boundary: bool = False,
 ) -> TreeFFTResult:
     """Price an American put with the fast call solver on the dual contract.
@@ -59,7 +62,11 @@ def solve_put_via_symmetry(
     else:
         raise ValidationError(f"unknown tree model {model!r}")
     result = solve_tree_fft(
-        params, base=base, policy=policy, record_boundary=record_boundary
+        params,
+        base=base,
+        policy=policy,
+        engine=engine,
+        record_boundary=record_boundary,
     )
     result.meta["symmetric_dual_of"] = spec
     result.meta["note"] = (

@@ -37,6 +37,7 @@ Puts are *not* handled here: their divider is mirrored.  Use
 
 from __future__ import annotations
 
+import math as _math
 from dataclasses import dataclass, field
 from math import isqrt
 from typing import Optional, Union
@@ -44,8 +45,12 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.boundary import BoundaryRecorder, scan_prefix_boundary
-from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
-from repro.core.fftstencil import advance as linear_advance
+from repro.core.fftstencil import (
+    DEFAULT_POLICY,
+    AdvanceEngine,
+    AdvancePolicy,
+    engine_delta as _engine_delta,
+)
 from repro.core.metrics import SolveStats
 from repro.options.contract import Right, Style
 from repro.options.params import BinomialParams, TrinomialParams
@@ -77,14 +82,14 @@ class _TreeSolver:
         self,
         params: TreeParams,
         base: int,
-        policy: AdvancePolicy,
+        engine: AdvanceEngine,
         recorder: Optional[BoundaryRecorder],
     ):
         self.p = params
         self.taps = tuple(params.taps)
         self.q = len(self.taps) - 1
         self.base = base
-        self.policy = policy
+        self.engine = engine
         self.stats = SolveStats()
         self.rec = recorder
         self.scale = params.spec.strike
@@ -92,8 +97,6 @@ class _TreeSolver:
         # with alpha = 2 (binomial, price S u^{2j-i}) or 1 (trinomial,
         # S u^{j-i}).  The naive strips evaluate green once per row; going
         # through params.exercise_value would pay a 3-deep call chain per row.
-        import math as _math
-
         self._log_u = _math.log(params.up)
         self._spot = params.spec.spot
         self._strike = params.spec.strike
@@ -113,7 +116,7 @@ class _TreeSolver:
         assert this), but inlined for per-row speed in the naive strips.
         """
         if hi < lo:
-            return np.empty(0)
+            return np.empty(0, dtype=np.float64)
         j = np.arange(lo, hi + 1, dtype=np.float64)
         return (
             self._spot * np.exp((self._alpha * j - i) * self._log_u) - self._strike
@@ -136,8 +139,6 @@ class _TreeSolver:
         the divider ``j_bot`` (``c0 - 1`` when no red cell remains at or
         right of ``c0``).
         """
-        import math as _math
-
         q = self.q
         cur = vals
         jb = j_top
@@ -209,10 +210,8 @@ class _TreeSolver:
             x = np.concatenate([vals, self.green(i_top, j_top + 1, ext_hi)])
         else:
             x = vals
-        y_fft, rec = linear_advance(
-            x, self.taps, h, scale=self.scale, policy=self.policy
-        )
-        self.stats.note_advance(rec.method, rec.input_len)
+        y_fft, rec = self.engine.advance(x, self.taps, h, scale=self.scale)
+        self.stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
         ws_fft = rec.workspan
         # y_fft covers columns [c0 .. hi_fft] of row i_mid.
 
@@ -255,6 +254,7 @@ def solve_tree_fft(
     base: int = DEFAULT_BASE,
     tail: Optional[int] = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
     record_boundary: bool = False,
 ) -> TreeFFTResult:
     """Price an American call on a tree lattice in ``O(T log^2 T)`` work.
@@ -272,7 +272,13 @@ def solve_tree_fft(
         ``max(base, isqrt(T))`` — the paper's leftover-sqrt(T)-triangle rule,
         keeping the naive tail at O(T) work.
     policy:
-        FFT-vs-direct robustness policy for the linear advances.
+        FFT-vs-direct robustness policy for the linear advances (ignored
+        when ``engine`` is supplied — the engine carries its own).
+    engine:
+        Plan-caching :class:`~repro.core.fftstencil.AdvanceEngine` to run
+        the linear advances on.  Default: a fresh engine per solve.  Pass a
+        shared engine to amortise kernel spectra across a batch of solves
+        with identical lattice parameters (see ``price_many``).
     record_boundary:
         Collect the divider positions the algorithm learns exactly
         (trapezoid interfaces + naive rows) into a
@@ -295,7 +301,10 @@ def solve_tree_fft(
     tail = check_integer("tail", tail, minimum=1)
 
     recorder = BoundaryRecorder() if record_boundary else None
-    solver = _TreeSolver(params, base, policy, recorder)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine_before = engine.cache_info()
+    solver = _TreeSolver(params, base, engine, recorder)
     q = solver.q
 
     # Expiry row: G = max(0, green); red cells are where green <= 0.
@@ -360,5 +369,6 @@ def solve_tree_fft(
             "base": base,
             "tail": tail,
             "params": params,
+            "engine": _engine_delta(engine_before, engine.cache_info()),
         },
     )

@@ -86,14 +86,15 @@ class BinomialParams:
         """Stencil weights ``(s0, s1)`` at child-column offsets ``(0, 1)``."""
         return (self.s0, self.s1)
 
-    def asset_price(self, i: int, j):
+    def asset_price(self, i, j):
         """Asset price(s) at grid node(s) ``(i, j)``: ``S * u^(2j - i)``.
 
-        ``j`` may be a numpy array; the return type follows it.
+        ``i`` and ``j`` may be numpy arrays (broadcast elementwise); the
+        return type follows them.
         """
         import numpy as np
 
-        e = 2 * np.asarray(j, dtype=np.float64) - float(i)
+        e = 2 * np.asarray(j, dtype=np.float64) - np.asarray(i, dtype=np.float64)
         return self.spec.spot * np.exp(e * math.log(self.up))
 
     def exercise_value(self, i: int, j):
@@ -171,11 +172,14 @@ class TrinomialParams:
         """Stencil weights ``(s0, s1, s2)`` at child-column offsets ``(0,1,2)``."""
         return (self.s0, self.s1, self.s2)
 
-    def asset_price(self, i: int, j):
-        """Asset price(s) at node(s) ``(i, j)``: ``S * u^(j - i)``."""
+    def asset_price(self, i, j):
+        """Asset price(s) at node(s) ``(i, j)``: ``S * u^(j - i)``.
+
+        ``i`` and ``j`` may be numpy arrays (broadcast elementwise).
+        """
         import numpy as np
 
-        e = np.asarray(j, dtype=np.float64) - float(i)
+        e = np.asarray(j, dtype=np.float64) - np.asarray(i, dtype=np.float64)
         return self.spec.spot * np.exp(e * math.log(self.up))
 
     def exercise_value(self, i: int, j):

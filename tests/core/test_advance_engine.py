@@ -1,0 +1,242 @@
+"""Tests for the plan-caching AdvanceEngine (docs/DESIGN.md §3)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.api import price_american, price_european, price_many
+from repro.core.fftstencil import AdvanceEngine, AdvancePolicy, advance
+from repro.core.tree_solver import solve_tree_fft
+from repro.options.contract import Style, paper_benchmark_spec
+from repro.options.params import BinomialParams, TrinomialParams
+from repro.util.validation import ValidationError
+
+SPEC = paper_benchmark_spec()
+TAPS_2 = (0.45, 0.52)
+TAPS_3 = (0.2, 0.5, 0.25)
+
+
+def naive_steps(x, taps, h):
+    y = np.asarray(x, dtype=np.float64)
+    for _ in range(h):
+        acc = taps[0] * y[: len(y) - len(taps) + 1]
+        for k in range(1, len(taps)):
+            acc = acc + taps[k] * y[k : k + len(y) - len(taps) + 1]
+        y = acc
+    return y
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("mode", ["auto", "fft", "direct"])
+    @pytest.mark.parametrize("taps", [TAPS_2, TAPS_3])
+    @pytest.mark.parametrize("h", [2, 7, 33])
+    def test_matches_legacy_advance(self, mode, taps, h):
+        """Engine output == stateless advance() == fftconvolve reference."""
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0, 100.0, size=(len(taps) - 1) * h + 41)
+        policy = AdvancePolicy(mode=mode)
+        engine = AdvanceEngine(policy)
+        legacy = AdvanceEngine(policy, reuse=False)
+        y_eng, rec_eng = engine.advance(x, taps, h, scale=100.0)
+        y_fn, rec_fn = advance(x, taps, h, scale=100.0, policy=policy)
+        y_old, rec_old = legacy.advance(x, taps, h, scale=100.0)
+        ref = naive_steps(x, taps, h)
+        for y in (y_eng, y_fn, y_old):
+            np.testing.assert_allclose(y, ref, rtol=1e-9, atol=1e-9)
+        assert rec_eng.method == rec_fn.method == rec_old.method
+        # the legacy fftconvolve path never consults the spectrum cache
+        assert rec_old.spectrum_hit is None
+
+    @pytest.mark.parametrize("taps", [TAPS_2, TAPS_3])
+    def test_h0_is_independent_copy(self, taps):
+        engine = AdvanceEngine()
+        x = np.ones(9)
+        y, rec = engine.advance(x, taps, 0)
+        y[0] = 5.0
+        assert x[0] == 1.0
+        assert rec.method == "copy" and rec.h == 0
+
+    @pytest.mark.parametrize("taps", [TAPS_2, TAPS_3])
+    def test_h1_matches_single_step(self, taps):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 10.0, size=25)
+        y, _ = AdvanceEngine(AdvancePolicy(mode="fft")).advance(x, taps, 1)
+        np.testing.assert_allclose(y, naive_steps(x, taps, 1), rtol=1e-12)
+
+    def test_too_short_input(self):
+        with pytest.raises(ValidationError, match="too short"):
+            AdvanceEngine().advance(np.ones(5), TAPS_2, 10)
+
+    def test_repeated_same_shape_hits_cache(self):
+        engine = AdvanceEngine(AdvancePolicy(mode="fft"))
+        x = np.linspace(0.0, 1.0, 200)
+        engine.advance(x, TAPS_2, 40)
+        assert engine.cache_info()["spectrum_misses"] == 1
+        for _ in range(5):
+            engine.advance(x, TAPS_2, 40)
+        info = engine.cache_info()
+        assert info["spectrum_hits"] == 5 and info["spectrum_misses"] == 1
+
+
+class TestAdvanceMany:
+    @pytest.mark.parametrize("mode", ["auto", "fft", "direct"])
+    def test_batched_matches_sequential(self, mode):
+        """Mixed lengths; batched outputs == per-input engine advances."""
+        rng = np.random.default_rng(11)
+        h = 20
+        xs = [
+            rng.uniform(0, 50.0, size=n)
+            for n in (2 * h + 1, 2 * h + 1, 3 * h + 7, 2 * h + 1, 5 * h)
+        ]
+        policy = AdvancePolicy(mode=mode)
+        ys, rec = AdvanceEngine(policy).advance_many(xs, TAPS_3, h, scale=50.0)
+        assert rec.batch == len(xs)
+        for x, y in zip(xs, ys):
+            y_ref, _ = AdvanceEngine(policy).advance(x, TAPS_3, h, scale=50.0)
+            np.testing.assert_allclose(y, y_ref, rtol=1e-10, atol=1e-10)
+
+    def test_h0_and_empty(self):
+        engine = AdvanceEngine()
+        ys, rec = engine.advance_many([np.ones(4), np.zeros(6)], TAPS_2, 0)
+        assert [len(y) for y in ys] == [4, 6] and rec.method == "copy"
+        ys, rec = engine.advance_many([], TAPS_2, 5)
+        assert ys == [] and rec.batch == 0
+
+    def test_same_length_inputs_share_one_spectrum(self):
+        rng = np.random.default_rng(2)
+        engine = AdvanceEngine(AdvancePolicy(mode="fft"))
+        xs = [rng.uniform(0, 1.0, size=300) for _ in range(8)]
+        engine.advance_many(xs, TAPS_2, 60)
+        info = engine.cache_info()
+        assert info["spectrum_misses"] == 1
+        assert info["batched_inputs"] == 8
+
+    def test_mixed_group_record_counts_exactly(self):
+        """Record carries per-group hit/miss counts; all-hit only when true."""
+        rng = np.random.default_rng(4)
+        engine = AdvanceEngine(AdvancePolicy(mode="fft"))
+        engine.advance(rng.uniform(0, 1.0, size=300), TAPS_2, 60)  # warm len 300
+        xs = [rng.uniform(0, 1.0, size=n) for n in (300, 300, 450)]
+        _, rec = engine.advance_many(xs, TAPS_2, 60)
+        assert rec.spectrum_hits == 1 and rec.spectrum_misses == 1
+        assert rec.spectrum_hit is False  # one group missed
+        _, rec2 = engine.advance_many(xs, TAPS_2, 60)
+        assert rec2.spectrum_hit is True and rec2.spectrum_misses == 0
+
+
+class TestEngineInSolvers:
+    def test_solve_tree_fft_reuses_spectra(self):
+        """Regression: a T=4096 solve must hit the kernel-spectrum cache."""
+        params = BinomialParams.from_spec(SPEC, 4096)
+        engine = AdvanceEngine()
+        r = solve_tree_fft(params, engine=engine)
+        assert engine.cache_info()["spectrum_hits"] > 0
+        assert r.stats.spectrum_hits > 0
+        assert r.meta["engine"]["spectrum_hits"] == engine.spectrum_hits
+        # amortisation: strictly fewer kernel transforms than fft advances
+        assert r.stats.spectrum_misses < r.stats.fft_calls
+
+    @pytest.mark.parametrize("T", [512, 1023])
+    @pytest.mark.parametrize("cls", [BinomialParams, TrinomialParams])
+    def test_engine_price_matches_legacy_solver(self, T, cls):
+        params = cls.from_spec(SPEC, T)
+        new = solve_tree_fft(params, engine=AdvanceEngine())
+        old = solve_tree_fft(params, engine=AdvanceEngine(reuse=False))
+        assert new.price == pytest.approx(old.price, rel=1e-10)
+
+    def test_shared_engine_across_solves(self):
+        """A second same-parameter solve starts warm (cross-solve reuse)."""
+        params = BinomialParams.from_spec(SPEC, 2048)
+        engine = AdvanceEngine()
+        solve_tree_fft(params, engine=engine)
+        misses_first = engine.spectrum_misses
+        solve_tree_fft(params, engine=engine)
+        assert engine.spectrum_misses == misses_first
+
+    def test_meta_engine_reports_per_solve_deltas(self):
+        """With a shared engine, each result's meta shows its own activity."""
+        params = BinomialParams.from_spec(SPEC, 2048)
+        engine = AdvanceEngine()
+        r1 = solve_tree_fft(params, engine=engine)
+        r2 = solve_tree_fft(params, engine=engine)
+        assert r1.meta["engine"]["advances"] == r2.meta["engine"]["advances"]
+        # warm second solve transforms no kernels at all
+        assert r2.meta["engine"]["spectrum_misses"] == 0
+        assert r2.meta["engine"]["spectrum_hits"] > 0
+
+    def test_default_engine_is_thread_safe(self):
+        """Concurrent stateless advance() calls don't share scratch buffers."""
+        import threading
+
+        rng = np.random.default_rng(5)
+        xs = [rng.uniform(0, 100.0, size=400) for _ in range(4)]
+        refs = [naive_steps(x, TAPS_2, 80) for x in xs]
+        errors = []
+
+        def worker(x, ref):
+            for _ in range(50):
+                y, _ = advance(x, TAPS_2, 80)
+                if not np.allclose(y, ref, rtol=1e-9, atol=1e-9):
+                    errors.append("corrupted advance output")
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(x, r)) for x, r in zip(xs, refs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestPriceMany:
+    def test_portfolio_matches_individual_pricing(self):
+        specs = [
+            dataclasses.replace(SPEC, strike=k, style=Style.EUROPEAN)
+            for k in (80.0, 100.0, 120.0)
+        ] + [dataclasses.replace(SPEC, strike=k) for k in (95.0, 105.0)]
+        results = price_many(specs, 256)
+        assert len(results) == len(specs)
+        for spec, r in zip(specs, results):
+            if spec.style is Style.EUROPEAN:
+                ref = price_european(spec, 256).price
+                assert r.meta.get("batched") is True
+            else:
+                ref = price_american(spec, 256).price
+            assert r.price == pytest.approx(ref, rel=1e-10)
+
+    def test_bermudan_specs_rejected(self):
+        with pytest.raises(ValidationError, match="Bermudan"):
+            price_many([dataclasses.replace(SPEC, style=Style.BERMUDAN)], 64)
+
+    def test_batched_group_charges_one_kernel_transform(self):
+        """N same-kernel European contracts report one transform total."""
+        specs = [
+            dataclasses.replace(SPEC, strike=k, style=Style.EUROPEAN)
+            for k in (80.0, 90.0, 100.0, 110.0)
+        ]
+        results = price_many(specs, 512)
+        assert sum(r.stats["spectrum_misses"] for r in results) == 1
+        assert all(r.meta["batch_size"] == 4 for r in results)
+
+
+class TestPrepare:
+    def test_prepared_bermudan_jump_hits_spectrum_cache(self):
+        """price_tree_bermudan_fft pre-plans its statically known jumps."""
+        from repro.core.bermudan import price_tree_bermudan_fft
+
+        params = BinomialParams.from_spec(
+            dataclasses.replace(SPEC, style=Style.BERMUDAN), 1024
+        )
+        engine = AdvanceEngine()
+        r = price_tree_bermudan_fft(params, (256, 512, 768), engine=engine)
+        # every fft jump found its spectrum precomputed by prepare()
+        assert r.stats.spectrum_hits == r.stats.fft_calls > 0
+
+    def test_prepare_skips_invalid_and_zero_heights(self):
+        engine = AdvanceEngine()
+        engine.prepare(TAPS_2, [(0, 100), (50, 10), (20, 100)])
+        # only the (20, 100) job is a valid advance shape
+        assert engine.cache_info()["cached_spectra"] == 1
