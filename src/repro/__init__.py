@@ -24,6 +24,7 @@ from repro.options import (
     black_scholes,
     european_price,
     american_greeks,
+    greeks_many,
     AmericanGreeks,
 )
 from repro.core.api import (
@@ -34,6 +35,7 @@ from repro.core.api import (
     price_many,
     exercise_boundary,
 )
+from repro.risk import ScenarioEngine, ScenarioGrid, ScenarioResult
 
 __version__ = "1.0.0"
 
@@ -45,8 +47,12 @@ __all__ = [
     "black_scholes",
     "european_price",
     "american_greeks",
+    "greeks_many",
     "AmericanGreeks",
     "PricingResult",
+    "ScenarioEngine",
+    "ScenarioGrid",
+    "ScenarioResult",
     "price_american",
     "price_european",
     "price_bermudan",

@@ -368,6 +368,8 @@ def price_many(
     lam: Optional[float] = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
     engine: Optional[AdvanceEngine] = None,
+    workers: Optional[int] = None,
+    backend: str = "process",
 ) -> list[PricingResult]:
     """Price a portfolio of contracts, amortising FFT plans across solves.
 
@@ -381,10 +383,40 @@ def price_many(
     additionally collapse into batched ``advance_many`` jumps — one stacked
     rFFT per distinct kernel — the portfolio fast path.
 
+    ``workers`` > 1 delegates the batch fan-out to a
+    :class:`~repro.risk.engine.ScenarioEngine` over the given ``backend``
+    (``"process"`` | ``"thread"`` | ``"serial"``): the portfolio is chunked
+    across a real worker pool, each worker amortising its own plan-caching
+    engine.  Incompatible with a shared ``engine`` (each worker owns one).
+
     Returns results in input order.
     """
     steps = check_integer("steps", steps, minimum=1)
     _check_model_method(model, method)
+    # Imported lazily: repro.risk.engine imports this module.
+    from repro.risk.engine import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    if workers is not None:
+        workers = check_integer("workers", workers, minimum=1)
+    if workers is not None and workers > 1:
+        if engine is not None:
+            raise ValidationError(
+                "workers fan-out gives each worker its own AdvanceEngine; "
+                "a shared engine cannot cross process boundaries"
+            )
+        if not specs:
+            return []
+        from repro.risk.engine import ScenarioEngine
+
+        scenario_engine = ScenarioEngine(
+            workers=workers, backend=backend, model=model, method=method,
+            base=base, lam=lam, policy=policy,
+        )
+        return scenario_engine.price_grid(list(specs), steps).results
     if engine is None:
         engine = AdvanceEngine(policy)
     for spec in specs:

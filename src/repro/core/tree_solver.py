@@ -151,7 +151,7 @@ class _TreeSolver:
             if hi_cand < c0:
                 # divider left the window; every lower row is green in [c0..]
                 self.stats.base_rows += ell - step + 1
-                return np.empty(0), c0 - 1, WorkSpan(work, span)
+                return np.empty(0, dtype=np.float64), c0 - 1, WorkSpan(work, span)
             i_old = i_new + 1
             ext_hi = hi_cand + q  # <= row_end(i_old) always
             n_cand = hi_cand - c0 + 1

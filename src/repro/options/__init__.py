@@ -11,7 +11,7 @@ from repro.options.analytic import (
     BlackScholesResult,
 )
 from repro.options.payoff import terminal_payoff, signed_exercise
-from repro.options.greeks import AmericanGreeks, american_greeks
+from repro.options.greeks import AmericanGreeks, american_greeks, greeks_many
 
 __all__ = [
     "OptionSpec",
@@ -31,4 +31,5 @@ __all__ = [
     "signed_exercise",
     "AmericanGreeks",
     "american_greeks",
+    "greeks_many",
 ]

@@ -4,8 +4,16 @@ A pricing library is consumed through its *sensitivities* as much as its
 prices; this module computes the standard Greeks for American contracts by
 central finite differences around the contract parameters, using any
 model/method combination of :func:`repro.core.api.price_american` — which
-makes the `O(T log²T)` solvers the default engine for an 8-reprice Greek
-ladder instead of eight `Θ(T²)` sweeps.
+makes the `O(T log²T)` solvers the default engine for a 9-reprice Greek
+ladder instead of nine `Θ(T²)` sweeps.
+
+The ladder is priced as one :class:`~repro.risk.grid.ScenarioGrid` through
+a :class:`~repro.risk.engine.ScenarioEngine`, so all ten solves (the base
+price plus nine bumps) share a single plan-caching
+:class:`~repro.core.fftstencil.AdvanceEngine` — the bumped lattices reuse
+each other's kernel spectra and pad plans — and :func:`greeks_many`
+stretches the same grid over a whole book of contracts, optionally across
+a multi-worker backend.
 
 Bump sizes follow the usual cube-root-of-epsilon scaling for second
 differences and are relative to each parameter's magnitude.  Theta is
@@ -16,9 +24,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from repro.core.api import price_american
-from repro.options.contract import OptionSpec
+from repro.options.contract import OptionSpec, Style
+from repro.risk.engine import ScenarioEngine
+from repro.risk.grid import ScenarioGrid
 from repro.util.validation import ValidationError, check_integer, check_positive
 
 
@@ -34,6 +44,135 @@ class AmericanGreeks:
     rho: float  # dV/dr (per unit rate)
 
 
+#: Prices per contract in the bump ladder: 1 base + 9 reprices.
+LADDER_SIZE = 10
+
+
+@dataclass(frozen=True)
+class _BumpLadder:
+    """One contract's bump ladder (base first) plus the step sizes."""
+
+    specs: tuple[OptionSpec, ...]
+    h_s: float  # delta spot step
+    h_g: float  # gamma spot step
+    h_v: float  # vega vol step
+    denom_r: float  # actual rate-up minus rate-down (down leg clamps at 0)
+    h_days: float  # theta expiry step (one-sided)
+
+    def greeks(self, prices: Sequence[float]) -> AmericanGreeks:
+        """Assemble the finite differences from the ladder's prices."""
+        (base, s_up, s_dn, g_up, g_dn, v_up, v_dn, r_up, r_dn, shorter) = map(
+            float, prices
+        )
+        return AmericanGreeks(
+            price=base,
+            delta=(s_up - s_dn) / (2.0 * self.h_s),
+            gamma=(g_up - 2.0 * base + g_dn) / (self.h_g * self.h_g),
+            vega=(v_up - v_dn) / (2.0 * self.h_v),
+            theta=(shorter - base) / self.h_days,
+            rho=(r_up - r_dn) / self.denom_r,
+        )
+
+
+def _bump_ladder(
+    spec: OptionSpec, rel_bump: float, gamma_rel_bump: float
+) -> _BumpLadder:
+    """The ten specs (base + 9 bumps) behind one contract's Greeks."""
+    base = spec.with_style(Style.AMERICAN)
+
+    h_s = base.spot * rel_bump
+    h_g = base.spot * gamma_rel_bump
+
+    h_v = max(base.volatility * rel_bump, 1e-5)
+
+    h_r = max(base.rate * rel_bump, 1e-6)
+    rate_up = dataclasses.replace(base, rate=base.rate + h_r)
+    rate_dn = dataclasses.replace(base, rate=max(base.rate - h_r, 0.0))
+
+    # calendar theta: value change per day as expiry approaches (one-sided,
+    # since extending expiry may change lattice validity).  The half-day
+    # floor keeps the difference above lattice noise, but must not push the
+    # bumped expiry through zero for sub-half-day contracts — those fall
+    # back to a half-of-expiry step instead.
+    h_days = max(base.expiry_days * rel_bump, 0.5)
+    if h_days >= base.expiry_days:
+        h_days = 0.5 * base.expiry_days
+    shorter = dataclasses.replace(base, expiry_days=base.expiry_days - h_days)
+
+    return _BumpLadder(
+        specs=(
+            base,
+            dataclasses.replace(base, spot=base.spot + h_s),
+            dataclasses.replace(base, spot=base.spot - h_s),
+            dataclasses.replace(base, spot=base.spot + h_g),
+            dataclasses.replace(base, spot=base.spot - h_g),
+            dataclasses.replace(base, volatility=base.volatility + h_v),
+            dataclasses.replace(base, volatility=base.volatility - h_v),
+            rate_up,
+            rate_dn,
+            shorter,
+        ),
+        h_s=h_s,
+        h_g=h_g,
+        h_v=h_v,
+        denom_r=rate_up.rate - rate_dn.rate,
+        h_days=h_days,
+    )
+
+
+def _check_bumps(rel_bump: float, gamma_rel_bump: float) -> None:
+    check_positive("rel_bump", rel_bump)
+    check_positive("gamma_rel_bump", gamma_rel_bump)
+    if rel_bump > 0.1 or gamma_rel_bump > 0.1:
+        raise ValidationError("bump sizes must be small fractions (<= 0.1)")
+
+
+def greeks_many(
+    specs: Sequence[OptionSpec],
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    rel_bump: float = 1e-3,
+    gamma_rel_bump: float = 2e-2,
+    engine: Optional[ScenarioEngine] = None,
+) -> list[AmericanGreeks]:
+    """Greeks for a book of contracts off one engine-shared bump grid.
+
+    Builds the :data:`LADDER_SIZE`-cell bump ladder of every contract,
+    prices all of them as a single :class:`~repro.risk.grid.ScenarioGrid`,
+    and assembles the finite differences — so a 100-contract book is one
+    1000-cell grid sharing FFT plans (and workers, if ``engine`` has a
+    parallel backend) instead of 100 independent ladders.
+
+    Parameters
+    ----------
+    engine:
+        :class:`~repro.risk.engine.ScenarioEngine` to run the grid on;
+        default is the in-process serial backend (right for single
+        contracts — pool spin-up dwarfs ten solves; pass a process-backend
+        engine for large books).  The engine's own model/method defaults
+        are overridden by this function's ``model``/``method``.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    _check_bumps(rel_bump, gamma_rel_bump)
+    if engine is None:
+        engine = ScenarioEngine(backend="serial")
+
+    ladders = [_bump_ladder(s, rel_bump, gamma_rel_bump) for s in specs]
+    if not ladders:
+        return []
+    grid = ScenarioGrid.explicit(
+        [spec for ladder in ladders for spec in ladder.specs]
+    )
+    result = engine.price_grid(grid, steps, model=model, method=method)
+    prices = result.prices
+    return [
+        ladder.greeks(prices[i * LADDER_SIZE : (i + 1) * LADDER_SIZE])
+        for i, ladder in enumerate(ladders)
+    ]
+
+
 def american_greeks(
     spec: OptionSpec,
     steps: int,
@@ -42,8 +181,13 @@ def american_greeks(
     method: str = "fft",
     rel_bump: float = 1e-3,
     gamma_rel_bump: float = 2e-2,
+    engine: Optional[ScenarioEngine] = None,
 ) -> AmericanGreeks:
-    """Greeks of ``spec`` by central bump-and-reprice (10 prices + 1 base).
+    """Greeks of ``spec`` by central bump-and-reprice (9 reprices + 1 base).
+
+    A thin wrapper over :func:`greeks_many` for one contract: the ten
+    ladder prices (base, spot±, gamma-spot±, vol±, rate up/down, shorter
+    expiry) are computed as one scenario grid on a shared FFT-plan cache.
 
     Parameters
     ----------
@@ -55,46 +199,16 @@ def american_greeks(
         and a second difference divides that noise by ``h²`` — gamma
         therefore needs a bump wide enough to average across several lattice
         periods; ~2% is robust for T ≥ 10³.
+    engine:
+        Optional :class:`~repro.risk.engine.ScenarioEngine` (see
+        :func:`greeks_many`).
     """
-    steps = check_integer("steps", steps, minimum=1)
-    check_positive("rel_bump", rel_bump)
-    check_positive("gamma_rel_bump", gamma_rel_bump)
-    if rel_bump > 0.1 or gamma_rel_bump > 0.1:
-        raise ValidationError("bump sizes must be small fractions (<= 0.1)")
-
-    def reprice(s: OptionSpec) -> float:
-        return price_american(s, steps, model=model, method=method).price
-
-    base = reprice(spec)
-
-    h_s = spec.spot * rel_bump
-    up = reprice(dataclasses.replace(spec, spot=spec.spot + h_s))
-    dn = reprice(dataclasses.replace(spec, spot=spec.spot - h_s))
-    delta = (up - dn) / (2.0 * h_s)
-
-    h_g = spec.spot * gamma_rel_bump
-    up_g = reprice(dataclasses.replace(spec, spot=spec.spot + h_g))
-    dn_g = reprice(dataclasses.replace(spec, spot=spec.spot - h_g))
-    gamma = (up_g - 2.0 * base + dn_g) / (h_g * h_g)
-
-    h_v = max(spec.volatility * rel_bump, 1e-5)
-    vega = (
-        reprice(dataclasses.replace(spec, volatility=spec.volatility + h_v))
-        - reprice(dataclasses.replace(spec, volatility=spec.volatility - h_v))
-    ) / (2.0 * h_v)
-
-    h_r = max(spec.rate * rel_bump, 1e-6)
-    rate_up = dataclasses.replace(spec, rate=spec.rate + h_r)
-    rate_dn = dataclasses.replace(spec, rate=max(spec.rate - h_r, 0.0))
-    denom = rate_up.rate - rate_dn.rate
-    rho = (reprice(rate_up) - reprice(rate_dn)) / denom
-
-    # calendar theta: value change per day as expiry approaches (one-sided,
-    # since extending expiry may change lattice validity)
-    h_days = max(spec.expiry_days * rel_bump, 0.5)
-    shorter = dataclasses.replace(spec, expiry_days=spec.expiry_days - h_days)
-    theta = (reprice(shorter) - base) / h_days
-
-    return AmericanGreeks(
-        price=base, delta=delta, gamma=gamma, vega=vega, theta=theta, rho=rho
-    )
+    return greeks_many(
+        [spec],
+        steps,
+        model=model,
+        method=method,
+        rel_bump=rel_bump,
+        gamma_rel_bump=gamma_rel_bump,
+        engine=engine,
+    )[0]

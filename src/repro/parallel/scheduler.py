@@ -15,6 +15,7 @@ runtime.  Two levels of fidelity are provided:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
@@ -101,7 +102,9 @@ class GreedyScheduler:
             for d in task.deps:
                 children[d].append(tid)
 
-        ready: List[str] = [tid for tid, deg in indeg.items() if deg == 0]
+        # deque: wide DAGs push thousands of ready tasks and pop them FIFO;
+        # list.pop(0) made that drain O(n²) across the schedule.
+        ready: deque[str] = deque(tid for tid, deg in indeg.items() if deg == 0)
         running: List[tuple[float, int, str]] = []  # (finish_time, tiebreak, id)
         tiebreak = 0
         now = 0.0
@@ -110,26 +113,19 @@ class GreedyScheduler:
 
         while ready or running:
             while ready and free > 0:
-                tid = ready.pop(0)
+                tid = ready.popleft()
                 heapq.heappush(running, (now + graph.tasks[tid].cost, tiebreak, tid))
                 tiebreak += 1
                 free -= 1
             if not running:
                 break  # all remaining tasks blocked — impossible in a DAG
-            finish, _, tid = heapq.heappop(running)
-            now = finish
-            free += 1
-            completed += 1
-            for child in children[tid]:
-                indeg[child] -= 1
-                if indeg[child] == 0:
-                    ready.append(child)
-            # drain any tasks finishing at the same instant
+            # retire every task finishing at the next event instant
+            now = running[0][0]
             while running and running[0][0] == now:
-                _, _, tid2 = heapq.heappop(running)
+                _, _, tid = heapq.heappop(running)
                 free += 1
                 completed += 1
-                for child in children[tid2]:
+                for child in children[tid]:
                     indeg[child] -= 1
                     if indeg[child] == 0:
                         ready.append(child)

@@ -1,0 +1,23 @@
+"""Scenario-grid risk workloads on a real worker pool.
+
+The ROADMAP's "as many scenarios as you can imagine" subsystem:
+:class:`ScenarioGrid` describes spot/vol/rate/expiry bump grids over one or
+more contracts, :class:`ScenarioEngine` prices them across process/thread
+worker pools (with a same-API serial fallback) and reports measured
+wall-clock speedup next to the work–span model's Brent prediction.
+"""
+
+from repro.risk.engine import (
+    BACKENDS,
+    ScenarioEngine,
+    ScenarioResult,
+)
+from repro.risk.grid import ScenarioCell, ScenarioGrid
+
+__all__ = [
+    "BACKENDS",
+    "ScenarioCell",
+    "ScenarioEngine",
+    "ScenarioGrid",
+    "ScenarioResult",
+]

@@ -1,0 +1,176 @@
+"""Scenario grids: structured bump sets over option contracts.
+
+A *scenario grid* is the unit of work a risk system reprices: a set of
+contracts crossed with market-data shocks — spot ladders, vol surfaces,
+rate shifts, expiry roll-downs — around the current market state.  The
+early-exercise surface moves under every one of those shocks (cf. the
+exercise-surface approximation literature in PAPERS.md), so each cell is a
+full American solve; the grid abstraction exists so
+:class:`repro.risk.engine.ScenarioEngine` can fan the solves out across
+workers while keeping a deterministic cell order.
+
+Bump conventions (mirroring :mod:`repro.options.greeks`):
+
+* ``spot_bumps`` / ``vol_bumps`` — *relative*: ``S*(1+b)``, ``V*(1+b)``.
+* ``rate_bumps`` — *absolute* additive shifts ``R+b``, clamped at 0 (rates
+  are validated non-negative); the applied value is recorded in the cell
+  label so a clamped cell is still identifiable.
+* ``expiry_bumps`` — additive day shifts ``E+b``; shifts that would drive
+  the expiry non-positive are rejected at construction time.
+
+Every cell keeps the bump coordinates that produced it (``labels``), so
+results can be reshaped into ladders/surfaces downstream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.options.contract import OptionSpec
+from repro.util.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One grid cell: a fully-bumped contract plus its grid coordinates.
+
+    ``index`` is the cell's position in the grid's deterministic flat order;
+    ``labels`` maps axis name -> the bump that produced this cell (e.g.
+    ``{"spec": 0, "spot": -0.05, "vol": 0.0, "rate": 0.0, "expiry": 0.0}``
+    for cartesian grids, ``{"spec": i}`` for explicit ones).
+    """
+
+    index: int
+    spec: OptionSpec
+    labels: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """An ordered, immutable collection of :class:`ScenarioCell`.
+
+    Build with :meth:`cartesian` (cross product of bump axes over base
+    contracts) or :meth:`explicit` (a pre-built list of contracts).  The
+    flat cell order is the construction order and is the order every
+    engine backend returns results in.
+    """
+
+    cells: tuple[ScenarioCell, ...]
+    #: (n_specs, n_spot, n_vol, n_rate, n_expiry) for cartesian grids;
+    #: (n_cells,) for explicit ones.
+    shape: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValidationError("a ScenarioGrid needs at least one cell")
+        for pos, cell in enumerate(self.cells):
+            if cell.index != pos:
+                raise ValidationError(
+                    f"cell at position {pos} carries index {cell.index}; "
+                    "cell indices must match flat grid order"
+                )
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[ScenarioCell]:
+        return iter(self.cells)
+
+    @property
+    def specs(self) -> list[OptionSpec]:
+        """The bumped contracts in flat grid order."""
+        return [c.spec for c in self.cells]
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def explicit(cls, specs: Sequence[OptionSpec]) -> "ScenarioGrid":
+        """Grid over an explicit contract list (flat shape, spec-index labels)."""
+        cells = tuple(
+            ScenarioCell(index=i, spec=s, labels={"spec": i})
+            for i, s in enumerate(specs)
+        )
+        return cls(cells=cells, shape=(len(cells),))
+
+    @classmethod
+    def cartesian(
+        cls,
+        specs: OptionSpec | Sequence[OptionSpec],
+        *,
+        spot_bumps: Sequence[float] = (0.0,),
+        vol_bumps: Sequence[float] = (0.0,),
+        rate_bumps: Sequence[float] = (0.0,),
+        expiry_bumps: Sequence[float] = (0.0,),
+    ) -> "ScenarioGrid":
+        """Cross product ``specs x spot x vol x rate x expiry``.
+
+        Axis order (specs outermost, expiry innermost) fixes the flat cell
+        order; ``shape`` records the per-axis lengths so results can be
+        reshaped with ``np.reshape(prices, grid.shape)``.
+        """
+        if isinstance(specs, OptionSpec):
+            specs = [specs]
+        if not specs:
+            raise ValidationError("cartesian grid needs at least one base spec")
+        for name, axis in (
+            ("spot_bumps", spot_bumps),
+            ("vol_bumps", vol_bumps),
+            ("rate_bumps", rate_bumps),
+            ("expiry_bumps", expiry_bumps),
+        ):
+            if len(axis) == 0:
+                raise ValidationError(
+                    f"{name} must contain at least one bump (use (0.0,) "
+                    "for an unbumped axis)"
+                )
+        for b in spot_bumps:
+            if b <= -1.0:
+                raise ValidationError(f"spot bump {b} drives the spot <= 0")
+        for b in vol_bumps:
+            if b <= -1.0:
+                raise ValidationError(f"vol bump {b} drives the volatility <= 0")
+
+        cells: list[ScenarioCell] = []
+        for s_i, base in enumerate(specs):
+            for db in expiry_bumps:
+                if base.expiry_days + db <= 0.0:
+                    raise ValidationError(
+                        f"expiry bump {db} drives expiry_days "
+                        f"{base.expiry_days} non-positive"
+                    )
+            for bs in spot_bumps:
+                for bv in vol_bumps:
+                    for br in rate_bumps:
+                        for db in expiry_bumps:
+                            rate = max(base.rate + br, 0.0)
+                            spec = dataclasses.replace(
+                                base,
+                                spot=base.spot * (1.0 + bs),
+                                volatility=base.volatility * (1.0 + bv),
+                                rate=rate,
+                                expiry_days=base.expiry_days + db,
+                            )
+                            cells.append(
+                                ScenarioCell(
+                                    index=len(cells),
+                                    spec=spec,
+                                    labels={
+                                        "spec": s_i,
+                                        "spot": bs,
+                                        "vol": bv,
+                                        "rate": rate - base.rate,
+                                        "expiry": db,
+                                    },
+                                )
+                            )
+        shape = (
+            len(specs),
+            len(spot_bumps),
+            len(vol_bumps),
+            len(rate_bumps),
+            len(expiry_bumps),
+        )
+        return cls(cells=tuple(cells), shape=shape)

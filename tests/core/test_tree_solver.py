@@ -170,6 +170,35 @@ class TestBoundaryRecorder:
         assert fft_price(SPEC, 64).boundary is None
 
 
+class TestDividerExit:
+    """naive_descend's early exit when the divider leaves the window."""
+
+    def _solver(self, T=16):
+        from repro.core.fftstencil import AdvanceEngine
+        from repro.core.tree_solver import _TreeSolver
+
+        return _TreeSolver(
+            BinomialParams.from_spec(SPEC, T), base=8, engine=AdvanceEngine(),
+            recorder=None,
+        )
+
+    def test_early_exit_returns_float64_empty(self):
+        solver = self._solver()
+        # window start c0=10 lies right of row_end(3)=3, so the divider
+        # leaves the window on the first descend step
+        vals, jb, ws = solver.naive_descend(
+            4, 10, np.zeros(1, dtype=np.float64), 10, 2
+        )
+        assert vals.shape == (0,)
+        assert vals.dtype == np.float64  # PR-1 empty-array dtype convention
+        assert jb == 9  # c0 - 1: no red cell remains at or right of c0
+
+    def test_early_exit_counts_remaining_rows(self):
+        solver = self._solver()
+        solver.naive_descend(4, 10, np.zeros(1, dtype=np.float64), 10, 3)
+        assert solver.stats.base_rows == 3  # all rows accounted, none computed
+
+
 class TestErrors:
     def test_put_rejected_with_pointer(self):
         spec = dataclasses.replace(SPEC, right=Right.PUT)

@@ -4,9 +4,10 @@ import dataclasses
 
 import pytest
 
+import repro.core.api
 from repro.options.analytic import black_scholes
 from repro.options.contract import OptionSpec, Right
-from repro.options.greeks import american_greeks
+from repro.options.greeks import LADDER_SIZE, american_greeks
 from repro.util.validation import ValidationError
 
 
@@ -83,6 +84,53 @@ class TestAmericanStructure:
     def test_deep_itm_put_delta_near_minus_one(self):
         g = american_greeks(make(spot=50.0, right=Right.PUT), 256)
         assert g.delta == pytest.approx(-1.0, abs=0.02)
+
+
+class TestThetaBumpClamp:
+    """The half-day theta floor must not push sub-half-day expiries <= 0."""
+
+    def test_sub_half_day_expiry_prices(self):
+        g = american_greeks(make(expiry_days=0.4), 64)
+        assert g.price > 0.0
+        assert g.theta < 0.0  # still decays
+
+    def test_exactly_half_day_expiry(self):
+        g = american_greeks(make(expiry_days=0.5), 64)
+        assert g.price > 0.0
+
+    def test_normal_expiry_unaffected(self):
+        # one-year contract: the clamp must leave the standard ladder alone
+        from repro.options.greeks import _bump_ladder
+
+        ladder = _bump_ladder(make(expiry_days=252.0), 1e-3, 2e-2)
+        assert ladder.h_days == pytest.approx(0.5)  # floor applies, no clamp
+        assert ladder.specs[-1].expiry_days == pytest.approx(251.5)
+
+    def test_tiny_expiry_uses_half_of_expiry_step(self):
+        from repro.options.greeks import _bump_ladder
+
+        ladder = _bump_ladder(make(expiry_days=0.4), 1e-3, 2e-2)
+        assert ladder.h_days == pytest.approx(0.2)
+        assert ladder.specs[-1].expiry_days == pytest.approx(0.2)
+
+
+class TestRepriceCount:
+    def test_ladder_is_nine_reprices_plus_base(self, monkeypatch):
+        """The docs promise 9 reprices + 1 base: count actual solver calls."""
+        calls = []
+        real = repro.core.api.price_american
+
+        def counting(spec, steps, **kw):
+            calls.append(spec)
+            return real(spec, steps, **kw)
+
+        # greeks run through price_many, which resolves price_american at
+        # call time from its module globals — patch it there.
+        monkeypatch.setattr(repro.core.api, "price_american", counting)
+        american_greeks(make(), 64)
+        assert len(calls) == LADDER_SIZE == 10
+        # exactly one unbumped base solve in the ladder
+        assert sum(1 for s in calls if s == make()) == 1
 
 
 class TestValidation:

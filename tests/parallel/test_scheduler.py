@@ -92,6 +92,27 @@ class TestGreedyScheduler:
         with pytest.raises(ValidationError):
             GreedyScheduler(0)
 
+    def test_wide_dag_fast_and_in_brent_window(self):
+        """A 1-root/10k-leaf fan-out: the ready queue holds every leaf at
+        once — the old list.pop(0) drain made this O(n²).  Must stay fast
+        and still land inside Brent's window."""
+        import time
+
+        n, p = 10_000, 7
+        g = TaskGraph()
+        g.add("root", 1.0)
+        for i in range(n):
+            g.add(f"leaf{i}", 1.0, ["root"])
+        t0 = time.perf_counter()
+        makespan = GreedyScheduler(p).run(g)
+        elapsed = time.perf_counter() - t0
+        t1, tinf = g.work, g.span
+        assert makespan >= max(t1 / p, tinf) - 1e-9
+        assert makespan <= t1 / p + tinf + 1e-9
+        # exact for this shape: root, then ceil(n/p) leaf waves
+        assert makespan == 1.0 + -(-n // p) * 1.0
+        assert elapsed < 2.0  # seconds; the quadratic drain took far longer
+
     @given(
         n=st.integers(1, 40),
         p=st.integers(1, 8),

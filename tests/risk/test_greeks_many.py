@@ -1,0 +1,58 @@
+"""greeks_many vs per-spec american_greeks, across engine backends."""
+
+import dataclasses
+
+import pytest
+
+from repro.options.contract import OptionSpec, Right, paper_benchmark_spec
+from repro.options.greeks import LADDER_SIZE, american_greeks, greeks_many
+from repro.risk import ScenarioEngine
+
+FIELDS = ("price", "delta", "gamma", "vega", "theta", "rho")
+
+
+def make(**kw):
+    defaults = dict(
+        spot=100.0, strike=100.0, rate=0.05, volatility=0.25, dividend_yield=0.02
+    )
+    defaults.update(kw)
+    return OptionSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def book():
+    return [
+        make(),
+        make(right=Right.PUT),
+        make(strike=120.0, dividend_yield=0.0),
+        paper_benchmark_spec(),
+    ]
+
+
+class TestAgreement:
+    def test_matches_per_spec_greeks(self, book):
+        many = greeks_many(book, 128)
+        for spec, g in zip(book, many):
+            single = american_greeks(spec, 128)
+            for f in FIELDS:
+                assert getattr(g, f) == pytest.approx(
+                    getattr(single, f), rel=1e-10, abs=1e-12
+                ), f
+
+    def test_parallel_engine_matches_serial(self, book):
+        serial = greeks_many(book, 128)
+        threaded = greeks_many(
+            book, 128, engine=ScenarioEngine(backend="thread", workers=2)
+        )
+        for a, b in zip(serial, threaded):
+            for f in FIELDS:
+                assert getattr(b, f) == pytest.approx(
+                    getattr(a, f), rel=1e-12, abs=1e-14
+                ), f
+
+    def test_empty_book(self):
+        assert greeks_many([], 64) == []
+
+    def test_ladder_size_is_ten(self):
+        # 1 base price + 9 reprices — the count the docstrings advertise
+        assert LADDER_SIZE == 10

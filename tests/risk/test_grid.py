@@ -1,0 +1,108 @@
+"""Tests for ScenarioGrid construction (shapes, order, labels, validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.options.contract import OptionSpec, Right, paper_benchmark_spec
+from repro.risk.grid import ScenarioCell, ScenarioGrid
+from repro.util.validation import ValidationError
+
+SPEC = paper_benchmark_spec()
+
+
+class TestCartesian:
+    def test_shape_and_size(self):
+        grid = ScenarioGrid.cartesian(
+            SPEC,
+            spot_bumps=(-0.1, 0.0, 0.1),
+            vol_bumps=(-0.2, 0.0, 0.2),
+            rate_bumps=(0.0, 0.005),
+        )
+        assert grid.shape == (1, 3, 3, 2, 1)
+        assert len(grid) == 18
+
+    def test_single_spec_equals_list_of_one(self):
+        a = ScenarioGrid.cartesian(SPEC, spot_bumps=(0.0, 0.01))
+        b = ScenarioGrid.cartesian([SPEC], spot_bumps=(0.0, 0.01))
+        assert a.specs == b.specs
+
+    def test_bumps_applied_relative(self):
+        grid = ScenarioGrid.cartesian(
+            SPEC, spot_bumps=(-0.05,), vol_bumps=(0.1,)
+        )
+        cell = grid.cells[0]
+        assert cell.spec.spot == pytest.approx(SPEC.spot * 0.95)
+        assert cell.spec.volatility == pytest.approx(SPEC.volatility * 1.1)
+
+    def test_rate_bump_absolute_and_clamped(self):
+        grid = ScenarioGrid.cartesian(SPEC, rate_bumps=(-1.0, 0.002))
+        down, up = grid.cells
+        assert down.spec.rate == 0.0  # clamped at the zero floor
+        assert down.labels["rate"] == pytest.approx(-SPEC.rate)  # applied shift
+        assert up.spec.rate == pytest.approx(SPEC.rate + 0.002)
+
+    def test_expiry_bump_additive_days(self):
+        grid = ScenarioGrid.cartesian(SPEC, expiry_bumps=(-21.0, 0.0, 21.0))
+        assert [c.spec.expiry_days for c in grid.cells] == [
+            SPEC.expiry_days - 21.0,
+            SPEC.expiry_days,
+            SPEC.expiry_days + 21.0,
+        ]
+
+    def test_flat_order_is_expiry_innermost(self):
+        grid = ScenarioGrid.cartesian(
+            SPEC, spot_bumps=(0.0, 0.01), expiry_bumps=(0.0, 1.0)
+        )
+        labels = [(c.labels["spot"], c.labels["expiry"]) for c in grid.cells]
+        assert labels == [(0.0, 0.0), (0.0, 1.0), (0.01, 0.0), (0.01, 1.0)]
+
+    def test_multi_spec_outermost(self):
+        put = SPEC.with_right(Right.PUT)
+        grid = ScenarioGrid.cartesian([SPEC, put], spot_bumps=(0.0, 0.01))
+        assert [c.labels["spec"] for c in grid.cells] == [0, 0, 1, 1]
+        assert grid.shape[0] == 2
+
+    def test_indices_match_flat_order(self):
+        grid = ScenarioGrid.cartesian(SPEC, spot_bumps=(-0.01, 0.0, 0.01))
+        assert [c.index for c in grid.cells] == list(range(len(grid)))
+
+
+class TestExplicit:
+    def test_specs_round_trip(self):
+        strip = [dataclasses.replace(SPEC, strike=k) for k in (100.0, 120.0)]
+        grid = ScenarioGrid.explicit(strip)
+        assert grid.specs == strip
+        assert grid.shape == (2,)
+        assert grid.cells[1].labels == {"spec": 1}
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioGrid.explicit([])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioGrid.cartesian(SPEC, spot_bumps=())
+
+    def test_empty_spec_list_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioGrid.cartesian([])
+
+    def test_spot_bump_through_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioGrid.cartesian(SPEC, spot_bumps=(-1.0,))
+
+    def test_vol_bump_through_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioGrid.cartesian(SPEC, vol_bumps=(-1.5,))
+
+    def test_expiry_bump_through_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioGrid.cartesian(SPEC, expiry_bumps=(-SPEC.expiry_days,))
+
+    def test_mismatched_cell_index_rejected(self):
+        cell = ScenarioCell(index=5, spec=SPEC)
+        with pytest.raises(ValidationError):
+            ScenarioGrid(cells=(cell,))

@@ -49,6 +49,17 @@ def test_portfolio(capsys):
     assert "ms/contract" in out
 
 
+def test_scenario_sweep(capsys):
+    out = run_example(
+        "examples/scenario_sweep.py",
+        ["--steps", "64", "--workers", "2", "--backend", "serial"],
+        capsys,
+    )
+    assert "price surface" in out
+    assert "Brent-predicted speedup" in out
+    assert "Greek ladders" in out
+
+
 def test_paper_tables_list(capsys):
     out = run_example("examples/paper_tables.py", ["--list"], capsys)
     assert "fig5-bopm" in out
