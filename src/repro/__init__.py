@@ -36,10 +36,20 @@ from repro.core.api import (
     exercise_boundary,
 )
 from repro.risk import ScenarioEngine, ScenarioGrid, ScenarioResult
+from repro.service import (
+    CanonicalPolicy,
+    QuoteCache,
+    QuoteService,
+    canonical_key,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CanonicalPolicy",
+    "QuoteCache",
+    "QuoteService",
+    "canonical_key",
     "OptionSpec",
     "Right",
     "Style",

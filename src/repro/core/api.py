@@ -22,7 +22,7 @@ exercise divider.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -76,6 +76,35 @@ class PricingResult:
     stats: dict = field(default_factory=dict)
     boundary: Optional[object] = None
     meta: dict = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "PricingResult":
+        """Copy with the price multiplied by ``factor`` (value homogeneity).
+
+        The work/span passes through (immutable, scale-free), while the
+        stats dict, the divider container and ``meta`` are shallow-copied:
+        the quote service stores one canonical result and hands out scaled
+        copies per request, so a caller mutating a served copy must never
+        corrupt the cached original.
+        """
+        boundary = self.boundary
+        if isinstance(boundary, dict):
+            boundary = dict(boundary)
+        elif isinstance(boundary, np.ndarray):
+            boundary = boundary.copy()
+        return replace(
+            self, price=self.price * factor, stats=dict(self.stats),
+            boundary=boundary, meta=dict(self.meta),
+        )
+
+
+def check_model_method(model: str, method: str) -> None:
+    """Validate a ``(model, method)`` pair (raises :class:`ValidationError`).
+
+    Public hook for front ends that build request keys before pricing
+    (:mod:`repro.service.canonical`), so a malformed request fails at
+    submission rather than deep inside a coalesced batch.
+    """
+    _check_model_method(model, method)
 
 
 def _check_model_method(model: str, method: str) -> None:
@@ -381,7 +410,9 @@ def price_many(
     calibration grid, a risk scenario sweep) pay each kernel transform once
     across the whole batch.  European tree contracts with ``method="fft"``
     additionally collapse into batched ``advance_many`` jumps — one stacked
-    rFFT per distinct kernel — the portfolio fast path.
+    rFFT per distinct kernel — the portfolio fast path.  Bit-identical
+    repeated contracts are solved once and the result fanned out in input
+    order (duplicates carry ``meta["deduplicated_of"]``).
 
     ``workers`` > 1 delegates the batch fan-out to a
     :class:`~repro.risk.engine.ScenarioEngine` over the given ``backend``
@@ -402,6 +433,43 @@ def price_many(
         )
     if workers is not None:
         workers = check_integer("workers", workers, minimum=1)
+
+    # Dedupe bit-identical requests: OptionSpec is a frozen dataclass, so
+    # equality means every field matches bit-for-bit and duplicates are
+    # guaranteed the same solve.  Price each distinct contract once and fan
+    # the envelope out in input order (duplicates get a shallow copy marked
+    # ``meta["deduplicated_of"]`` = index of the solved occurrence; price,
+    # workspan and stats are the primary's).
+    first_at: dict[OptionSpec, int] = {}
+    unique: list[OptionSpec] = []
+    first_input: list[int] = []
+    inverse: list[int] = []
+    for i, s in enumerate(specs):
+        u = first_at.setdefault(s, len(unique))
+        if u == len(unique):
+            unique.append(s)
+            first_input.append(i)
+        inverse.append(u)
+    if len(unique) < len(inverse):
+        primaries = price_many(
+            unique, steps, model=model, method=method, base=base, lam=lam,
+            policy=policy, engine=engine, workers=workers, backend=backend,
+        )
+        fanned: list[PricingResult] = []
+        seen: set[int] = set()
+        for u in inverse:
+            if u in seen:
+                # scaled(1.0) is a bit-identical copy with independent
+                # stats/boundary/meta containers — mutating one sibling must
+                # never corrupt another.
+                dup = primaries[u].scaled(1.0)
+                dup.meta["deduplicated_of"] = first_input[u]
+                fanned.append(dup)
+            else:
+                seen.add(u)
+                fanned.append(primaries[u])
+        return fanned
+
     if workers is not None and workers > 1:
         if engine is not None:
             raise ValidationError(
@@ -416,7 +484,7 @@ def price_many(
             workers=workers, backend=backend, model=model, method=method,
             base=base, lam=lam, policy=policy,
         )
-        return scenario_engine.price_grid(list(specs), steps).results
+        return scenario_engine.price_specs(list(specs), steps)
     if engine is None:
         engine = AdvanceEngine(policy)
     for spec in specs:

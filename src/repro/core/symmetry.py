@@ -27,9 +27,48 @@ from typing import Optional
 
 from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
 from repro.core.tree_solver import DEFAULT_BASE, TreeFFTResult, solve_tree_fft
-from repro.options.contract import OptionSpec, Right
+from repro.options.contract import OptionSpec, Right, Style
 from repro.options.params import BinomialParams, TrinomialParams
 from repro.util.validation import ValidationError
+
+
+def canonicalize_right(
+    spec: OptionSpec, model: str, method: str = "fft"
+) -> "tuple[OptionSpec, bool]":
+    """Reduce a contract to the solver-preferred right: ``(spec', dualized)``.
+
+    ``fft`` puts map to their McDonald–Schroder dual call wherever the fold
+    matches what :func:`repro.core.api.price_american` itself would solve:
+
+    * binomial ``fft``, both exercise styles — exact on the CRR lattice;
+      the backward-induction argument in the module docstring never uses
+      the exercise ``max``, only the weight identities, so it applies
+      row-by-row to either style (the test suite checks both to ~1e-13);
+    * *American* trinomial ``fft`` — :func:`solve_put_via_symmetry` prices
+      that put through the dual lattice anyway, so the fold changes
+      nothing but the cache key (measured ~8e-15 at T=1024).
+
+    Everything else keeps its orientation:
+
+    * *European* trinomial puts are priced natively, and the trinomial
+      weights satisfy the dual identity only to discretisation order
+      (measured drift ~2.5e-12 relative at T=257, ~3.8e-10 at T=1024), so
+      folding them would break the cache's exactness contract;
+    * non-``fft`` puts — the loop solvers price puts natively and record
+      the *put's own* divider, which a dual fold would silently replace
+      with the mirrored dual-call divider;
+    * bsm-fd — that model prices puts directly.
+
+    Used by the quote service (:mod:`repro.service.canonical`) to fold put
+    and call traffic onto one canonical key.
+    """
+    if spec.right is not Right.PUT or method != "fft":
+        return spec, False
+    if model == "binomial" or (
+        model == "trinomial" and spec.style is Style.AMERICAN
+    ):
+        return spec.symmetric_dual(), True
+    return spec, False
 
 
 def solve_put_via_symmetry(

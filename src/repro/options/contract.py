@@ -134,6 +134,21 @@ class OptionSpec:
         """Copy of this spec with a different exercise style."""
         return replace(self, style=style)
 
+    def strike_scaled(self) -> "tuple[OptionSpec, float]":
+        """Dimensionless unit-strike form: ``(scaled spec, value scale)``.
+
+        Option values under geometric Brownian motion are homogeneous of
+        degree one in ``(S, K)`` — ``price(S, K) = K · price(S/K, 1)`` — and
+        the identity carries to every lattice in this library because the
+        lattice factors (``u``, the discounted weights, the FD grid) depend
+        only on rate/volatility/dividend/expiry, never on the price scale.
+        The returned scale is this contract's strike: un-scale a price
+        computed on the scaled contract by multiplying with it.  This is the
+        first half of the quote-service canonicalization
+        (:mod:`repro.service.canonical`).
+        """
+        return replace(self, spot=self.spot / self.strike, strike=1.0), self.strike
+
     def symmetric_dual(self) -> "OptionSpec":
         """McDonald–Schroder put–call symmetric contract.
 

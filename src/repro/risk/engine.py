@@ -92,6 +92,21 @@ def _worker_engine(policy: AdvancePolicy) -> AdvanceEngine:
     return engine
 
 
+def _rebase_dedup_indices(
+    chunk_results: Sequence[PricingResult], lo: int
+) -> None:
+    """Lift ``price_many``'s chunk-local dedup indices into grid order.
+
+    Each chunk prices through its own ``price_many`` call, whose
+    ``meta["deduplicated_of"]`` indexes are relative to the chunk — add the
+    chunk offset so consumers can resolve them against the flat grid.
+    """
+    if lo:
+        for r in chunk_results:
+            if "deduplicated_of" in r.meta:
+                r.meta["deduplicated_of"] += lo
+
+
 def _run_chunk(
     engine: AdvanceEngine,
     specs: Sequence[OptionSpec],
@@ -237,6 +252,32 @@ class ScenarioEngine:
             initargs=init_args,
         )
 
+    def price_specs(
+        self,
+        specs: Sequence[OptionSpec],
+        steps: int,
+        *,
+        model: Optional[str] = None,
+        method: Optional[str] = None,
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+    ) -> list[PricingResult]:
+        """Price a flat contract list; results in input order.
+
+        Batch-delegation entry point for callers that already hold a plain
+        spec sequence — :func:`repro.core.api.price_many` (``workers`` > 1)
+        and the :class:`~repro.service.service.QuoteService` coalescer —
+        equivalent to pricing ``ScenarioGrid.explicit(specs)`` and keeping
+        only the per-cell results.  An empty list prices to an empty list,
+        matching every other batch entry point.
+        """
+        if not specs:
+            return []
+        return self.price_grid(
+            ScenarioGrid.explicit(list(specs)), steps,
+            model=model, method=method, base=base, lam=lam,
+        ).results
+
     def price_grid(
         self,
         grid: ScenarioGrid | Sequence[OptionSpec],
@@ -276,6 +317,7 @@ class ScenarioEngine:
                 chunk_results, seconds = _run_chunk(
                     engine, specs[lo:hi], steps, kwargs
                 )
+                _rebase_dedup_indices(chunk_results, lo)
                 results[lo:hi] = chunk_results
                 cells_wall += seconds
         else:
@@ -287,6 +329,7 @@ class ScenarioEngine:
                 for lo, chunk_results, seconds in pool.map(
                     _price_chunk, payloads
                 ):
+                    _rebase_dedup_indices(chunk_results, lo)
                     results[lo : lo + len(chunk_results)] = chunk_results
                     cells_wall += seconds
         wall = time.perf_counter() - t0

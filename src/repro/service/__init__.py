@@ -1,0 +1,39 @@
+"""Quote-serving tier: canonical keys → LRU/TTL cache → coalescing service.
+
+The ROADMAP's "serve heavy traffic" subsystem.  Requests reduce to
+dimensionless canonical keys (:mod:`repro.service.canonical`), warm keys
+are served from an LRU+TTL cache (:mod:`repro.service.cache`), and cold
+keys coalesce into batched engine solves behind the
+:class:`~repro.service.service.QuoteService` front door.
+"""
+
+from repro.service.cache import CacheEntry, QuoteCache
+from repro.service.canonical import (
+    EXACT,
+    KEY_VERSION,
+    CanonicalPolicy,
+    CanonicalRequest,
+    canonical_key,
+    canonicalize,
+    decanonicalize,
+)
+from repro.service.service import (
+    QuoteService,
+    QuoteTicket,
+    ServiceOverloadedError,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CanonicalPolicy",
+    "CanonicalRequest",
+    "EXACT",
+    "KEY_VERSION",
+    "QuoteCache",
+    "QuoteService",
+    "QuoteTicket",
+    "ServiceOverloadedError",
+    "canonical_key",
+    "canonicalize",
+    "decanonicalize",
+]

@@ -1,0 +1,174 @@
+"""LRU + TTL quote cache over canonical keys.
+
+Stores one canonical-form :class:`~repro.core.api.PricingResult` per key —
+price, instrumented work/span, :class:`~repro.core.metrics.SolveStats`
+counters and (when the solve recorded it) the exercise divider, so a later
+``return_boundary`` query on a warm key is served without re-solving.
+
+Semantics
+---------
+* **LRU**: ``get`` refreshes recency; once ``maxsize`` entries are live the
+  least-recently-used one is evicted on the next ``put``.
+* **TTL**: an entry is valid while ``clock() - created_at < ttl`` and
+  expires *at* age ``ttl`` exactly (closed lower bound, open upper bound) —
+  the boundary case is pinned so tests with an injected clock are
+  deterministic.  ``ttl=None`` (default) never expires.  Expiry is lazy: an
+  expired entry is dropped (and counted) when next looked up or when
+  :meth:`purge_expired` sweeps.
+* **Clock injection**: ``clock`` is any zero-argument monotonic callable;
+  production uses :func:`time.monotonic`, tests pass a fake.  The cache
+  never reads the wall clock behind the caller's back.
+
+All operations are lock-protected; the counters in :meth:`stats` form a
+consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from repro.core.api import PricingResult
+from repro.util.validation import ValidationError, check_integer
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class CacheEntry:
+    """One cached canonical result plus its bookkeeping."""
+
+    result: PricingResult
+    created_at: float
+    hits: int = 0
+
+
+class QuoteCache:
+    """Thread-safe LRU+TTL mapping ``canonical key -> CacheEntry``."""
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        ttl: Optional[float] = None,
+        clock: Clock = time.monotonic,
+    ):
+        self.maxsize = check_integer("maxsize", maxsize, minimum=1)
+        if ttl is not None and ttl <= 0.0:
+            raise ValidationError(f"ttl must be > 0 or None, got {ttl}")
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._stores = 0
+
+    # ------------------------------------------------------------------ #
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        return self.ttl is not None and now - entry.created_at >= self.ttl
+
+    def get(self, key: Hashable) -> Optional[PricingResult]:
+        """The cached canonical result, or ``None`` (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if self._expired(entry, self._clock()):
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            entry.hits += 1
+            return entry.result
+
+    def peek(self, key: Hashable) -> Optional[PricingResult]:
+        """Like :meth:`get` but touches neither the hit/miss counters nor
+        LRU recency — for probes that may decide to re-solve anyway (e.g.
+        the service's boundary-upgrade check), so the stats keep meaning
+        "requests served from cache".  Expired entries are still dropped
+        (and counted as expirations).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self._expired(entry, self._clock()):
+                del self._entries[key]
+                self._expirations += 1
+                return None
+            return entry.result
+
+    def put(self, key: Hashable, result: PricingResult) -> None:
+        """Store (or refresh) ``key``; evicts LRU entries beyond ``maxsize``.
+
+        Re-putting a live key replaces the entry and restarts its TTL (the
+        new solve is at least as fresh — e.g. a boundary-recording upgrade
+        of a priced-only entry) — with one exception: a replacement that
+        would *drop* a recorded exercise divider keeps the richer payload
+        (same key means the same deterministic solve, so the old result is
+        still exact; only the TTL restarts).
+        """
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if (
+                old is not None
+                and result.boundary is None
+                and old.result.boundary is not None
+                and not self._expired(old, self._clock())
+            ):
+                result = old.result
+            self._entries[key] = CacheEntry(result, self._clock())
+            self._stores += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry now; returns how many went."""
+        with self._lock:
+            now = self._clock()
+            dead = [k for k, e in self._entries.items() if self._expired(e, now)]
+            for k in dead:
+                del self._entries[k]
+            self._expirations += len(dead)
+            return len(dead)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the session)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Live-entry test; does not touch recency or the hit/miss counters."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry, self._clock())
+
+    def stats(self) -> dict:
+        """Consistent counter snapshot (plus size/config) for dashboards."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "stores": self._stores,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "ttl": self.ttl,
+                "hit_ratio": self._hits / lookups if lookups else 0.0,
+            }

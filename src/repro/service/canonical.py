@@ -1,0 +1,282 @@
+"""Canonical quote keys: dimensionless request reduction and its inverse.
+
+Real quote traffic is massively redundant — strike strips, both rights on
+one underlying, the same contract re-requested every few milliseconds — and
+the nonlinear-stencil solve is scale-invariant, so much of that redundancy
+collapses onto a *single* dimensionless solve.  This module performs the
+collapse and its exact inverse:
+
+1. **Put→call fold** (binomial ``fft``, both styles, plus *American*
+   trinomial ``fft``): a put is priced as its McDonald–Schroder dual call
+   exactly where that matches what the solvers do anyway
+   (:func:`repro.core.symmetry.canonicalize_right` explains why European
+   trinomial and non-``fft`` puts are *not* folded).
+2. **Strike scaling**: ``price(S, K) = K · price(S/K, 1)``
+   (:meth:`repro.options.contract.OptionSpec.strike_scaled`), so every
+   contract is priced at unit strike and only its moneyness survives into
+   the key.
+3. **Quantization** (optional, :class:`CanonicalPolicy`): moneyness, rate,
+   volatility, dividend yield and expiry-years snap to a configurable grid,
+   merging requests that differ below the caller's tolerance.  At the
+   default ``tol=0`` no snapping happens and cache hits are **bit-identical**
+   to the cold solve; with ``tol > 0`` a hit returns the price of the
+   quantized representative (within ``O(tol)`` of the exact price —
+   "tolerance-quantized" hits, docs/DESIGN.md §5).
+
+The key also folds ``day_count`` away: every solver consumes expiry only
+through ``spec.years``, so ``E=126, day_count=126`` and ``E=252,
+day_count=252`` are the same solve and share a key.
+
+:func:`canonicalize` returns a :class:`CanonicalRequest` — the hashable
+``key``, the canonical contract actually priced, and the ``scale`` that
+un-does step 2 — and :func:`decanonicalize` applies the inverse transform
+to a canonical :class:`~repro.core.api.PricingResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.api import PricingResult, check_model_method
+from repro.core.bsm_solver import DEFAULT_BSM_BASE
+from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
+from repro.core.symmetry import canonicalize_right
+from repro.core.tree_solver import DEFAULT_BASE
+from repro.options.contract import OptionSpec, Right, Style
+from repro.options.params import BSMGridParams
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_nonnegative,
+)
+
+#: Bump when the canonical form changes incompatibly, so stale keys from an
+#: older layout can never alias a new solve.
+KEY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CanonicalPolicy:
+    """How aggressively requests merge onto one key.
+
+    ``tol`` is the quantization step applied to each dimensionless
+    coordinate of the canonical contract (moneyness ``S/K``, rate,
+    volatility, dividend yield, expiry in years): values snap to the
+    nearest multiple of ``tol``, so requests within ``tol/2`` per
+    coordinate share a key *and a solve*.  ``tol=0`` (the default)
+    disables snapping — only bit-identical canonical coordinates merge,
+    and every cache hit reproduces the cold solve bit-for-bit.
+    """
+
+    tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("tol", self.tol)
+
+
+#: Exact-match policy: no quantization, bit-identical hits only.
+EXACT = CanonicalPolicy(0.0)
+
+
+@dataclass(frozen=True)
+class CanonicalRequest:
+    """One quote request reduced to canonical form.
+
+    Attributes
+    ----------
+    key:       hashable cache key (plain tuple of the canonical coordinates
+               plus the solve configuration).
+    spec:      the canonical contract actually priced (unit strike; dual
+               call for binomial puts; quantized when the policy says so).
+    scale:     original price = ``scale ·`` canonical price.
+    dualized:  whether the put→call fold was applied.
+    quantized: whether any coordinate moved during quantization.
+    model, method, steps, base, lam: the solve configuration, echoed so a
+               coalescer can bucket compatible requests.
+    """
+
+    key: tuple
+    spec: OptionSpec
+    scale: float
+    dualized: bool
+    quantized: bool
+    model: str
+    method: str
+    steps: int
+    base: Optional[int]
+    lam: Optional[float]
+
+
+def _snap(value: float, tol: float, floor: float) -> float:
+    """Quantize ``value`` to the ``tol`` grid, clamped at ``floor``.
+
+    ``floor`` guards the validated domain: strictly positive quantities
+    (moneyness, volatility) pass ``tol`` itself so a sub-half-step value
+    snaps to the first grid point instead of zero; non-negative ones pass
+    ``0.0``.
+    """
+    return max(round(value / tol) * tol, floor)
+
+
+def canonicalize(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: CanonicalPolicy = EXACT,
+    advance_policy: AdvancePolicy = DEFAULT_POLICY,
+) -> CanonicalRequest:
+    """Reduce ``(spec, solve configuration)`` to a :class:`CanonicalRequest`.
+
+    Raises :class:`ValidationError` for configurations the service cannot
+    key (unknown model/method pairs, Bermudan contracts — their exercise
+    schedules are not part of :class:`OptionSpec` and would silently alias).
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    check_model_method(model, method)
+    if spec.style is Style.BERMUDAN:
+        raise ValidationError(
+            "the quote service keys American and European contracts; a "
+            "Bermudan schedule lives outside OptionSpec and cannot be "
+            "canonicalized — price it via price_bermudan directly"
+        )
+    if spec.style is Style.EUROPEAN and method not in ("fft", "loop"):
+        raise ValidationError(
+            f"European pricing supports methods 'fft' and 'loop'; {method!r} "
+            "is an American-only baseline — rejected at submission so it "
+            "cannot poison a coalesced batch"
+        )
+    if spec.right is Right.PUT and method not in ("fft", "loop"):
+        raise ValidationError(
+            f"baseline {method!r} implements the paper's American-call "
+            "benchmark; puts need method='fft' or 'loop' — rejected at "
+            "submission so they cannot poison a coalesced batch"
+        )
+    if model == "bsm-fd" and spec.right is not Right.PUT:
+        raise ValidationError(
+            "the bsm-fd model prices American puts (paper §4) — rejected "
+            "at submission so the call cannot poison a coalesced batch"
+        )
+
+    # Normalize defaulted solve knobs so ``base=None`` and an explicit
+    # ``base=DEFAULT_BASE`` (the identical solve) share a key and a
+    # coalescer bucket; knobs a solve ignores are erased from the key.
+    if method == "fft" and spec.style is Style.AMERICAN:
+        if base is None:
+            base = DEFAULT_BSM_BASE if model == "bsm-fd" else DEFAULT_BASE
+    else:
+        # only the American fft recursion has a base-case height —
+        # European jumps and the loop/baseline sweeps never consume it
+        base = None
+    if model == "bsm-fd":
+        if lam is None:
+            lam = BSMGridParams.DEFAULT_LAMBDA
+    else:
+        lam = None  # the tree models have no parabolic ratio
+
+    working, dualized = canonicalize_right(spec, model, method)
+    working, scale = working.strike_scaled()
+
+    quantized = False
+    if policy.tol > 0.0:
+        tol = policy.tol
+        # Normalize to the 252-day convention so the snapped years value
+        # round-trips identically whatever day_count the request used.
+        years_q = _snap(working.years, tol, tol)
+        snapped = dataclasses.replace(
+            working,
+            spot=_snap(working.spot, tol, tol),
+            rate=_snap(working.rate, tol, 0.0),
+            volatility=_snap(working.volatility, tol, tol),
+            dividend_yield=_snap(working.dividend_yield, tol, 0.0),
+            expiry_days=years_q * 252.0,
+            day_count=252,
+        )
+        # "quantized" means a dimensionless coordinate actually moved — the
+        # day-count renormalisation alone does not make a hit approximate.
+        quantized = (
+            snapped.spot != working.spot
+            or snapped.rate != working.rate
+            or snapped.volatility != working.volatility
+            or snapped.dividend_yield != working.dividend_yield
+            or snapped.years != working.years
+        )
+        working = snapped
+
+    key = (
+        KEY_VERSION,
+        model,
+        method,
+        steps,
+        base,
+        lam,
+        working.style.value,
+        working.right.value,
+        working.spot,
+        working.rate,
+        working.volatility,
+        working.dividend_yield,
+        working.years,
+        # AdvancePolicy steers the fft-vs-direct choice, which differs at
+        # the ulp level — services sharing one injected cache must not
+        # alias entries across different policies.
+        advance_policy,
+    )
+    return CanonicalRequest(
+        key=key,
+        spec=working,
+        scale=scale,
+        dualized=dualized,
+        quantized=quantized,
+        model=model,
+        method=method,
+        steps=steps,
+        base=base,
+        lam=lam,
+    )
+
+
+def canonical_key(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: CanonicalPolicy = EXACT,
+    advance_policy: AdvancePolicy = DEFAULT_POLICY,
+) -> tuple:
+    """The hashable cache key alone (``canonicalize(...).key``)."""
+    return canonicalize(
+        spec, steps, model=model, method=method, base=base, lam=lam,
+        policy=policy, advance_policy=advance_policy,
+    ).key
+
+
+def decanonicalize(
+    result: PricingResult, request: CanonicalRequest
+) -> PricingResult:
+    """Invert the canonical transform on a canonical-form result.
+
+    The price is multiplied back by ``request.scale``; work/span, stats and
+    the exercise divider keep their canonical-lattice values (grid indices
+    are scale-free — for a folded put the divider is the dual call's
+    mirrored divider, exactly as :func:`repro.core.api.price_american`
+    already reports for fft puts), with the mutable containers shallow-
+    copied so served results never alias the cached original.
+    ``meta["canonical"]`` records how the request was reduced.
+    """
+    out = result.scaled(request.scale)
+    out.meta["canonical"] = {
+        "key": request.key,
+        "scale": request.scale,
+        "dualized": request.dualized,
+        "quantized": request.quantized,
+    }
+    return out

@@ -1,0 +1,747 @@
+"""QuoteService: caching, coalescing front door over the pricing engines.
+
+The serving pipeline (docs/DESIGN.md §5) is
+
+    request --canonicalize--> key --cache--> hit?  serve scaled copy
+                                   \\-- miss --> coalesce --> solve --> store
+
+* :func:`~repro.service.canonical.canonicalize` folds each request onto a
+  dimensionless key, so a strike strip, both rights (binomial), and
+  rescaled clones of one contract all share a single solve.
+* :class:`~repro.service.cache.QuoteCache` (LRU+TTL) serves warm keys in
+  O(1) — a dict lookup plus one multiply — versus a full O(T log²T) solve.
+* Cold keys are **coalesced**: :meth:`QuoteService.quote_many` dedupes keys
+  within the call, and :meth:`QuoteService.submit` parks requests in a
+  bounded queue whose :meth:`QuoteService.flush` groups compatible pending
+  requests (same model/method/steps/base/lam bucket) into one
+  :func:`repro.core.api.price_many` batch — sharing the service's
+  plan-caching :class:`~repro.core.fftstencil.AdvanceEngine`, keeping the
+  batched European fast path, and (``workers > 1``) fanning the batch across
+  a :class:`~repro.risk.engine.ScenarioEngine` worker pool.
+
+Identical in-flight requests are merged: submitting a key that is already
+queued attaches the new ticket to the existing pending solve, and a cold
+``quote()`` registers its own solve in-flight so concurrent identical
+quotes and submits ride it too.  The queue is
+bounded (``max_pending``); when it is full a blocking submit pays the drain
+itself (backpressure) and a non-blocking one raises
+:class:`ServiceOverloadedError`.
+
+Threading: every public method is safe to call from multiple threads.
+Cache hits, enqueues and bookkeeping run concurrently; the *cold solves*
+themselves serialize on an internal mutex because the shared plan-caching
+engine's scratch buffers are not thread-safe — concurrent throughput on a
+cold stream comes from ``workers > 1`` (per-worker engines), not from
+racing threads into one engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.api import (
+    PricingResult,
+    check_model_method,
+    price_american,
+    price_many,
+)
+from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
+from repro.options.contract import OptionSpec, Style
+from repro.risk.engine import BACKENDS, ScenarioEngine
+from repro.service.cache import Clock, QuoteCache
+from repro.service.canonical import (
+    EXACT,
+    CanonicalPolicy,
+    CanonicalRequest,
+    canonicalize,
+    decanonicalize,
+)
+from repro.util.validation import ValidationError, check_integer
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised by a non-blocking submit when the pending queue is full."""
+
+
+@dataclass
+class _Pending:
+    """One queued canonical solve, shared by every ticket that merged into it."""
+
+    request: CanonicalRequest
+    canonical_result: Optional[PricingResult] = None
+    error: Optional[BaseException] = None
+    event: threading.Event = field(default_factory=threading.Event)
+
+
+class QuoteTicket:
+    """Future-like handle returned by :meth:`QuoteService.submit`.
+
+    ``result()`` drains the service queue if the solve has not run yet, so
+    a single-threaded caller never deadlocks waiting for a flush that
+    nobody issues.  ``meta["cache"]`` on the result records how the quote
+    was served: ``"hit"`` (cache), ``"miss"`` (this ticket's solve) or
+    ``"merged"`` (rode an identical in-flight request).
+    """
+
+    __slots__ = ("_service", "_pending", "_request", "_tag", "_result")
+
+    def __init__(self, service, pending, request, tag, result=None):
+        self._service = service
+        self._pending = pending
+        self._request = request
+        self._tag = tag
+        self._result = result
+
+    def done(self) -> bool:
+        return self._result is not None or self._pending.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> PricingResult:
+        if self._result is None:
+            pending = self._pending
+            if not pending.event.is_set():
+                try:
+                    self._service.flush()
+                except Exception:
+                    # A *different* bucket's failure must not poison this
+                    # ticket; our own bucket's error (if any) is recorded on
+                    # the pending entry and re-raised below.  Only propagate
+                    # when the flush died before resolving us at all.
+                    if not pending.event.is_set():
+                        raise
+            if not pending.event.wait(timeout):
+                raise TimeoutError(
+                    "quote still pending after flush — a concurrent flush "
+                    f"holds it and did not finish within {timeout} s"
+                )
+            if pending.error is not None:
+                raise pending.error
+            self._result = _tagged(
+                pending.canonical_result, self._request, self._tag
+            )
+        return self._result
+
+
+def _tagged(
+    canonical_result: PricingResult, request: CanonicalRequest, tag: str
+) -> PricingResult:
+    out = decanonicalize(canonical_result, request)
+    out.meta["cache"] = tag
+    return out
+
+
+class QuoteService:
+    """Caching, coalescing pricing service (see module docstring).
+
+    Parameters
+    ----------
+    model, method, base, lam:
+        Default solve configuration; each may be overridden per call.
+    steps_default:
+        Optional default step count so callers may omit ``steps``.
+    policy:
+        :class:`AdvancePolicy` for every solve this service runs.
+    canonical:
+        :class:`CanonicalPolicy` — quantization tolerance for key merging
+        (default :data:`~repro.service.canonical.EXACT`: bit-identical hits
+        only).
+    cache, cache_size, ttl, clock:
+        Either a pre-built :class:`QuoteCache` or the size/TTL/clock to
+        build one with.  ``clock`` must be monotonic; tests inject fakes.
+    workers, backend:
+        ``workers > 1`` fans coalesced batches across a
+        :class:`ScenarioEngine` pool of this backend; the default prices
+        serially on one shared plan-caching engine.
+    max_pending:
+        Bound on distinct queued (not yet flushed) solves.
+    coalesce:
+        ``False`` disables batching — each flush/quote_many miss is solved
+        individually (still on the shared engine).  For A/B measurement.
+    workers_min_batch:
+        Smallest bucket worth a worker-pool fan-out.  A
+        :class:`ScenarioEngine` builds its pool per call, so small batches
+        would pay pool startup that dwarfs their solve time; buckets below
+        this size run on the serial shared engine instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        model: str = "binomial",
+        method: str = "fft",
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+        steps_default: Optional[int] = None,
+        policy: AdvancePolicy = DEFAULT_POLICY,
+        canonical: CanonicalPolicy = EXACT,
+        cache: Optional[QuoteCache] = None,
+        cache_size: int = 4096,
+        ttl: Optional[float] = None,
+        clock: Clock = time.monotonic,
+        workers: Optional[int] = None,
+        backend: str = "process",
+        max_pending: int = 1024,
+        coalesce: bool = True,
+        workers_min_batch: int = 8,
+    ):
+        check_model_method(model, method)
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; choose one of {BACKENDS}"
+            )
+        self.model = model
+        self.method = method
+        self.base = base
+        self.lam = lam
+        if steps_default is not None:
+            steps_default = check_integer(
+                "steps_default", steps_default, minimum=1
+            )
+        self.steps_default = steps_default
+        self.policy = policy
+        self.canonical_policy = canonical
+        self.cache = (
+            cache
+            if cache is not None
+            else QuoteCache(maxsize=cache_size, ttl=ttl, clock=clock)
+        )
+        self.workers = (
+            1 if workers is None else check_integer("workers", workers, minimum=1)
+        )
+        self.backend = backend
+        self.max_pending = check_integer("max_pending", max_pending, minimum=1)
+        self.coalesce = coalesce
+        self.workers_min_batch = check_integer(
+            "workers_min_batch", workers_min_batch, minimum=2
+        )
+
+        self._engine = AdvanceEngine(policy)
+        self._scenario = (
+            ScenarioEngine(
+                workers=self.workers, backend=backend, model=model,
+                method=method, base=base, lam=lam, policy=policy,
+            )
+            if self.workers > 1
+            else None
+        )
+        self._lock = threading.RLock()
+        #: Serializes solves on the shared engine (its scratch buffers are
+        #: not thread-safe); never acquired while holding ``_lock``.
+        self._solve_mutex = threading.Lock()
+        self._queue: list[_Pending] = []
+        self._inflight: dict[tuple, _Pending] = {}
+        self._quotes = 0
+        self._solves = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch = 0
+        self._merged = 0
+        self._boundary_upgrades = 0
+        self._overloads = 0
+
+    # ------------------------------------------------------------------ #
+    # Canonicalization / solving
+    # ------------------------------------------------------------------ #
+    def _canonicalize(
+        self, spec: OptionSpec, steps: Optional[int], model, method, base, lam
+    ) -> CanonicalRequest:
+        if steps is None:
+            steps = self.steps_default
+        if steps is None:
+            raise ValidationError(
+                "steps is required (or configure the service's steps_default)"
+            )
+        return canonicalize(
+            spec,
+            steps,
+            model=self.model if model is None else model,
+            method=self.method if method is None else method,
+            base=self.base if base is None else base,
+            lam=self.lam if lam is None else lam,
+            policy=self.canonical_policy,
+            advance_policy=self.policy,
+        )
+
+    def _solve_one_boundary(self, req: CanonicalRequest) -> PricingResult:
+        """Divider-recording solve for ``quote(return_boundary=True)``.
+
+        Only American-style requests reach here — ``wants_boundary``
+        excludes European contracts, and every boundary-free path is served
+        through the pending machinery — so this is always a
+        :func:`price_american` call.
+        """
+        with self._solve_mutex:
+            return price_american(
+                req.spec, req.steps, model=req.model, method=req.method,
+                base=req.base, lam=req.lam, policy=self.policy,
+                engine=self._engine, return_boundary=True,
+            )
+
+    def _solve_requests(
+        self, reqs: Sequence[CanonicalRequest]
+    ) -> list[PricingResult]:
+        """Solve a bucket of same-configuration canonical requests."""
+        r0 = reqs[0]
+        specs = [r.spec for r in reqs]
+        if self._scenario is not None and len(specs) >= self.workers_min_batch:
+            # worker pools build their own per-worker engines (no mutex);
+            # the pool is built per call, so only buckets big enough to
+            # amortise its startup fan out — the rest stay serial
+            results = self._scenario.price_specs(
+                specs, r0.steps, model=r0.model, method=r0.method,
+                base=r0.base, lam=r0.lam,
+            )
+        else:
+            with self._solve_mutex:
+                results = price_many(
+                    specs, r0.steps, model=r0.model, method=r0.method,
+                    base=r0.base, lam=r0.lam, policy=self.policy,
+                    engine=self._engine,
+                )
+        with self._lock:
+            self._solves += len(specs)
+            if len(specs) > 1:
+                self._batches += 1
+                self._batched_requests += len(specs)
+                self._max_batch = max(self._max_batch, len(specs))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Synchronous quoting
+    # ------------------------------------------------------------------ #
+    def quote(
+        self,
+        spec: OptionSpec,
+        steps: Optional[int] = None,
+        *,
+        model: Optional[str] = None,
+        method: Optional[str] = None,
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+        return_boundary: bool = False,
+    ) -> PricingResult:
+        """Price one contract through the cache.
+
+        A warm key returns a scaled copy of the stored canonical result —
+        bit-identical to the cold solve at quantization tolerance 0.  With
+        ``return_boundary=True`` a warm *American* entry that was stored
+        without a divider is upgraded: the contract is re-solved once with
+        boundary recording and the richer entry replaces the old one, so
+        subsequent boundary queries on the key are warm too (European
+        contracts have no exercise boundary; the flag is ignored for them).
+        A key already queued via :meth:`submit` is ridden, not re-solved.
+        """
+        req = self._canonicalize(spec, steps, model, method, base, lam)
+        # European contracts have no divider to record — never re-solve a
+        # warm European entry chasing one.
+        wants_boundary = (
+            return_boundary and req.spec.style is not Style.EUROPEAN
+        )
+        if wants_boundary:
+            # Peek first: an entry without a divider gets re-solved below,
+            # and that probe must not count as a cache hit (or refresh
+            # recency) — only a servable entry registers the real hit, and
+            # a genuinely absent key still registers its miss.
+            cached = self.cache.peek(req.key)
+            if cached is None or cached.boundary is not None:
+                cached = self.cache.get(req.key)
+        else:
+            cached = self.cache.get(req.key)
+        if cached is not None and (
+            not wants_boundary or cached.boundary is not None
+        ):
+            with self._lock:
+                self._quotes += 1
+            return _tagged(cached, req, "hit")
+        # An identical submit may be queued: claim it — only *this* key,
+        # never the rest of the queue, so a latency-sensitive single quote
+        # cannot be taxed with a batch — or, when a concurrent flush already
+        # holds it mid-solve, ride that result.  Otherwise register our own
+        # solve in-flight so concurrent identical quotes and submits merge
+        # onto it instead of re-solving.  Divider requests always run their
+        # own boundary-recording solve (a queued solve records none) and
+        # resolve any claimed/registered pending from it.
+        claimed = waiting = own = None
+        with self._lock:
+            pending = self._inflight.get(req.key)
+            if pending is not None:
+                try:
+                    self._queue.remove(pending)
+                    claimed = pending
+                    self._merged += 1
+                except ValueError:
+                    waiting = pending  # a concurrent flush is solving it
+            else:
+                own = _Pending(req)
+                self._inflight[req.key] = own
+        if waiting is not None and not wants_boundary:
+            with self._lock:
+                self._quotes += 1
+                self._merged += 1
+            waiting.event.wait()
+            if waiting.error is not None:
+                raise waiting.error
+            return _tagged(waiting.canonical_result, req, "merged")
+        mine = claimed if claimed is not None else own
+        if mine is not None and not wants_boundary:
+            with self._lock:
+                self._quotes += 1
+            self._resolve_group([mine])  # solve errors propagate
+            return _tagged(
+                mine.canonical_result, req,
+                "merged" if claimed is not None else "miss",
+            )
+        try:
+            result = self._solve_one_boundary(req)
+        except BaseException as exc:
+            if mine is not None:  # claimed/registered tickets must not hang
+                self._fail_pendings([mine], exc)
+            raise
+        self.cache.put(req.key, result)
+        if mine is not None:
+            mine.canonical_result = result
+            self._drop_inflight(mine)
+            mine.event.set()
+        with self._lock:
+            self._quotes += 1
+            self._solves += 1
+            if cached is not None:
+                self._boundary_upgrades += 1
+        return _tagged(result, req, "miss")
+
+    def quote_many(
+        self,
+        specs: Sequence[OptionSpec],
+        steps: Optional[int] = None,
+        *,
+        model: Optional[str] = None,
+        method: Optional[str] = None,
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+    ) -> list[PricingResult]:
+        """Price a batch through the cache; results in submission order.
+
+        Requests are canonicalized, deduped by key, looked up, and the
+        distinct misses solved in one coalesced batch (``coalesce=False``:
+        one at a time).  Every duplicate of a solved key is served from that
+        single solve (``meta["cache"] == "merged"``).
+        """
+        reqs = [
+            self._canonicalize(s, steps, model, method, base, lam)
+            for s in specs
+        ]
+        if not reqs:
+            return []
+        # counted up front so a failing solve cannot leave the quote/solve
+        # bookkeeping inconsistent
+        with self._lock:
+            self._quotes += len(reqs)
+        # Keys already queued via submit() are adopted — claimed out of the
+        # pending queue and solved as one bucket here (a key embeds the
+        # whole solve configuration, so adoptees are always compatible) —
+        # rather than solved twice or paid for with a full-queue drain.
+        with self._lock:
+            adopted: list[_Pending] = []
+            for key in dict.fromkeys(r.key for r in reqs):
+                pending = self._inflight.get(key)
+                if pending is not None:
+                    try:
+                        self._queue.remove(pending)
+                    except ValueError:
+                        continue  # mid-flush elsewhere; re-solved as a miss
+                    adopted.append(pending)
+        resolved: dict[tuple, PricingResult] = {}
+        tags: dict[tuple, str] = {}
+        adopted_by_key = {p.request.key: p for p in adopted}
+        own: list[_Pending] = []
+        for req in reqs:
+            if req.key in tags:
+                continue
+            pending = adopted_by_key.get(req.key)
+            if pending is not None:
+                cached = self.cache.get(req.key)
+                if cached is not None:
+                    # a *shared* injected cache can hold a key another
+                    # service solved after this one queued it: serve the
+                    # warm result and resolve the adopted ticket from it —
+                    # no solve at all
+                    del adopted_by_key[req.key]
+                    pending.canonical_result = cached
+                    self._drop_inflight(pending)
+                    pending.event.set()
+                    resolved[req.key] = cached
+                    tags[req.key] = "hit"
+                else:
+                    # this call pays the adopted solve — a merge with a
+                    # queued submit, not a cache hit (the lookup above
+                    # recorded the miss, matching quote()/submit() merges)
+                    tags[req.key] = "merged"
+                continue
+            cached = self.cache.get(req.key)
+            if cached is not None:
+                resolved[req.key] = cached
+                tags[req.key] = "hit"
+            else:
+                # ephemeral pending: never queued, but registered in-flight
+                # (when the key is free) so concurrent identical quotes and
+                # submits merge onto this call's solve; it rides the same
+                # resolution machinery (bucketing, poison isolation, cache
+                # stores) as the adopted submits
+                pending = _Pending(req)
+                with self._lock:
+                    if req.key not in self._inflight:
+                        self._inflight[req.key] = pending
+                own.append(pending)
+                tags[req.key] = "miss"
+        to_resolve = list(adopted_by_key.values()) + own
+        if to_resolve:
+            # one bucketed resolution for adopted submits and this call's
+            # misses together: overlapping traffic coalesces into the same
+            # batched solves, and — since canonicalization normalizes
+            # base/lam per style — every result is cached under the key it
+            # was actually solved with
+            try:
+                self._resolve_pendings(to_resolve)
+            finally:
+                # mirror flush(): even a BaseException mid-retry must not
+                # leave a pending wedged (adoptees live in _inflight)
+                self._abandon_unresolved(to_resolve)
+            first_error = next(
+                (p.error for p in to_resolve if p.error is not None), None
+            )
+            if first_error is not None:
+                raise first_error
+            for pending in to_resolve:
+                resolved[pending.request.key] = pending.canonical_result
+        out: list[PricingResult] = []
+        served_keys: set = set()
+        merged = 0
+        for req in reqs:
+            tag = tags[req.key]
+            if req.key in served_keys and tag == "miss":
+                tag = "merged"
+            served_keys.add(req.key)
+            if tag == "merged":
+                merged += 1
+            out.append(_tagged(resolved[req.key], req, tag))
+        with self._lock:
+            self._merged += merged
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous submit / coalescing flush
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        spec: OptionSpec,
+        steps: Optional[int] = None,
+        *,
+        model: Optional[str] = None,
+        method: Optional[str] = None,
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+        block: bool = True,
+    ) -> QuoteTicket:
+        """Enqueue a request; returns a :class:`QuoteTicket`.
+
+        Warm keys resolve immediately.  A key already pending merges onto
+        the in-flight solve.  A new key joins the bounded queue; when the
+        queue is full, ``block=True`` drains it synchronously (backpressure:
+        the submitter pays for the flush) and ``block=False`` raises
+        :class:`ServiceOverloadedError`.
+        """
+        req = self._canonicalize(spec, steps, model, method, base, lam)
+        while True:
+            tag: Optional[str] = None
+            pending = None
+            with self._lock:
+                cached = self.cache.get(req.key)
+                if cached is not None:
+                    self._quotes += 1
+                    tag = "hit"
+                elif (pending := self._inflight.get(req.key)) is not None:
+                    self._quotes += 1
+                    self._merged += 1
+                    tag = "merged"
+                elif len(self._queue) < self.max_pending:
+                    pending = _Pending(req)
+                    self._inflight[req.key] = pending
+                    self._queue.append(pending)
+                    self._quotes += 1
+                    tag = "miss"
+                else:
+                    self._overloads += 1
+                    if not block:
+                        raise ServiceOverloadedError(
+                            f"pending queue full ({self.max_pending} solves "
+                            "queued); flush() or submit with block=True"
+                        )
+            if tag == "hit":
+                # built outside the lock: the envelope copy work of a warm
+                # hit must not serialize concurrent submitters
+                return QuoteTicket(
+                    self, None, req, "hit", result=_tagged(cached, req, "hit")
+                )
+            if tag is not None:
+                return QuoteTicket(self, pending, req, tag)
+            # Full and blocking: drain outside the lock, then retry.  A
+            # failing bucket reports to its own tickets — this submit only
+            # needs the queue space, so it must survive the drain and keep
+            # its request.
+            try:
+                self.flush()
+            except Exception:
+                pass
+
+    def flush(self) -> int:
+        """Drain the pending queue; returns the distinct solves drained
+        (merged submits share their pending, so this can undercount the
+        requests served — track ``stats()`` for request-level counts).
+
+        Pending requests are grouped into compatible buckets — identical
+        ``(model, method, steps, base, lam)`` — and each bucket is solved as
+        one coalesced batch in submission order.  Tickets resolve as their
+        bucket completes.  If a bucket's solve raises, its tickets re-raise
+        that error from ``result()``, remaining buckets still run, and the
+        first error propagates from ``flush`` itself.
+        """
+        with self._lock:
+            batch, self._queue = self._queue, []
+        if not batch:
+            return 0
+        try:
+            first_error = self._resolve_pendings(batch)
+        finally:
+            # Even if a bucket dies with a BaseException (KeyboardInterrupt,
+            # worker-pool teardown), no ticket from this batch may hang.
+            self._abandon_unresolved(batch)
+        if first_error is not None:
+            raise first_error
+        return len(batch)
+
+    @staticmethod
+    def _bucket_of(req: CanonicalRequest) -> tuple:
+        """The coalescing bucket: requests solvable as one batch."""
+        return (req.model, req.method, req.steps, req.base, req.lam)
+
+    def _bucket_groups(
+        self, reqs: Sequence[CanonicalRequest]
+    ) -> "list[list[CanonicalRequest]]":
+        """Split requests into solve groups, honoring ``coalesce``."""
+        if not self.coalesce:
+            return [[r] for r in reqs]
+        buckets: "OrderedDict[tuple, list[CanonicalRequest]]" = OrderedDict()
+        for r in reqs:
+            buckets.setdefault(self._bucket_of(r), []).append(r)
+        return list(buckets.values())
+
+    def _resolve_pendings(
+        self, pendings: Sequence[_Pending]
+    ) -> Optional[BaseException]:
+        """Resolve pendings in coalescing buckets; returns the first group
+        error (each error already reached its own tickets)."""
+        by_request = {id(p.request): p for p in pendings}
+        first_error: Optional[BaseException] = None
+        for group in self._bucket_groups([p.request for p in pendings]):
+            try:
+                self._resolve_group([by_request[id(r)] for r in group])
+            except Exception as exc:  # noqa: BLE001 — kept for tickets
+                if first_error is None:
+                    first_error = exc
+        return first_error
+
+    def _resolve_group(self, group: Sequence[_Pending]) -> None:
+        """Solve one compatible pending group; resolve its tickets either way.
+
+        On success every pending gets its canonical result (and the cache a
+        fresh entry) *before* its event is set, so a racing submit either
+        sees the in-flight entry or the cached result, never a gap.  When a
+        *batch* solve fails, each member is retried alone — one poisoned
+        request (a spec only the solver can reject) must not starve its
+        valid bucket siblings — and the first per-member error propagates.
+        """
+        try:
+            results = self._solve_requests([p.request for p in group])
+        except Exception as exc:
+            if len(group) == 1:
+                self._fail_pendings(group, exc)
+                raise
+            first_error: Optional[BaseException] = None
+            for pending in group:
+                try:
+                    self._resolve_group([pending])
+                except Exception as member_exc:  # noqa: BLE001 — per ticket
+                    if first_error is None:
+                        first_error = member_exc
+            if first_error is not None:
+                raise first_error
+            return
+        except BaseException as exc:  # interrupts: fail fast, never hang
+            self._fail_pendings(group, exc)
+            raise
+        for pending, result in zip(group, results):
+            self.cache.put(pending.request.key, result)
+            pending.canonical_result = result
+            self._drop_inflight(pending)
+            pending.event.set()
+
+    def _drop_inflight(self, pending: _Pending) -> None:
+        """De-register exactly this pending (identity-checked).
+
+        quote_many's ephemeral pendings are never registered, and a
+        concurrent submit may have registered a *new* pending under the
+        same key — a blind ``pop(key)`` would evict that live entry and
+        break its merging.
+        """
+        with self._lock:
+            if self._inflight.get(pending.request.key) is pending:
+                del self._inflight[pending.request.key]
+
+    def _fail_pendings(
+        self, group: Sequence[_Pending], exc: BaseException
+    ) -> None:
+        for pending in group:
+            pending.error = exc
+            self._drop_inflight(pending)
+            pending.event.set()
+
+    def _abandon_unresolved(self, batch: Sequence[_Pending]) -> None:
+        for pending in batch:
+            if not pending.event.is_set():
+                pending.error = RuntimeError(
+                    "flush aborted before this request's bucket was solved"
+                )
+                self._drop_inflight(pending)
+                pending.event.set()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Distinct solves currently queued (merged requests not counted)."""
+        with self._lock:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        """Snapshot: cache counters plus service-level serving counters."""
+        with self._lock:
+            return {
+                "cache": self.cache.stats(),
+                "service": {
+                    "quotes": self._quotes,
+                    "solves": self._solves,
+                    "batches": self._batches,
+                    "batched_requests": self._batched_requests,
+                    "max_batch": self._max_batch,
+                    "merged_requests": self._merged,
+                    "boundary_upgrades": self._boundary_upgrades,
+                    "overloads": self._overloads,
+                    "pending": len(self._queue),
+                    "max_pending": self.max_pending,
+                    "workers": self.workers,
+                    "backend": self.backend if self.workers > 1 else "serial",
+                    "coalesce": self.coalesce,
+                },
+            }

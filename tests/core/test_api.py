@@ -184,3 +184,70 @@ class TestExerciseBoundary:
     def test_rejects_baseline_method(self):
         with pytest.raises(ValidationError):
             exercise_boundary(SPEC, 16, method="zb")
+
+
+class TestPriceManyDedup:
+    """Bit-identical (spec, params) requests are solved once and fanned out."""
+
+    def test_american_duplicates_solved_once(self, monkeypatch):
+        from repro.core import api as api_module
+        from repro.core.api import price_many
+
+        solved = []
+        real = api_module.solve_tree_fft
+
+        def counting(params, **kwargs):
+            solved.append(params)
+            return real(params, **kwargs)
+
+        monkeypatch.setattr(api_module, "solve_tree_fft", counting)
+        other = dataclasses.replace(SPEC, strike=120.0)
+        specs = [SPEC, other, SPEC, SPEC, other]
+        results = price_many(specs, 64)
+        assert len(solved) == 2  # one solve per distinct contract
+        singles = [api_module.price_american(s, 64).price for s in specs[:2]]
+        assert [r.price for r in results] == [
+            singles[0], singles[1], singles[0], singles[0], singles[1],
+        ]
+        assert "deduplicated_of" not in results[0].meta
+        assert "deduplicated_of" not in results[1].meta
+        assert results[2].meta["deduplicated_of"] == 0
+        assert results[3].meta["deduplicated_of"] == 0
+        assert results[4].meta["deduplicated_of"] == 1
+
+    def test_european_duplicates_batch_once(self, monkeypatch):
+        from repro.core.api import price_many
+        from repro.core.fftstencil import AdvanceEngine
+
+        batch_sizes = []
+        real = AdvanceEngine.advance_many
+
+        def counting(self, xs, taps, h, **kwargs):
+            batch_sizes.append(len(xs))
+            return real(self, xs, taps, h, **kwargs)
+
+        monkeypatch.setattr(AdvanceEngine, "advance_many", counting)
+        euro = SPEC.with_style(Style.EUROPEAN)
+        results = price_many([euro, euro, euro], 64)
+        assert batch_sizes == [1]  # three requests, one stacked transform row
+        assert results[0].price == results[1].price == results[2].price
+
+    def test_duplicate_results_do_not_alias(self):
+        from repro.core.api import price_many
+
+        results = price_many([SPEC, SPEC], 64)
+        assert results[1].price == results[0].price
+        results[1].stats["fft_calls"] = -999
+        results[1].meta["tampered"] = True
+        assert results[0].stats["fft_calls"] != -999
+        assert "tampered" not in results[0].meta
+
+    def test_mixed_styles_keep_input_order(self):
+        from repro.core.api import price_many
+
+        euro = SPEC.with_style(Style.EUROPEAN)
+        put = dataclasses.replace(SPEC, right=Right.PUT)
+        specs = [euro, SPEC, euro, put, SPEC, put]
+        results = price_many(specs, 64)
+        reference = [price_many([s], 64)[0].price for s in specs]
+        assert [r.price for r in results] == reference

@@ -202,3 +202,24 @@ class TestValidationAndDelegation:
         # even on the serial default path — the typo must not sit latent
         with pytest.raises(ValidationError):
             price_many([SPEC], STEPS, backend="proces")
+
+
+class TestChunkDedupIndices:
+    def test_dedup_indices_rebased_to_grid_order(self):
+        base = paper_benchmark_spec()
+        s = [
+            dataclasses.replace(base, strike=k)
+            for k in (110.0, 120.0, 130.0, 140.0)
+        ]
+        # chunk_size=3 puts the duplicates in the second chunk: their
+        # chunk-local primary index 0 must surface as grid index 3
+        specs = [s[0], s[1], s[2], s[3], s[3], s[3]]
+        engine = ScenarioEngine(backend="serial", workers=2, chunk_size=3)
+        results = engine.price_specs(specs, 32)
+        assert "deduplicated_of" not in results[3].meta
+        assert results[4].meta["deduplicated_of"] == 3
+        assert results[5].meta["deduplicated_of"] == 3
+        assert results[4].price == results[3].price
+
+    def test_price_specs_empty_returns_empty(self):
+        assert ScenarioEngine(backend="serial").price_specs([], 16) == []

@@ -1,0 +1,283 @@
+"""Canonical-key reduction: invariances, quantization, exact round trips."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.api import price_american, price_european
+from repro.options.contract import OptionSpec, Right, Style, paper_benchmark_spec
+from repro.service.canonical import (
+    EXACT,
+    CanonicalPolicy,
+    canonical_key,
+    canonicalize,
+    decanonicalize,
+)
+from repro.util.validation import ValidationError
+from tests.conftest import call_specs
+
+SPEC = paper_benchmark_spec()
+PUT = SPEC.with_right(Right.PUT)
+
+
+class TestKeyInvariances:
+    def test_scale_invariance(self):
+        scaled = dataclasses.replace(
+            SPEC, spot=SPEC.spot * 3.5, strike=SPEC.strike * 3.5
+        )
+        assert canonical_key(SPEC, 128) == canonical_key(scaled, 128)
+
+    def test_scale_carries_strike(self):
+        req = canonicalize(SPEC, 128)
+        assert req.spec.strike == 1.0
+        assert req.scale == SPEC.strike
+        assert req.spec.spot == SPEC.spot / SPEC.strike
+
+    def test_binomial_put_folds_onto_dual_call(self):
+        dual = PUT.symmetric_dual()
+        assert dual.right is Right.CALL
+        assert canonical_key(PUT, 128) == canonical_key(dual, 128)
+        assert canonicalize(PUT, 128).dualized
+        assert not canonicalize(dual, 128).dualized
+
+    def test_loop_put_keeps_orientation(self):
+        # the loop solver prices puts natively and reports the put's own
+        # divider; a dual fold would swap in the mirrored dual-call divider
+        req = canonicalize(PUT, 128, method="loop")
+        assert not req.dualized
+        assert req.spec.right is Right.PUT
+
+    def test_default_base_and_explicit_default_share_a_key(self):
+        from repro.core.bsm_solver import DEFAULT_BSM_BASE
+        from repro.core.tree_solver import DEFAULT_BASE
+
+        assert canonical_key(SPEC, 128) == canonical_key(
+            SPEC, 128, base=DEFAULT_BASE
+        )
+        assert canonical_key(SPEC, 128) != canonical_key(SPEC, 128, base=16)
+        put0 = dataclasses.replace(PUT, dividend_yield=0.0)
+        assert canonical_key(put0, 128, model="bsm-fd") == canonical_key(
+            put0, 128, model="bsm-fd", base=DEFAULT_BSM_BASE
+        )
+
+    def test_method_ignored_knobs_erased_from_key(self):
+        # loop has no recursion base; tree models have no parabolic ratio
+        assert canonical_key(SPEC, 128, method="loop") == canonical_key(
+            SPEC, 128, method="loop", base=16
+        )
+        assert canonical_key(SPEC, 128) == canonical_key(SPEC, 128, lam=0.25)
+        # European fft is a single jump with no recursion base either
+        euro = SPEC.with_style(Style.EUROPEAN)
+        assert canonical_key(euro, 128) == canonical_key(euro, 128, base=16)
+
+    def test_american_trinomial_put_folds(self):
+        # the fft solver prices this put through the dual lattice anyway,
+        # so the fold changes nothing but the key
+        req = canonicalize(PUT, 128, model="trinomial")
+        assert req.dualized
+        assert canonical_key(PUT, 128, model="trinomial") == canonical_key(
+            PUT.symmetric_dual(), 128, model="trinomial"
+        )
+
+    def test_european_trinomial_put_keeps_orientation(self):
+        # European trinomial puts are priced natively; the dual identity
+        # only holds to discretisation order there (~3.8e-10 at T=1024)
+        euro_put = PUT.with_style(Style.EUROPEAN)
+        req = canonicalize(euro_put, 128, model="trinomial")
+        assert not req.dualized
+        assert req.spec.right is Right.PUT
+        assert canonical_key(euro_put, 128, model="trinomial") != canonical_key(
+            PUT.symmetric_dual().with_style(Style.EUROPEAN), 128,
+            model="trinomial",
+        )
+
+    def test_day_count_folds_away(self):
+        quarterly = dataclasses.replace(SPEC, expiry_days=63.0, day_count=63)
+        annual = dataclasses.replace(SPEC, expiry_days=252.0, day_count=252)
+        assert quarterly.years == annual.years == 1.0
+        assert canonical_key(quarterly, 128) == canonical_key(annual, 128)
+
+    @pytest.mark.parametrize(
+        "kwargs_a,kwargs_b",
+        [
+            ({"model": "binomial"}, {"model": "trinomial"}),
+            ({"method": "fft"}, {"method": "loop"}),
+            ({"base": None}, {"base": 16}),
+        ],
+    )
+    def test_solve_configuration_separates_keys(self, kwargs_a, kwargs_b):
+        assert canonical_key(SPEC, 128, **kwargs_a) != canonical_key(
+            SPEC, 128, **kwargs_b
+        )
+
+    def test_lam_separates_bsm_keys(self, put_spec):
+        # lam is a real knob for the FD grid; erased everywhere else
+        assert canonical_key(put_spec, 128, model="bsm-fd") != canonical_key(
+            put_spec, 128, model="bsm-fd", lam=0.25
+        )
+
+    def test_steps_and_style_separate_keys(self):
+        assert canonical_key(SPEC, 128) != canonical_key(SPEC, 256)
+        euro = SPEC.with_style(Style.EUROPEAN)
+        assert canonical_key(SPEC, 128) != canonical_key(euro, 128)
+
+    def test_key_is_hashable_and_matches_request(self):
+        key = canonical_key(SPEC, 128)
+        assert hash(key)
+        assert key == canonicalize(SPEC, 128).key
+
+    def test_bermudan_rejected(self):
+        with pytest.raises(ValidationError, match="Bermudan"):
+            canonicalize(SPEC.with_style(Style.BERMUDAN), 128)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValidationError):
+            canonicalize(SPEC, 128, model="heston")
+
+
+class TestQuantization:
+    def test_exact_policy_keeps_distinct_keys(self):
+        near = dataclasses.replace(SPEC, volatility=SPEC.volatility + 1e-9)
+        assert canonical_key(SPEC, 128) != canonical_key(near, 128)
+
+    def test_tolerance_merges_nearby_requests(self):
+        policy = CanonicalPolicy(tol=1e-4)
+        near = dataclasses.replace(
+            SPEC,
+            volatility=SPEC.volatility + 2e-5,
+            rate=SPEC.rate + 2e-5,
+            spot=SPEC.spot * (1.0 + 1e-5),
+        )
+        assert canonical_key(SPEC, 128, policy=policy) == canonical_key(
+            near, 128, policy=policy
+        )
+        assert canonicalize(SPEC, 128, policy=policy).quantized
+
+    def test_tolerance_does_not_merge_beyond_step(self):
+        policy = CanonicalPolicy(tol=1e-4)
+        far = dataclasses.replace(SPEC, volatility=SPEC.volatility + 5e-3)
+        assert canonical_key(SPEC, 128, policy=policy) != canonical_key(
+            far, 128, policy=policy
+        )
+
+    def test_quantized_spec_stays_valid(self):
+        # A volatility below half a step snaps to the first grid point, not 0.
+        tiny = dataclasses.replace(SPEC, volatility=1e-6)
+        req = canonicalize(tiny, 128, policy=CanonicalPolicy(tol=0.01))
+        assert req.spec.volatility == pytest.approx(0.01)
+        assert req.spec.rate == 0.0  # 0.00163 snaps down to the 0 grid point
+
+    def test_day_count_renormalisation_is_not_quantization(self):
+        # every dimensionless coordinate already sits on the tol grid; only
+        # the day-count convention changes, which is exact
+        policy = CanonicalPolicy(tol=0.25)
+        exact = OptionSpec(
+            spot=125.0, strike=100.0, rate=0.25, volatility=0.5,
+            dividend_yield=0.0, expiry_days=360.0, day_count=360,
+        )
+        req = canonicalize(exact, 64, policy=policy)
+        assert not req.quantized
+        assert req.spec.day_count == 252
+        moved = dataclasses.replace(exact, volatility=0.51)
+        assert canonicalize(moved, 64, policy=policy).quantized
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValidationError):
+            CanonicalPolicy(tol=-1.0)
+
+
+class TestRoundTrip:
+    """Pricing the canonical contract and un-scaling matches direct pricing."""
+
+    def _round_trip(self, spec, steps, **kwargs):
+        req = canonicalize(spec, steps, **kwargs)
+        if req.spec.style is Style.EUROPEAN:
+            canonical = price_european(
+                req.spec, steps, model=req.model, method=req.method
+            )
+        else:
+            canonical = price_american(
+                req.spec, steps, model=req.model, method=req.method,
+                base=req.base, lam=req.lam,
+            )
+        return decanonicalize(canonical, req)
+
+    @given(spec=call_specs(), steps=st.sampled_from([16, 64]))
+    def test_property_calls(self, spec, steps):
+        direct = price_american(spec, steps).price
+        via = self._round_trip(spec, steps).price
+        assert abs(via - direct) <= 1e-12 * max(abs(direct), 1e-12)
+
+    @given(spec=call_specs(), steps=st.sampled_from([16, 64]))
+    def test_property_puts_via_symmetry(self, spec, steps):
+        put = spec.with_right(Right.PUT)
+        direct = price_american(put, steps).price
+        via = self._round_trip(put, steps).price
+        assert abs(via - direct) <= 1e-12 * max(abs(direct), 1e-12)
+
+    @pytest.mark.parametrize("model", ["binomial", "trinomial"])
+    @pytest.mark.parametrize("right", [Right.CALL, Right.PUT])
+    def test_tree_models_both_rights(self, model, right):
+        spec = SPEC.with_right(right)
+        direct = price_american(spec, 96, model=model).price
+        via = self._round_trip(spec, 96, model=model).price
+        assert via == pytest.approx(direct, rel=1e-12)
+
+    def test_bsm_put(self, put_spec):
+        direct = price_american(put_spec, 96, model="bsm-fd").price
+        via = self._round_trip(put_spec, 96, model="bsm-fd").price
+        assert via == pytest.approx(direct, rel=1e-12)
+
+    def test_european_both_rights(self):
+        for right in (Right.CALL, Right.PUT):
+            spec = SPEC.with_right(right).with_style(Style.EUROPEAN)
+            direct = price_european(spec, 96).price
+            via = self._round_trip(spec, 96).price
+            assert via == pytest.approx(direct, rel=1e-12)
+
+
+class TestDecanonicalize:
+    def test_envelope_passthrough_and_meta(self):
+        req = canonicalize(SPEC, 64)
+        canonical = price_american(req.spec, 64, return_boundary=True)
+        out = decanonicalize(canonical, req)
+        assert out.price == canonical.price * req.scale
+        assert out.workspan is canonical.workspan
+        assert out.stats == canonical.stats
+        assert out.boundary == canonical.boundary
+        assert out.meta["canonical"]["scale"] == SPEC.strike
+        assert out.meta["canonical"]["key"] == req.key
+        # annotations land on the copy, never the cached original
+        assert "canonical" not in canonical.meta
+        # mutable containers are copies: mutating a served result must not
+        # corrupt the canonical original a cache would keep serving
+        out.stats["fft_calls"] = -1
+        out.boundary.clear()
+        assert canonical.stats["fft_calls"] != -1
+        assert canonical.boundary
+
+    def test_european_baseline_method_rejected_at_submission(self):
+        euro = SPEC.with_style(Style.EUROPEAN)
+        with pytest.raises(ValidationError, match="European"):
+            canonicalize(euro, 64, method="zb")
+
+    def test_put_baseline_method_rejected_at_submission(self):
+        with pytest.raises(ValidationError, match="American-call"):
+            canonicalize(PUT, 64, method="tiled")
+
+    def test_bsm_call_rejected_at_submission(self):
+        with pytest.raises(ValidationError, match="puts"):
+            canonicalize(SPEC, 64, model="bsm-fd")
+
+    def test_advance_policy_separates_keys(self):
+        from repro.core.fftstencil import AdvancePolicy
+
+        assert canonical_key(SPEC, 128) != canonical_key(
+            SPEC, 128, advance_policy=AdvancePolicy(mode="direct")
+        )
+        # equal policies (by value) share keys, as injected caches expect
+        assert canonical_key(
+            SPEC, 128, advance_policy=AdvancePolicy()
+        ) == canonical_key(SPEC, 128)

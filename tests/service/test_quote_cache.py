@@ -1,0 +1,178 @@
+"""QuoteCache: LRU order, TTL determinism (injected clock), counters."""
+
+import pytest
+
+from repro.core.api import PricingResult
+from repro.service.cache import QuoteCache
+from repro.util.validation import ValidationError
+
+
+class FakeClock:
+    """Deterministic injectable clock — no wall-clock reads in these tests."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def result(price: float) -> PricingResult:
+    return PricingResult(price=price, steps=8, model="binomial", method="fft")
+
+
+class TestLRU:
+    def test_eviction_order_is_insertion_when_untouched(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        cache.put("a", result(1.0))
+        cache.put("b", result(2.0))
+        cache.put("c", result(3.0))
+        assert cache.get("a") is None  # evicted first
+        assert cache.get("b").price == 2.0
+        assert cache.get("c").price == 3.0
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        cache.put("a", result(1.0))
+        cache.put("b", result(2.0))
+        assert cache.get("a").price == 1.0  # a is now most recent
+        cache.put("c", result(3.0))
+        assert cache.get("b") is None  # b was the LRU entry
+        assert cache.get("a").price == 1.0
+
+    def test_put_never_drops_a_recorded_divider(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        rich = result(1.0)
+        rich.boundary = {3: 1}
+        cache.put("a", rich)
+        cache.put("a", result(1.0))  # divider-less refresh of the same key
+        assert cache.get("a").boundary == {3: 1}
+        richer = result(1.0)
+        richer.boundary = {5: 2}
+        cache.put("a", richer)  # divider-bearing replacements do win
+        assert cache.get("a").boundary == {5: 2}
+
+    def test_put_refresh_updates_value_without_growth(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        cache.put("a", result(1.0))
+        cache.put("a", result(10.0))
+        assert len(cache) == 1
+        assert cache.get("a").price == 10.0
+        assert cache.stats()["evictions"] == 0
+
+    def test_maxsize_one(self):
+        cache = QuoteCache(maxsize=1, clock=FakeClock())
+        for i in range(5):
+            cache.put(i, result(float(i)))
+        assert len(cache) == 1
+        assert cache.get(4).price == 4.0
+        assert cache.stats()["evictions"] == 4
+
+
+class TestTTL:
+    def test_expires_exactly_at_ttl(self):
+        clock = FakeClock()
+        cache = QuoteCache(maxsize=8, ttl=10.0, clock=clock)
+        cache.put("a", result(1.0))
+        clock.advance(10.0 - 1e-9)
+        assert cache.get("a").price == 1.0  # age < ttl: still valid
+        clock.advance(1e-9)
+        assert cache.get("a") is None  # age == ttl: expired
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["size"] == 0
+
+    def test_put_refresh_restarts_ttl(self):
+        clock = FakeClock()
+        cache = QuoteCache(maxsize=8, ttl=10.0, clock=clock)
+        cache.put("a", result(1.0))
+        clock.advance(9.0)
+        cache.put("a", result(2.0))
+        clock.advance(9.0)
+        assert cache.get("a").price == 2.0
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = QuoteCache(maxsize=8, ttl=None, clock=clock)
+        cache.put("a", result(1.0))
+        clock.advance(1e12)
+        assert cache.get("a").price == 1.0
+
+    def test_purge_expired_sweeps_deterministically(self):
+        clock = FakeClock()
+        cache = QuoteCache(maxsize=8, ttl=10.0, clock=clock)
+        cache.put("a", result(1.0))
+        clock.advance(5.0)
+        cache.put("b", result(2.0))
+        clock.advance(5.0)  # a is at ttl, b at half
+        assert cache.purge_expired() == 1
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_contains_respects_ttl_without_counting(self):
+        clock = FakeClock()
+        cache = QuoteCache(maxsize=8, ttl=10.0, clock=clock)
+        cache.put("a", result(1.0))
+        assert "a" in cache
+        clock.advance(10.0)
+        assert "a" not in cache
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestPeek:
+    def test_no_counters_no_recency(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        cache.put("a", result(1.0))
+        cache.put("b", result(2.0))
+        assert cache.peek("a").price == 1.0
+        assert cache.peek("missing") is None
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        cache.put("c", result(3.0))  # peek did not refresh "a"
+        assert cache.peek("a") is None
+        assert cache.peek("b").price == 2.0
+
+    def test_peek_drops_expired(self):
+        clock = FakeClock()
+        cache = QuoteCache(maxsize=2, ttl=10.0, clock=clock)
+        cache.put("a", result(1.0))
+        clock.advance(10.0)
+        assert cache.peek("a") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1 and stats["size"] == 0
+
+
+class TestCounters:
+    def test_snapshot(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        cache.get("missing")
+        cache.put("a", result(1.0))
+        cache.get("a")
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_ratio"] == pytest.approx(2 / 3)
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = QuoteCache(maxsize=2, clock=FakeClock())
+        cache.put("a", result(1.0))
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            QuoteCache(maxsize=0)
+        with pytest.raises(ValidationError):
+            QuoteCache(ttl=0.0)
+        with pytest.raises(ValidationError):
+            QuoteCache(ttl=-1.0)

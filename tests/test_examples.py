@@ -60,6 +60,18 @@ def test_scenario_sweep(capsys):
     assert "Greek ladders" in out
 
 
+def test_quote_server(capsys):
+    out = run_example(
+        "examples/quote_server.py",
+        ["--steps", "64", "--requests", "60", "--book", "8"],
+        capsys,
+    )
+    assert "hit ratio" in out
+    assert "coalesced batch" in out
+    assert "in-flight dedup" in out
+    assert "quotes per solve" in out
+
+
 def test_paper_tables_list(capsys):
     out = run_example("examples/paper_tables.py", ["--list"], capsys)
     assert "fig5-bopm" in out
