@@ -1,0 +1,298 @@
+"""Implied-vol inversion: batched fast path vs naive per-quote Brent.
+
+Writes ``BENCH_implied.json`` (repo root by default) with three measurements:
+
+1. **Batch vs naive** — a strike ladder inverted through
+   ``implied_vol_many`` (shared plan-caching engine, European-seeded Newton
+   fast path, neighbour warm starts) against the naive baseline (fresh
+   engine per quote, no seed, fixed-bracket Brent).  Acceptance gates:
+   ≥ 2x wall-clock speedup on the full-size run, and *every* round trip
+   satisfying ``|price(implied) - quote| <= 1e-8 · K`` on both paths.
+2. **Service-cached inversion** — the same quote inverted twice through
+   ``QuoteService.implied_vol``: the second run's objective evaluations are
+   all canonical-key cache hits.
+3. **Surface calibration** — a strikes × expiries quote grid through
+   ``calibrate_surface`` (solves per quote, residuals, no-arbitrage
+   diagnostics of the fitted surface).
+
+Run ``python benchmarks/bench_implied.py`` for the full sizes or
+``--smoke`` for the CI pass (timing gates are skipped at smoke sizes — a
+busy CI host makes wall-clock ratios meaningless; solver *counts* are
+asserted instead, which is the machine-independent half of the speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core.api import price_american, price_many  # noqa: E402
+from repro.core.fftstencil import AdvanceEngine  # noqa: E402
+from repro.market.calibrate import MarketQuote, calibrate_surface  # noqa: E402
+from repro.market.implied import implied_vol, implied_vol_many  # noqa: E402
+from repro.options.contract import OptionSpec, Right  # noqa: E402
+from repro.service.service import QuoteService  # noqa: E402
+
+#: The naive baseline's fixed bracket — the textbook setup a per-quote
+#: Brent inversion starts from when nothing seeds it.
+NAIVE_BRACKET = (0.05, 2.0)
+
+
+def smile_vol(strike: float, spot: float, years: float) -> float:
+    """A synthetic but realistic skewed smile in (log-moneyness, T)."""
+    k = math.log(strike / spot)
+    return 0.22 - 0.10 * k + 0.25 * k * k + 0.02 * years
+
+
+def build_ladder(n: int, steps: int) -> tuple[list[OptionSpec], list[float]]:
+    """``n`` American calls on one dividend-paying underlying (real lattice
+    solves — zero-dividend calls would take the closed-form shortcut) with
+    quotes generated from the smile."""
+    base = OptionSpec(
+        spot=100.0, strike=100.0, rate=0.03, volatility=0.2,
+        dividend_yield=0.02, expiry_days=252.0, right=Right.CALL,
+    )
+    specs = []
+    for i in range(n):
+        strike = 80.0 + 40.0 * i / max(n - 1, 1)  # 80% .. 120% moneyness
+        specs.append(
+            dataclasses.replace(
+                base, strike=strike,
+                volatility=smile_vol(strike, base.spot, base.years),
+            )
+        )
+    quotes = [r.price for r in price_many(specs, steps)]
+    return specs, quotes
+
+
+def bench_batch_vs_naive(n: int, steps: int, repeats: int) -> dict:
+    specs, quotes = build_ladder(n, steps)
+
+    def run_naive():
+        out = []
+        for spec, quote in zip(specs, quotes):
+            out.append(
+                implied_vol(
+                    quote, spec, steps,
+                    engine=AdvanceEngine(),  # cold engine per quote
+                    newton=False, deamericanize=False, bracket=NAIVE_BRACKET,
+                )
+            )
+        return out
+
+    def run_batch():
+        return implied_vol_many(
+            specs, quotes, steps, engine=AdvanceEngine()
+        ).results
+
+    naive_wall, batch_wall = math.inf, math.inf
+    naive_results = batch_results = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        naive_results = run_naive()
+        naive_wall = min(naive_wall, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batch_results = run_batch()
+        batch_wall = min(batch_wall, time.perf_counter() - t0)
+
+    def residuals(results):
+        return [
+            abs(
+                price_american(
+                    dataclasses.replace(s, volatility=r.vol), steps
+                ).price
+                - q
+            )
+            / s.strike
+            for s, q, r in zip(specs, quotes, results)
+        ]
+
+    max_vol_diff = max(
+        abs(a.vol - b.vol) for a, b in zip(naive_results, batch_results)
+    )
+    return {
+        "n_quotes": n,
+        "naive_wall_s": naive_wall,
+        "batch_wall_s": batch_wall,
+        "batch_speedup": naive_wall / batch_wall,
+        "naive_solves": sum(r.solves for r in naive_results),
+        "batch_solves": sum(r.solves for r in batch_results),
+        "naive_solves_per_quote": sum(r.solves for r in naive_results) / n,
+        "batch_solves_per_quote": sum(r.solves for r in batch_results) / n,
+        "batch_warm_starts": sum(1 for r in batch_results if r.warm_start),
+        "batch_newton_rate": sum(1 for r in batch_results if r.newton) / n,
+        "max_roundtrip_residual_over_k_naive": max(residuals(naive_results)),
+        "max_roundtrip_residual_over_k_batch": max(residuals(batch_results)),
+        "max_abs_vol_diff_batch_vs_naive": max_vol_diff,
+    }
+
+
+def bench_service_cache(steps: int) -> dict:
+    specs, quotes = build_ladder(1, steps)
+    spec, quote = specs[0], quotes[0]
+    svc = QuoteService(steps_default=steps)
+    t0 = time.perf_counter()
+    cold = svc.implied_vol(quote, spec)
+    cold_wall = time.perf_counter() - t0
+    solves_cold = svc.stats()["service"]["solves"]
+    t0 = time.perf_counter()
+    warm = svc.implied_vol(quote, spec)
+    warm_wall = time.perf_counter() - t0
+    return {
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else float("inf"),
+        "evaluations": warm.solves,
+        "engine_solves_cold": solves_cold,
+        "engine_solves_warm_delta": svc.stats()["service"]["solves"]
+        - solves_cold,
+        "vol_identical": warm.vol == cold.vol,
+    }
+
+
+def bench_calibration(n_strikes: int, n_expiries: int, steps: int) -> dict:
+    base = OptionSpec(
+        spot=100.0, strike=100.0, rate=0.03, volatility=0.2,
+        dividend_yield=0.02, expiry_days=252.0, right=Right.PUT,
+    )
+    quotes = []
+    for j in range(n_expiries):
+        expiry = 126.0 + 126.0 * j
+        for i in range(n_strikes):
+            strike = 85.0 + 30.0 * i / max(n_strikes - 1, 1)
+            spec = dataclasses.replace(
+                base, strike=strike, expiry_days=expiry,
+                volatility=smile_vol(strike, base.spot, expiry / 252.0),
+            )
+            quotes.append(MarketQuote(spec, price_american(spec, steps).price))
+    t0 = time.perf_counter()
+    surface, report = calibrate_surface(quotes, steps)
+    wall = time.perf_counter() - t0
+    # per-quote residual over its own strike (fits are expiry-major,
+    # strike-sorted — the same order build loops above produce)
+    strikes_sorted = sorted({q.spec.strike for q in quotes})
+    max_residual_over_k = max(
+        r.residual / k
+        for fit in report.fits
+        for r, k in zip(fit.results, strikes_sorted)
+    )
+    max_vol_err = max(
+        abs(
+            surface.vol(q.spec.strike, q.spec.years)
+            - q.spec.volatility
+        )
+        for q in quotes
+    )
+    return {
+        "n_quotes": len(quotes),
+        "n_strikes": n_strikes,
+        "n_expiries": n_expiries,
+        "wall_s": wall,
+        "solves_per_quote": report.solves_per_quote,
+        "max_residual_over_k": max_residual_over_k,
+        "max_vol_error_vs_generator": max_vol_err,
+        "arbitrage_violations": len(report.violations),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", "--quick", action="store_true", dest="smoke",
+        help="tiny sizes for the CI smoke pass",
+    )
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_implied.json",
+        ),
+    )
+    args = parser.parse_args()
+
+    steps = args.steps or (64 if args.smoke else 256)
+    n = 12 if args.smoke else 64
+    repeats = 1 if args.smoke else 3
+    report = {
+        "benchmark": "implied_vol",
+        "smoke": args.smoke,
+        "steps": steps,
+        "host_cpus": os.cpu_count(),
+    }
+
+    bn = bench_batch_vs_naive(n, steps, repeats)
+    report["batch_vs_naive"] = bn
+    print(
+        f"batch vs naive ({n} quotes, {steps} steps): "
+        f"{bn['batch_speedup']:.2f}x wall "
+        f"({bn['naive_solves_per_quote']:.1f} -> "
+        f"{bn['batch_solves_per_quote']:.1f} solves/quote, "
+        f"newton rate {bn['batch_newton_rate']:.2f})"
+    )
+    assert bn["max_roundtrip_residual_over_k_naive"] <= 1e-8, (
+        "naive round trip exceeded 1e-8*K"
+    )
+    assert bn["max_roundtrip_residual_over_k_batch"] <= 1e-8, (
+        "batched round trip exceeded 1e-8*K"
+    )
+    # the machine-independent half of the speedup: the fast path must do
+    # strictly less solver work per quote, at every size
+    assert bn["batch_solves"] < bn["naive_solves"], "fast path saved no solves"
+    if not args.smoke:
+        assert bn["batch_speedup"] >= 2.0, (
+            f"batched inversion under 2x: {bn['batch_speedup']:.2f}"
+        )
+
+    sc = bench_service_cache(steps)
+    report["service_cache"] = sc
+    print(
+        f"service-cached inversion: warm {sc['warm_speedup']:.1f}x, "
+        f"{sc['engine_solves_warm_delta']} new engine solves on repeat"
+    )
+    assert sc["vol_identical"], "cached inversion drifted"
+    assert sc["engine_solves_warm_delta"] == 0, (
+        "repeat inversion hit the engines instead of the cache"
+    )
+
+    cal = bench_calibration(
+        4 if args.smoke else 8, 2 if args.smoke else 4, steps
+    )
+    report["calibration"] = cal
+    print(
+        f"calibration ({cal['n_quotes']} quotes): "
+        f"{cal['solves_per_quote']:.1f} solves/quote, "
+        f"max vol err {cal['max_vol_error_vs_generator']:.2e}, "
+        f"{cal['arbitrage_violations']} violations"
+    )
+    assert cal["max_residual_over_k"] <= 1e-8, "calibration round trip drifted"
+    assert cal["arbitrage_violations"] == 0, (
+        "smooth synthetic smile calibrated with arbitrage"
+    )
+
+    report["summary"] = {
+        "batch_speedup": bn["batch_speedup"],
+        "batch_solves_per_quote": bn["batch_solves_per_quote"],
+        "naive_solves_per_quote": bn["naive_solves_per_quote"],
+        "roundtrip_within_1e8_k": True,
+        "service_warm_engine_solves": sc["engine_solves_warm_delta"],
+        "calibration_solves_per_quote": cal["solves_per_quote"],
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

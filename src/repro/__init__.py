@@ -4,7 +4,13 @@ A from-scratch Python reproduction of Ahmad et al.'s FFT-accelerated
 ``O(T log^2 T)`` American option pricing algorithms, together with every
 substrate the paper's evaluation depends on: vanilla and cache-optimised
 Θ(T²) baselines, a work–span parallel-runtime model, a cache-hierarchy
-simulator, and a RAPL-style energy model.
+simulator, and a RAPL-style energy model.  On top of the solvers sit the
+applied tiers: ``repro.risk`` (scenario grids on real worker pools),
+``repro.service`` (a caching, coalescing quote service) and
+``repro.market`` (American implied-vol inversion and calibrated
+no-arbitrage vol surfaces — ``implied_vol``, ``implied_vol_many``,
+``VolSurface``, ``calibrate_surface``), closing the loop from market
+quotes back to served prices.
 
 Quickstart
 ----------
@@ -42,14 +48,26 @@ from repro.service import (
     QuoteService,
     canonical_key,
 )
+from repro.market import (
+    MarketQuote,
+    VolSurface,
+    calibrate_surface,
+    implied_vol,
+    implied_vol_many,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CanonicalPolicy",
+    "MarketQuote",
     "QuoteCache",
     "QuoteService",
+    "VolSurface",
+    "calibrate_surface",
     "canonical_key",
+    "implied_vol",
+    "implied_vol_many",
     "OptionSpec",
     "Right",
     "Style",

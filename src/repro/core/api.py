@@ -41,6 +41,7 @@ from repro.core.tree_solver import DEFAULT_BASE, solve_tree_fft
 from repro.lattice.binomial import price_binomial
 from repro.lattice.blackscholes_fd import price_bsm_fd
 from repro.lattice.trinomial import price_trinomial
+from repro.options.analytic import black_scholes, no_early_exercise_call
 from repro.options.contract import OptionSpec, Right, Style
 from repro.options.params import BinomialParams, BSMGridParams, TrinomialParams
 from repro.options.payoff import terminal_payoff
@@ -146,10 +147,35 @@ def price_american(
     * ``engine`` supplies a shared plan-caching
       :class:`~repro.core.fftstencil.AdvanceEngine` for the fft methods
       (see :func:`price_many`); default is a fresh engine per solve.
+    * American calls on a zero-dividend underlying are never exercised
+      early (Merton 1973,
+      :func:`repro.options.analytic.no_early_exercise_call`), so the tree
+      models answer them from the European closed form without a lattice
+      solve — ``meta["closed_form"]`` marks such results.  Pass
+      ``return_boundary=True`` to force the lattice (the analytic path
+      has no divider to report).  The symmetric-dual fact — zero-*rate*
+      puts (:func:`~repro.options.analytic.no_early_exercise_put`) — is
+      deliberately **not** shortcut: finite-difference ladders bump the
+      rate (Greeks rho legs, scenario ``rate_bumps``), and a ladder whose
+      clamped ``r=0`` leg answered analytically while its ``r=h`` leg
+      lattice-solved would divide the discretisation gap by ``h``.  The
+      dividend is never a bump axis, so the call shortcut cannot mix.
     """
     steps = check_integer("steps", steps, minimum=1)
     _check_model_method(model, method)
     spec = spec.with_style(Style.AMERICAN)
+
+    if (
+        model in ("binomial", "trinomial")
+        and not return_boundary
+        and no_early_exercise_call(spec)
+    ):
+        # zero-dividend American call == European call == the closed form;
+        # the whole O(T log²T) (or Θ(T²)) solve would only rediscover it
+        return PricingResult(
+            black_scholes(spec).price, steps, model, method,
+            meta={"closed_form": "black-scholes", "no_early_exercise": True},
+        )
 
     if model == "bsm-fd":
         if method == "fft":

@@ -1,0 +1,41 @@
+"""Market-facing calibration tier: quotes → implied vols → vol surfaces.
+
+The ROADMAP's closed-loop input path.  Observed American option prices are
+inverted to implied volatilities (:mod:`repro.market.implied` — bracketed
+Brent with a Newton fast path seeded by the analytic European inversion),
+assembled into total-variance-interpolated, no-arbitrage-checked
+:class:`~repro.market.surface.VolSurface` objects
+(:mod:`repro.market.surface`), and calibrated in bulk across the
+:class:`~repro.risk.engine.ScenarioEngine` worker pools
+(:mod:`repro.market.calibrate`).  The surfaces feed back into the stack:
+:meth:`repro.risk.grid.ScenarioGrid.cartesian` draws per-cell vols from a
+surface, and :meth:`repro.service.service.QuoteService.implied_vol` runs
+inversions through the serving cache.
+"""
+
+from repro.market.calibrate import (
+    CalibrationReport,
+    MarketQuote,
+    calibrate_surface,
+)
+from repro.market.implied import (
+    FitReport,
+    ImpliedVolResult,
+    european_implied_vol,
+    implied_vol,
+    implied_vol_many,
+)
+from repro.market.surface import ArbitrageViolation, VolSurface
+
+__all__ = [
+    "ArbitrageViolation",
+    "CalibrationReport",
+    "FitReport",
+    "ImpliedVolResult",
+    "MarketQuote",
+    "VolSurface",
+    "calibrate_surface",
+    "european_implied_vol",
+    "implied_vol",
+    "implied_vol_many",
+]

@@ -1,0 +1,249 @@
+"""Surface calibration: market quote sets → no-arbitrage-checked VolSurface.
+
+This closes the loop the ROADMAP calls the north-star workload: a snapshot
+of American option quotes goes in, a queryable
+:class:`~repro.market.surface.VolSurface` comes out, and that surface feeds
+straight back into the engine stack — per-cell vols for
+:meth:`repro.risk.grid.ScenarioGrid.cartesian` sweeps and seeds for the
+:class:`~repro.service.service.QuoteService`.
+
+Execution model
+---------------
+Quotes are grouped into *ladders* — one per (expiry, rate, dividend, right)
+curve, sorted by strike — because a ladder is the unit that profits from
+:func:`repro.market.implied.implied_vol_many`'s warm-started brackets.
+Ladders are then sharded across the existing
+:class:`~repro.risk.engine.ScenarioEngine` worker pools via its generic
+:meth:`~repro.risk.engine.ScenarioEngine.map_chunks` fan-out, so each
+worker's persistent plan-caching AdvanceEngine serves every solve of every
+ladder it draws (the serial fallback runs the same code path on one
+engine, bit-identical).  The fitted grid is assembled into a
+:class:`VolSurface` and the static no-arbitrage diagnostics are attached to
+the report — never raised: a noisy market snapshot is data, not an error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
+from repro.market.implied import FitReport, implied_vol_many
+from repro.market.surface import ArbitrageViolation, VolSurface
+from repro.options.contract import OptionSpec
+from repro.risk.engine import ScenarioEngine
+from repro.util.validation import ValidationError, check_finite, check_integer
+
+
+@dataclass(frozen=True)
+class MarketQuote:
+    """One observed market price for one contract."""
+
+    spec: OptionSpec
+    price: float
+
+    def __post_init__(self) -> None:
+        check_finite("price", self.price)
+
+
+QuoteLike = Union[MarketQuote, "tuple[OptionSpec, float]"]
+
+
+@dataclass
+class CalibrationReport:
+    """Everything :func:`calibrate_surface` learned besides the surface.
+
+    ``fits`` holds one :class:`~repro.market.implied.FitReport` per ladder
+    (curve order: expiry-major); ``violations`` the static no-arbitrage
+    diagnostics of the fitted surface; ``meta`` the run configuration and
+    wall-clock.
+    """
+
+    fits: list[FitReport] = field(default_factory=list)
+    violations: list[ArbitrageViolation] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def solves(self) -> int:
+        return sum(f.solves for f in self.fits)
+
+    @property
+    def iterations(self) -> int:
+        return sum(f.iterations for f in self.fits)
+
+    @property
+    def n_quotes(self) -> int:
+        return sum(len(f.results) for f in self.fits)
+
+    @property
+    def max_residual(self) -> float:
+        return max((f.max_residual for f in self.fits), default=0.0)
+
+    @property
+    def solves_per_quote(self) -> float:
+        n = self.n_quotes
+        return self.solves / n if n else 0.0
+
+
+def _as_quotes(quotes: Sequence[QuoteLike]) -> list[MarketQuote]:
+    out: list[MarketQuote] = []
+    for q in quotes:
+        if isinstance(q, MarketQuote):
+            out.append(q)
+        else:
+            spec, price = q
+            out.append(MarketQuote(spec=spec, price=price))
+    return out
+
+
+def _invert_ladder_chunk(engine, ladders: list) -> list:
+    """map_chunks task: fit each ladder on the worker's persistent engine.
+
+    Module-level so the ``process`` backend can pickle it; each ladder is a
+    ``(specs, quotes, steps, kwargs)`` tuple and yields one FitReport.
+    """
+    return [
+        implied_vol_many(specs, prices, steps, engine=engine, **kwargs)
+        for specs, prices, steps, kwargs in ladders
+    ]
+
+
+def calibrate_surface(
+    quotes: Sequence[QuoteLike],
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    workers: Optional[int] = None,
+    backend: str = "process",
+    price_tol: Optional[float] = None,
+    arbitrage_tol: float = 1e-12,
+) -> tuple[VolSurface, CalibrationReport]:
+    """Fit a :class:`VolSurface` to American market quotes.
+
+    Parameters
+    ----------
+    quotes:
+        :class:`MarketQuote` records (or ``(spec, price)`` tuples) covering
+        a complete strikes × expiries grid on **one underlying**: every
+        spec must share the spot, and every (strike, expiry) pair must be
+        quoted exactly once — holes or duplicates raise
+        :class:`ValidationError` naming the offending cells, because a
+        silently interpolated hole would masquerade as market data.
+    steps, model, method, base, lam, policy:
+        The pricing configuration each inversion solves under, per
+        :func:`repro.core.api.price_american`.
+    workers, backend:
+        ``workers > 1`` shards the per-expiry ladders across a
+        :class:`~repro.risk.engine.ScenarioEngine` pool of this backend
+        (``"process" | "thread" | "serial"``); the default calibrates
+        serially on one shared plan-caching engine.  Parallel and serial
+        runs produce identical surfaces — ladders are independent.
+    price_tol:
+        Per-quote convergence tolerance on the price residual
+        (default ``1e-9 ·`` strike).
+    arbitrage_tol:
+        Tolerance for the static no-arbitrage diagnostics attached to the
+        report (violations are *reported*, never raised).
+
+    Returns
+    -------
+    ``(surface, report)`` — the fitted surface and a
+    :class:`CalibrationReport` with per-quote fit records, solver totals,
+    and the surface's no-arbitrage diagnostics.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    mquotes = _as_quotes(quotes)
+    if not mquotes:
+        raise ValidationError("calibrate_surface needs at least one quote")
+    spot = mquotes[0].spec.spot
+    for q in mquotes:
+        if q.spec.spot != spot:
+            raise ValidationError(
+                f"all quotes must share one underlying spot; got {spot} "
+                f"and {q.spec.spot}"
+            )
+
+    strikes = np.array(sorted({q.spec.strike for q in mquotes}))
+    expiries = np.array(sorted({q.spec.years for q in mquotes}))
+    by_cell: dict[tuple[float, float], MarketQuote] = {}
+    for q in mquotes:
+        cell = (q.spec.strike, q.spec.years)
+        if cell in by_cell:
+            raise ValidationError(
+                f"duplicate quote for strike {cell[0]}, expiry {cell[1]}y — "
+                "each surface cell must be quoted exactly once"
+            )
+        by_cell[cell] = q
+    missing = [
+        (float(k), float(t))
+        for k in strikes
+        for t in expiries
+        if (k, t) not in by_cell
+    ]
+    if missing:
+        raise ValidationError(
+            f"quote set does not cover the strikes x expiries grid; "
+            f"missing {len(missing)} cell(s), first few: {missing[:4]}"
+        )
+
+    # One ladder per expiry, strike-sorted — the warm-start order.
+    kwargs = {
+        "model": model,
+        "method": method,
+        "base": base,
+        "lam": lam,
+        "policy": policy,
+        "price_tol": price_tol,
+    }
+    ladders = []
+    for t in expiries:
+        specs = [by_cell[(k, t)].spec for k in strikes]
+        prices = [by_cell[(k, t)].price for k in strikes]
+        ladders.append((specs, prices, steps, kwargs))
+
+    t0 = time.perf_counter()
+    engine = ScenarioEngine(
+        workers=workers, backend=backend, model=model, method=method,
+        base=base, lam=lam, policy=policy,
+    )
+    serial = workers is None or engine.workers == 1 or backend == "serial"
+    if serial:
+        # chunking adds nothing serially — one engine, ladder order
+        fits = _invert_ladder_chunk(AdvanceEngine(policy), ladders)
+    else:
+        fits = engine.map_chunks(ladders, _invert_ladder_chunk)
+    wall = time.perf_counter() - t0
+
+    vols = np.empty((len(strikes), len(expiries)), dtype=np.float64)
+    for j, fit in enumerate(fits):
+        vols[:, j] = fit.vols
+    surface = VolSurface(
+        strikes=strikes,
+        expiries_years=expiries,
+        vols=vols,
+        spot=spot,
+        meta={"steps": steps, "model": model, "method": method},
+    )
+    report = CalibrationReport(
+        fits=fits,
+        violations=surface.check_no_arbitrage(arbitrage_tol),
+        meta={
+            "steps": steps,
+            "model": model,
+            "method": method,
+            "n_quotes": len(mquotes),
+            "n_strikes": len(strikes),
+            "n_expiries": len(expiries),
+            "workers": 1 if serial else engine.workers,
+            "backend": "serial" if serial else backend,
+            "wall_s": wall,
+        },
+    )
+    return surface, report

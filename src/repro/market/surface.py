@@ -1,0 +1,301 @@
+"""Volatility surfaces: total-variance interpolation + no-arbitrage checks.
+
+A :class:`VolSurface` is the value object the calibration tier produces and
+the scenario tier consumes: implied volatilities on a strikes × expiries
+grid, queryable at any ``(strike, years)`` coordinate.  Interpolation runs
+in the market-standard coordinates — *log-moneyness* ``k = ln(K / spot)``
+on the strike axis and *total variance* ``w = v² T`` on the value axis —
+because total variance is the quantity that is linear along arbitrage-free
+time interpolation (variance is additive over independent increments) and
+whose monotonicity/convexity encode the static no-arbitrage conditions the
+diagnostics below check.  Outside the grid the surface extrapolates *flat
+in vol* (queries clamp to the nearest edge), the conservative convention
+for risk grids that bump past the quoted range.
+
+The no-arbitrage diagnostics are *static* checks on the fitted grid:
+
+* **calendar**: total variance must be non-decreasing in expiry at fixed
+  log-moneyness — otherwise a calendar spread (sell short-dated, buy
+  long-dated) locks in a riskless profit;
+* **butterfly**: undiscounted Black call prices must be convex in strike at
+  fixed expiry — otherwise the butterfly ``C(K₋) - 2C(K) + C(K₊)``
+  (spacing-weighted) is negative.
+
+Both return :class:`ArbitrageViolation` records instead of raising:
+market-quote snapshots routinely carry small violations from bid/ask noise,
+and the caller — not the surface — decides whether to reject, repair, or
+carry them as a data-quality annotation
+(:func:`repro.market.calibrate.calibrate_surface` attaches them to its
+report).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.options.analytic import black_scholes
+from repro.options.contract import OptionSpec, Right
+from repro.util.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class ArbitrageViolation:
+    """One static no-arbitrage violation on a fitted surface.
+
+    ``kind`` is ``"calendar"`` or ``"butterfly"``; ``strike``/``expiries``
+    locate the offending cell(s); ``amount`` is the violation magnitude
+    (total-variance decrease, or the butterfly's negative value).
+    """
+
+    kind: str
+    strike: float
+    expiries: tuple[float, ...]
+    amount: float
+
+    def __str__(self) -> str:  # readable in reports and example output
+        where = ", ".join(f"{t:.4g}y" for t in self.expiries)
+        return (
+            f"{self.kind} violation at K={self.strike:g} ({where}): "
+            f"{self.amount:.3g}"
+        )
+
+
+@dataclass(frozen=True)
+class VolSurface:
+    """Implied vols on a strikes × expiries grid with total-variance interp.
+
+    Parameters
+    ----------
+    strikes:
+        Strictly increasing strike nodes (> 0), length ``m``.
+    expiries_years:
+        Strictly increasing expiry nodes in years (> 0), length ``n``.
+    vols:
+        Implied volatilities, shape ``(m, n)``, all > 0 and finite.
+    spot:
+        Reference spot fixing the log-moneyness coordinate ``ln(K/spot)``.
+
+    The dataclass is frozen and the arrays are defensively copied and
+    write-locked at construction, so a surface handed to scenario grids and
+    worker pools is a true value object.
+    """
+
+    strikes: np.ndarray
+    expiries_years: np.ndarray
+    vols: np.ndarray
+    spot: float
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("spot", self.spot)
+        strikes = np.asarray(self.strikes, dtype=np.float64).copy()
+        expiries = np.asarray(self.expiries_years, dtype=np.float64).copy()
+        vols = np.asarray(self.vols, dtype=np.float64).copy()
+        if strikes.ndim != 1 or len(strikes) == 0:
+            raise ValidationError("strikes must be a non-empty 1-D array")
+        if expiries.ndim != 1 or len(expiries) == 0:
+            raise ValidationError("expiries_years must be a non-empty 1-D array")
+        if np.any(strikes <= 0.0) or np.any(np.diff(strikes) <= 0.0):
+            raise ValidationError("strikes must be positive and strictly increasing")
+        if np.any(expiries <= 0.0) or np.any(np.diff(expiries) <= 0.0):
+            raise ValidationError(
+                "expiries_years must be positive and strictly increasing"
+            )
+        if vols.shape != (len(strikes), len(expiries)):
+            raise ValidationError(
+                f"vols shape {vols.shape} must be (n_strikes, n_expiries) = "
+                f"({len(strikes)}, {len(expiries)})"
+            )
+        if not np.all(np.isfinite(vols)) or np.any(vols <= 0.0):
+            raise ValidationError("vols must all be finite and > 0")
+        log_m = np.log(strikes / self.spot)
+        for name, arr in (
+            ("strikes", strikes),
+            ("expiries_years", expiries),
+            ("vols", vols),
+            ("_log_moneyness", log_m),
+        ):
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def log_moneyness(self) -> np.ndarray:
+        """The strike nodes in the interpolation coordinate ``ln(K/spot)``.
+
+        Precomputed at construction — ``vol()`` runs once per scenario
+        cell, so the coordinate array must not be rebuilt per query.
+        """
+        return self._log_moneyness
+
+    def total_variance(self, strike: float, years: float) -> float:
+        """Interpolated total variance ``w = vol² · years`` at the query."""
+        v = self.vol(strike, years)
+        return v * v * years
+
+    def vol(self, strike: float, years: float) -> float:
+        """Implied volatility at ``(strike, years)``.
+
+        Grid nodes return their fitted vol *exactly* (no floating-point
+        round trip through the interpolant — scenario grids built from a
+        calibrated surface must reproduce the calibration bit-for-bit).
+        Interior queries interpolate total variance bilinearly in
+        ``(ln K/spot, T)``; queries outside the grid clamp to the nearest
+        edge (flat-vol extrapolation).
+        """
+        check_positive("strike", strike)
+        check_positive("years", years)
+        strikes, expiries = self.strikes, self.expiries_years
+
+        i = int(np.searchsorted(strikes, strike))
+        j = int(np.searchsorted(expiries, years))
+        exact_k = i < len(strikes) and strikes[i] == strike
+        exact_t = j < len(expiries) and expiries[j] == years
+        if exact_k and exact_t:
+            return float(self.vols[i, j])
+
+        k = math.log(strike / self.spot)
+        ks = self.log_moneyness
+        k = min(max(k, ks[0]), ks[-1])  # flat-vol clamp on the strike axis
+
+        # Per-expiry variance at the clamped log-moneyness (linear in k):
+        # at a single expiry, linear-in-k total variance and linear-in-k
+        # variance coincide (same T factor), so interpolate vol² directly.
+        def var_at(col: int) -> float:
+            ii = int(np.searchsorted(ks, k))
+            if ii < len(ks) and ks[ii] == k:
+                v = float(self.vols[ii, col])
+                return v * v
+            ii = min(max(ii, 1), len(ks) - 1)
+            t0, t1 = ks[ii - 1], ks[ii]
+            u = (k - t0) / (t1 - t0)
+            v0, v1 = float(self.vols[ii - 1, col]), float(self.vols[ii, col])
+            return (1.0 - u) * v0 * v0 + u * v1 * v1
+
+        if years <= expiries[0]:  # flat-vol clamp below the first expiry
+            return math.sqrt(var_at(0))
+        if years >= expiries[-1]:  # ... and beyond the last
+            return math.sqrt(var_at(len(expiries) - 1))
+        j = min(max(j, 1), len(expiries) - 1)
+        t0, t1 = float(expiries[j - 1]), float(expiries[j])
+        if t1 == years:
+            return math.sqrt(var_at(j))
+        # linear in *total variance* across expiries — the arbitrage-free
+        # time interpolation (variance additivity)
+        w0 = var_at(j - 1) * t0
+        w1 = var_at(j) * t1
+        u = (years - t0) / (t1 - t0)
+        w = (1.0 - u) * w0 + u * w1
+        return math.sqrt(w / years)
+
+    # ------------------------------------------------------------------ #
+    # Static no-arbitrage diagnostics
+    # ------------------------------------------------------------------ #
+    def calendar_violations(self, tol: float = 1e-12) -> list[ArbitrageViolation]:
+        """Cells where total variance *decreases* in expiry (fixed strike)."""
+        out: list[ArbitrageViolation] = []
+        w = self.vols**2 * self.expiries_years[np.newaxis, :]
+        for i, strike in enumerate(self.strikes):
+            for j in range(1, len(self.expiries_years)):
+                drop = w[i, j - 1] - w[i, j]
+                if drop > tol:
+                    out.append(
+                        ArbitrageViolation(
+                            kind="calendar",
+                            strike=float(strike),
+                            expiries=(
+                                float(self.expiries_years[j - 1]),
+                                float(self.expiries_years[j]),
+                            ),
+                            amount=float(drop),
+                        )
+                    )
+        return out
+
+    def butterfly_violations(self, tol: float = 1e-12) -> list[ArbitrageViolation]:
+        """Strike triples where undiscounted Black call prices are concave.
+
+        For each expiry the fitted vols are turned into undiscounted Black
+        call prices at the reference spot (zero rate and carry — discounting
+        is strike-independent, so it cannot create or hide a butterfly) and
+        each interior strike is tested against the chord through its
+        neighbours; ``C(K) > chord`` means the spacing-weighted butterfly
+        pays negative premium — an arbitrage.
+        """
+        out: list[ArbitrageViolation] = []
+        for j, years in enumerate(self.expiries_years):
+            prices = [
+                black_scholes(
+                    OptionSpec(
+                        spot=self.spot,
+                        strike=float(k),
+                        rate=0.0,
+                        volatility=float(self.vols[i, j]),
+                        dividend_yield=0.0,
+                        expiry_days=float(years) * 252.0,
+                        right=Right.CALL,
+                        day_count=252,
+                    )
+                ).price
+                for i, k in enumerate(self.strikes)
+            ]
+            for i in range(1, len(self.strikes) - 1):
+                k_lo, k_mid, k_hi = (
+                    float(self.strikes[i - 1]),
+                    float(self.strikes[i]),
+                    float(self.strikes[i + 1]),
+                )
+                u = (k_mid - k_lo) / (k_hi - k_lo)
+                chord = (1.0 - u) * prices[i - 1] + u * prices[i + 1]
+                excess = prices[i] - chord
+                if excess > tol:
+                    out.append(
+                        ArbitrageViolation(
+                            kind="butterfly",
+                            strike=k_mid,
+                            expiries=(float(years),),
+                            amount=float(excess),
+                        )
+                    )
+        return out
+
+    def check_no_arbitrage(
+        self, tol: float = 1e-12
+    ) -> list[ArbitrageViolation]:
+        """All static violations (calendar first, then butterfly)."""
+        return self.calendar_violations(tol) + self.butterfly_violations(tol)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def flat(
+        cls,
+        vol: float,
+        *,
+        spot: float,
+        strikes: Optional[np.ndarray] = None,
+        expiries_years: Optional[np.ndarray] = None,
+    ) -> "VolSurface":
+        """A constant-vol surface (handy baseline; trivially arbitrage-free
+        on the butterfly axis and calendar-monotone by construction)."""
+        check_positive("vol", vol)
+        strikes = (
+            np.array([0.5, 1.0, 2.0]) * spot if strikes is None else strikes
+        )
+        expiries_years = (
+            np.array([0.25, 1.0, 2.0])
+            if expiries_years is None
+            else expiries_years
+        )
+        vols = np.full((len(strikes), len(expiries_years)), float(vol))
+        return cls(
+            strikes=np.asarray(strikes, dtype=np.float64),
+            expiries_years=np.asarray(expiries_years, dtype=np.float64),
+            vols=vols,
+            spot=spot,
+        )

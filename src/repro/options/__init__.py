@@ -7,6 +7,7 @@ from repro.options.analytic import (
     european_price,
     perpetual_american_put,
     no_early_exercise_call,
+    no_early_exercise_put,
     intrinsic_bounds,
     BlackScholesResult,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "european_price",
     "perpetual_american_put",
     "no_early_exercise_call",
+    "no_early_exercise_put",
     "intrinsic_bounds",
     "BlackScholesResult",
     "terminal_payoff",

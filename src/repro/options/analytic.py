@@ -109,9 +109,25 @@ def no_early_exercise_call(spec: OptionSpec) -> bool:
 
     Classical result (Merton 1973): with zero dividend yield the American
     call equals the European call.  The tree solvers use this as an internal
-    consistency check and the test suite as an oracle.
+    consistency check, the test suite as an oracle, and
+    :func:`repro.core.api.price_american` as a closed-form fast path.
     """
     return spec.right is Right.CALL and spec.dividend_yield == 0.0
+
+
+def no_early_exercise_put(spec: OptionSpec) -> bool:
+    """True when early exercise of an American put is never optimal.
+
+    The McDonald–Schroder dual of :func:`no_early_exercise_call`: early
+    put exercise is financed by the interest earned on the strike, so with
+    ``R = 0`` (and ``Y >= 0``) the American put equals the European put —
+    exactly the parameter set whose symmetric dual is a zero-dividend call.
+    Unlike the call fact this one is *not* used as a pricing shortcut
+    (rate ladders bump across ``R = 0``; see
+    :func:`repro.core.api.price_american`) — the canonical layer consults
+    it to keep such puts un-folded instead.
+    """
+    return spec.right is Right.PUT and spec.rate == 0.0
 
 
 def intrinsic_bounds(spec: OptionSpec) -> tuple[float, float]:

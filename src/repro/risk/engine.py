@@ -128,6 +128,12 @@ def _price_chunk(
     return start, results, seconds
 
 
+def _map_chunk(payload: tuple) -> tuple[int, list]:
+    """Executor task: run a caller task on this worker's persistent engine."""
+    start, items, task, policy = payload
+    return start, task(_worker_engine(policy), items)
+
+
 # --------------------------------------------------------------------- #
 # Results
 # --------------------------------------------------------------------- #
@@ -278,6 +284,45 @@ class ScenarioEngine:
             model=model, method=method, base=base, lam=lam,
         ).results
 
+    def map_chunks(self, items: Sequence, task) -> list:
+        """Generic engine-backed fan-out: ``task(engine, chunk) -> results``.
+
+        ``items`` is chunked exactly like a scenario grid
+        (:meth:`_chunks`: deterministic contiguous bounds) and each chunk is
+        handed to ``task`` together with the worker's persistent
+        plan-caching :class:`~repro.core.fftstencil.AdvanceEngine` — the
+        same amortisation pricing chunks enjoy, for workloads that are not
+        plain ``price_many`` calls (the market calibrator runs whole
+        implied-vol ladders this way,
+        :func:`repro.market.calibrate.calibrate_surface`).
+
+        ``task`` must return one result per item, in chunk order, and — for
+        the ``process`` backend — be a picklable module-level callable.
+        Results concatenate in input order; the serial backend (or
+        ``workers=1``, or a single chunk) runs inline on one fresh engine,
+        bit-identical to the pooled run.
+        """
+        if not items:
+            return []
+        items = list(items)
+        chunks = self._chunks(len(items))
+        results: list = [None] * len(items)
+        serial = (
+            self.backend == "serial" or self.workers == 1 or len(chunks) == 1
+        )
+        if serial:
+            engine = AdvanceEngine(self.policy)
+            for lo, hi in chunks:
+                results[lo:hi] = task(engine, items[lo:hi])
+        else:
+            with self._make_pool() as pool:
+                payloads = [
+                    (lo, items[lo:hi], task, self.policy) for lo, hi in chunks
+                ]
+                for lo, chunk_results in pool.map(_map_chunk, payloads):
+                    results[lo : lo + len(chunk_results)] = chunk_results
+        return results
+
     def price_grid(
         self,
         grid: ScenarioGrid | Sequence[OptionSpec],
@@ -339,6 +384,9 @@ class ScenarioEngine:
             workspan = workspan.beside(r.workspan)  # type: ignore[union-attr]
         p = 1 if serial else self.workers
         t1 = workspan.brent_time(1)
+        # an all-closed-form grid (zero-dividend calls) has zero modeled
+        # work — report a neutral 1.0 rather than dividing 0/0
+        tp = workspan.brent_time(p)
         meta = {
             "backend": "serial" if serial else self.backend,
             "workers": p,
@@ -349,7 +397,7 @@ class ScenarioEngine:
             "wall_s": wall,
             "cells_wall_s": cells_wall,
             "measured_speedup": cells_wall / wall if wall > 0.0 else 1.0,
-            "predicted_speedup": t1 / workspan.brent_time(p),
+            "predicted_speedup": t1 / tp if tp > 0.0 else 1.0,
             "parallelism": workspan.parallelism,
         }
         return ScenarioResult(

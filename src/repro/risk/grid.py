@@ -104,12 +104,24 @@ class ScenarioGrid:
         vol_bumps: Sequence[float] = (0.0,),
         rate_bumps: Sequence[float] = (0.0,),
         expiry_bumps: Sequence[float] = (0.0,),
+        vols: object = None,
     ) -> "ScenarioGrid":
         """Cross product ``specs x spot x vol x rate x expiry``.
 
         Axis order (specs outermost, expiry innermost) fixes the flat cell
         order; ``shape`` records the per-axis lengths so results can be
         reshaped with ``np.reshape(prices, grid.shape)``.
+
+        ``vols`` draws each cell's *base* volatility from a calibrated
+        :class:`~repro.market.surface.VolSurface` (any object with a
+        ``vol(strike, years)`` method) instead of the spec's own
+        ``volatility`` field: the surface is queried at the cell's strike
+        and *bumped* time-to-expiry, so expiry roll-downs slide along the
+        calibrated term structure, and ``vol_bumps`` then apply as relative
+        shocks on top of the surface value (``surface.vol(K, T)·(1+b)``; an
+        unbumped axis reproduces ``surface.vol(K, T)`` exactly).  The
+        surface vol actually applied is recorded in the cell label under
+        ``"surface_vol"``.
         """
         if isinstance(specs, OptionSpec):
             specs = [specs]
@@ -132,6 +144,11 @@ class ScenarioGrid:
         for b in vol_bumps:
             if b <= -1.0:
                 raise ValidationError(f"vol bump {b} drives the volatility <= 0")
+        if vols is not None and not callable(getattr(vols, "vol", None)):
+            raise ValidationError(
+                "vols must expose a vol(strike, years) method "
+                "(e.g. repro.market.surface.VolSurface)"
+            )
 
         cells: list[ScenarioCell] = []
         for s_i, base in enumerate(specs):
@@ -146,24 +163,32 @@ class ScenarioGrid:
                     for br in rate_bumps:
                         for db in expiry_bumps:
                             rate = max(base.rate + br, 0.0)
+                            expiry_days = base.expiry_days + db
+                            labels = {
+                                "spec": s_i,
+                                "spot": bs,
+                                "vol": bv,
+                                "rate": rate - base.rate,
+                                "expiry": db,
+                            }
+                            base_vol = base.volatility
+                            if vols is not None:
+                                base_vol = vols.vol(
+                                    base.strike, expiry_days / base.day_count
+                                )
+                                labels["surface_vol"] = base_vol
                             spec = dataclasses.replace(
                                 base,
                                 spot=base.spot * (1.0 + bs),
-                                volatility=base.volatility * (1.0 + bv),
+                                volatility=base_vol * (1.0 + bv),
                                 rate=rate,
-                                expiry_days=base.expiry_days + db,
+                                expiry_days=expiry_days,
                             )
                             cells.append(
                                 ScenarioCell(
                                     index=len(cells),
                                     spec=spec,
-                                    labels={
-                                        "spec": s_i,
-                                        "spot": bs,
-                                        "vol": bv,
-                                        "rate": rate - base.rate,
-                                        "expiry": db,
-                                    },
+                                    labels=labels,
                                 )
                             )
         shape = (

@@ -44,6 +44,7 @@ from repro.core.bsm_solver import DEFAULT_BSM_BASE
 from repro.core.fftstencil import DEFAULT_POLICY, AdvancePolicy
 from repro.core.symmetry import canonicalize_right
 from repro.core.tree_solver import DEFAULT_BASE
+from repro.options.analytic import no_early_exercise_put
 from repro.options.contract import OptionSpec, Right, Style
 from repro.options.params import BSMGridParams
 from repro.util.validation import (
@@ -179,7 +180,14 @@ def canonicalize(
     else:
         lam = None  # the tree models have no parabolic ratio
 
-    working, dualized = canonicalize_right(spec, model, method)
+    if spec.style is Style.AMERICAN and no_early_exercise_put(spec):
+        # A zero-rate American put's dual is a zero-dividend call, which
+        # price_american answers from the *closed form* while the direct
+        # put path lattice-solves — folding would break the cache's
+        # exactness contract, so these puts keep their orientation.
+        working, dualized = spec, False
+    else:
+        working, dualized = canonicalize_right(spec, model, method)
     working, scale = working.strike_scaled()
 
     quantized = False

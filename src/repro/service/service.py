@@ -37,6 +37,7 @@ racing threads into one engine.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
@@ -530,6 +531,57 @@ class QuoteService:
         with self._lock:
             self._merged += merged
         return out
+
+    def implied_vol(
+        self,
+        quote: float,
+        spec: OptionSpec,
+        steps: Optional[int] = None,
+        *,
+        model: Optional[str] = None,
+        method: Optional[str] = None,
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+        seed: Optional[float] = None,
+        price_tol: Optional[float] = None,
+    ):
+        """Invert one quoted price to an implied volatility through the cache.
+
+        Each objective evaluation of the root find is a :meth:`quote` call,
+        so it canonicalizes (strike scaling, put→call fold) and consults the
+        cache: re-inverting the same quote — or any quote whose evaluations
+        land on already-served canonical keys, e.g. rescaled clones of a
+        contract this service priced before — runs entirely warm, and every
+        cold evaluation seeds the cache for future traffic.  Returns the
+        :class:`~repro.market.implied.ImpliedVolResult` (its ``solves``
+        counts *evaluations*; compare the service's ``stats()`` before and
+        after to see how many were cache hits).  Meaningful at the exact
+        canonical policy; a quantizing policy (``tol > 0``) plateaus the
+        objective and degrades the root find's accuracy to ``O(tol)``.
+        """
+        # Imported lazily: repro.market sits above the risk tier this
+        # module already imports — resolving at call time keeps the
+        # package import order acyclic-by-construction.
+        from repro.market.implied import implied_vol as _implied_vol
+
+        if steps is None:
+            steps = self.steps_default
+        if steps is None:
+            raise ValidationError(
+                "steps is required (or configure the service's steps_default)"
+            )
+        spec = spec.with_style(Style.AMERICAN)  # match price_american
+
+        def price_at(v: float) -> float:
+            return self.quote(
+                dataclasses.replace(spec, volatility=v), steps,
+                model=model, method=method, base=base, lam=lam,
+            ).price
+
+        return _implied_vol(
+            quote, spec, steps, price_fn=price_at, seed=seed,
+            price_tol=price_tol,
+        )
 
     # ------------------------------------------------------------------ #
     # Asynchronous submit / coalescing flush

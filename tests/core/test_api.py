@@ -22,6 +22,80 @@ SPEC = paper_benchmark_spec()
 PUT = dataclasses.replace(SPEC, right=Right.PUT, dividend_yield=0.0)
 
 
+class TestNoEarlyExerciseShortcut:
+    """Never-exercised-early contracts answer from the closed form with
+    zero lattice solves (guarded by counting the solver entry points)."""
+
+    ZD_CALL = dataclasses.replace(SPEC, dividend_yield=0.0)
+    ZR_PUT = dataclasses.replace(SPEC, right=Right.PUT, rate=0.0)
+
+    def _forbid_lattice(self, monkeypatch):
+        import repro.core.api as api
+
+        def boom(*a, **kw):  # pragma: no cover — the shortcut must fire
+            raise AssertionError("lattice solver called for a closed-form case")
+
+        for name in (
+            "solve_tree_fft", "solve_put_via_symmetry", "price_binomial",
+            "price_trinomial",
+        ):
+            monkeypatch.setattr(api, name, boom)
+
+    @pytest.mark.parametrize("model", ["binomial", "trinomial"])
+    def test_zero_dividend_call_is_closed_form(self, model, monkeypatch):
+        from repro.options.analytic import black_scholes
+
+        self._forbid_lattice(monkeypatch)
+        r = price_american(self.ZD_CALL, 128, model=model)
+        assert r.price == black_scholes(self.ZD_CALL).price
+        assert r.meta["no_early_exercise"]
+        assert r.meta["closed_form"] == "black-scholes"
+
+    @pytest.mark.parametrize("method", ["fft", "loop"])
+    def test_zero_rate_put_keeps_the_lattice(self, method):
+        # the dual fact (no_early_exercise_put) must NOT shortcut: rho
+        # ladders and scenario rate bumps cross r=0, and a ladder mixing
+        # an analytic r=0 leg with a lattice r=h leg would divide the
+        # discretisation gap by h
+        r = price_american(self.ZR_PUT, 128, method=method)
+        assert "closed_form" not in r.meta
+        assert r.workspan.work > 0
+
+    def test_zero_rate_put_rho_ladder_unpoisoned(self):
+        from repro.options.analytic import black_scholes
+        from repro.options.greeks import american_greeks
+
+        g = american_greeks(self.ZR_PUT, 256)
+        bs = black_scholes(self.ZR_PUT)
+        # an R=0 American put equals its European twin, so the one-sided
+        # rho ladder must land near the analytic value — a mixed
+        # analytic/lattice ladder blows this up by orders of magnitude
+        assert g.rho == pytest.approx(bs.rho, rel=0.05)
+
+    def test_shortcut_agrees_with_the_lattice_limit(self):
+        from repro.lattice.binomial import price_binomial
+
+        # the closed form is the lattice's converged value: at a real step
+        # count they agree to discretisation accuracy
+        lattice = price_binomial(self.ZD_CALL, 4096).price
+        assert price_american(self.ZD_CALL, 4096).price == pytest.approx(
+            lattice, abs=2e-3
+        )
+
+    def test_boundary_request_forces_the_lattice(self):
+        r = price_american(
+            self.ZD_CALL, 64, method="loop", return_boundary=True
+        )
+        assert "closed_form" not in r.meta
+        assert r.boundary is not None
+        assert r.workspan.work > 0
+
+    def test_dividend_paying_call_still_solves(self, monkeypatch):
+        self._forbid_lattice(monkeypatch)
+        with pytest.raises(AssertionError, match="lattice solver called"):
+            price_american(SPEC, 64)  # SPEC pays dividends: real solve
+
+
 class TestPriceAmericanDispatch:
     @pytest.mark.parametrize("method", ["fft", "loop", "tiled", "oblivious", "ql", "zb"])
     def test_binomial_methods_agree(self, method):

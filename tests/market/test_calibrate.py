@@ -1,0 +1,188 @@
+"""calibrate_surface: grid recovery, sharding, and the scenario-tier loop."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro import (
+    MarketQuote,
+    ScenarioEngine,
+    ScenarioGrid,
+    calibrate_surface,
+    price_american,
+)
+from repro.market.calibrate import CalibrationReport
+from repro.options.contract import OptionSpec, Right
+from repro.util.validation import ValidationError
+
+STEPS = 96
+BASE = OptionSpec(
+    spot=100.0, strike=100.0, rate=0.03, volatility=0.2,
+    dividend_yield=0.02, expiry_days=252.0, right=Right.PUT,
+)
+STRIKES = (90.0, 100.0, 110.0)
+EXPIRIES_DAYS = (126.0, 252.0)
+
+
+def true_vol(strike: float, expiry_days: float) -> float:
+    """The synthetic market's smile: skewed in moneyness, rising in T."""
+    k = math.log(strike / BASE.spot)
+    return 0.2 + 0.08 * k * k + 0.02 * (expiry_days / 252.0)
+
+
+def synthetic_quotes(steps=STEPS):
+    quotes = []
+    for e in EXPIRIES_DAYS:
+        for k in STRIKES:
+            spec = dataclasses.replace(
+                BASE, strike=k, expiry_days=e, volatility=true_vol(k, e)
+            )
+            quotes.append(MarketQuote(spec, price_american(spec, steps).price))
+    return quotes
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    return calibrate_surface(synthetic_quotes(), STEPS)
+
+
+class TestCalibration:
+    def test_recovers_the_generating_vols(self, calibrated):
+        surface, report = calibrated
+        for e in EXPIRIES_DAYS:
+            for k in STRIKES:
+                assert surface.vol(k, e / 252.0) == pytest.approx(
+                    true_vol(k, e), abs=1e-6
+                )
+        assert report.max_residual <= 1e-8 * max(STRIKES)
+
+    def test_report_shape(self, calibrated):
+        surface, report = calibrated
+        assert isinstance(report, CalibrationReport)
+        assert len(report.fits) == len(EXPIRIES_DAYS)
+        assert report.n_quotes == len(STRIKES) * len(EXPIRIES_DAYS)
+        assert report.solves > 0
+        assert 0.0 < report.solves_per_quote < 10.0
+        assert report.meta["backend"] == "serial"
+        # a smooth synthetic smile must calibrate arbitrage-free
+        assert report.violations == []
+
+    def test_warm_starts_within_each_ladder(self, calibrated):
+        _, report = calibrated
+        for fit in report.fits:
+            flags = [r.warm_start for r in fit.results]
+            assert flags == [False] + [True] * (len(STRIKES) - 1)
+
+    def test_tuple_quotes_accepted(self):
+        quotes = [(q.spec, q.price) for q in synthetic_quotes()]
+        surface, _ = calibrate_surface(quotes, STEPS)
+        assert surface.vol(100.0, 1.0) == pytest.approx(
+            true_vol(100.0, 252.0), abs=1e-6
+        )
+
+    def test_parallel_matches_serial(self, calibrated):
+        serial_surface, _ = calibrated
+        surface, report = calibrate_surface(
+            synthetic_quotes(), STEPS, workers=2, backend="thread"
+        )
+        assert report.meta["backend"] == "thread"
+        assert (surface.vols == serial_surface.vols).all()
+
+    def test_explicit_serial_backend(self):
+        surface, report = calibrate_surface(
+            synthetic_quotes(), STEPS, workers=2, backend="serial"
+        )
+        assert report.meta["backend"] == "serial"
+        assert surface.vols.shape == (len(STRIKES), len(EXPIRIES_DAYS))
+
+
+class TestValidation:
+    def test_empty_quote_set_rejected(self):
+        with pytest.raises(ValidationError, match="at least one quote"):
+            calibrate_surface([], STEPS)
+
+    def test_missing_grid_cell_rejected(self):
+        quotes = synthetic_quotes()[:-1]
+        with pytest.raises(ValidationError, match="missing"):
+            calibrate_surface(quotes, STEPS)
+
+    def test_duplicate_cell_rejected(self):
+        quotes = synthetic_quotes()
+        quotes.append(quotes[0])
+        with pytest.raises(ValidationError, match="duplicate"):
+            calibrate_surface(quotes, STEPS)
+
+    def test_mixed_underlyings_rejected(self):
+        quotes = synthetic_quotes()
+        other = dataclasses.replace(quotes[0].spec, spot=55.0)
+        quotes[0] = MarketQuote(other, quotes[0].price)
+        with pytest.raises(ValidationError, match="spot"):
+            calibrate_surface(quotes, STEPS)
+
+    def test_non_finite_price_rejected(self):
+        with pytest.raises(ValidationError):
+            MarketQuote(BASE, float("nan"))
+
+
+class TestSurfaceFeedsScenarioGrid:
+    """The acceptance loop: calibrated surface → scenario grid → engine."""
+
+    def test_grid_draws_cell_vols_from_the_surface(self, calibrated):
+        surface, _ = calibrated
+        grid = ScenarioGrid.cartesian(
+            [dataclasses.replace(BASE, strike=k) for k in STRIKES],
+            expiry_bumps=(-126.0, 0.0),
+            vols=surface,
+        )
+        assert len(grid) == len(STRIKES) * 2
+        for cell in grid:
+            expected = surface.vol(
+                cell.spec.strike, cell.spec.expiry_days / cell.spec.day_count
+            )
+            assert cell.spec.volatility == expected  # bit-exact
+            assert cell.labels["surface_vol"] == expected
+
+    def test_vol_bumps_apply_on_top_of_the_surface(self, calibrated):
+        surface, _ = calibrated
+        grid = ScenarioGrid.cartesian(
+            BASE, vol_bumps=(-0.1, 0.0, 0.1), vols=surface
+        )
+        base_vol = surface.vol(BASE.strike, BASE.years)
+        vols = [c.spec.volatility for c in grid]
+        assert vols == [base_vol * 0.9, base_vol, base_vol * 1.1]
+
+    def test_engine_prices_the_calibrated_grid(self, calibrated):
+        surface, _ = calibrated
+        grid = ScenarioGrid.cartesian(
+            [dataclasses.replace(BASE, strike=k) for k in STRIKES],
+            vols=surface,
+        )
+        result = ScenarioEngine(backend="serial").price_grid(grid, STEPS)
+        for cell, priced in zip(grid, result.results):
+            direct = price_american(cell.spec, STEPS).price
+            assert priced.price == direct
+            # the cell's vol is the calibrated one, so pricing the grid
+            # reproduces the market quotes the surface was fitted to
+            assert cell.spec.volatility == surface.vol(
+                cell.spec.strike, cell.spec.years
+            )
+
+    def test_round_trip_to_market_quotes(self, calibrated):
+        """grid(vols=surface) repricing matches the original quotes."""
+        surface, _ = calibrated
+        quotes = synthetic_quotes()
+        # the deliberately wrong vol (0.5) must be overridden per cell
+        grid = ScenarioGrid.cartesian(
+            [dataclasses.replace(q.spec, volatility=0.5) for q in quotes],
+            vols=surface,
+        )
+        result = ScenarioEngine(backend="serial").price_grid(grid, STEPS)
+        for q, priced in zip(quotes, result.results):
+            assert priced.price == pytest.approx(
+                q.price, abs=1e-8 * q.spec.strike
+            )
+
+    def test_rejects_an_object_without_vol(self):
+        with pytest.raises(ValidationError, match="vol\\(strike, years\\)"):
+            ScenarioGrid.cartesian(BASE, vols=object())

@@ -1,0 +1,153 @@
+"""VolSurface: interpolation semantics and static no-arbitrage diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import VolSurface
+from repro.market.surface import ArbitrageViolation
+from repro.util.validation import ValidationError
+
+SPOT = 100.0
+STRIKES = np.array([80.0, 100.0, 125.0])
+EXPIRIES = np.array([0.25, 1.0, 2.0])
+
+
+def smile_surface():
+    """A gentle, arbitrage-free smile: vol rises away from the money and
+    total variance grows with expiry."""
+    vols = np.empty((len(STRIKES), len(EXPIRIES)))
+    for i, k in enumerate(STRIKES):
+        for j, t in enumerate(EXPIRIES):
+            vols[i, j] = 0.2 + 0.05 * abs(math.log(k / SPOT)) + 0.01 * t
+    return VolSurface(
+        strikes=STRIKES, expiries_years=EXPIRIES, vols=vols, spot=SPOT
+    )
+
+
+class TestConstruction:
+    def test_arrays_are_frozen_copies(self):
+        vols = np.full((3, 3), 0.2)
+        surf = VolSurface(
+            strikes=STRIKES, expiries_years=EXPIRIES, vols=vols, spot=SPOT
+        )
+        vols[0, 0] = 99.0  # the caller's array, not the surface's
+        assert surf.vols[0, 0] == 0.2
+        with pytest.raises(ValueError):
+            surf.vols[0, 0] = 1.0  # write-locked
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(strikes=np.array([100.0, 80.0, 125.0])),  # unsorted
+            dict(strikes=np.array([-1.0, 80.0, 125.0])),  # non-positive
+            dict(strikes=np.array([80.0, 80.0, 125.0])),  # duplicate
+            dict(expiries_years=np.array([1.0, 0.25, 2.0])),  # unsorted
+            dict(expiries_years=np.array([0.0, 1.0, 2.0])),  # non-positive
+            dict(vols=np.full((2, 3), 0.2)),  # wrong shape
+            dict(vols=np.full((3, 3), -0.2)),  # non-positive vols
+            dict(vols=np.full((3, 3), float("nan"))),  # non-finite
+            dict(spot=0.0),
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        good = dict(
+            strikes=STRIKES,
+            expiries_years=EXPIRIES,
+            vols=np.full((3, 3), 0.2),
+            spot=SPOT,
+        )
+        good.update(kw)
+        with pytest.raises(ValidationError):
+            VolSurface(**good)
+
+    def test_flat_constructor(self):
+        surf = VolSurface.flat(0.3, spot=SPOT)
+        assert surf.vol(SPOT * 0.77, 0.5) == 0.3
+        assert surf.check_no_arbitrage() == []
+
+
+class TestInterpolation:
+    def test_nodes_are_exact(self):
+        surf = smile_surface()
+        for i, k in enumerate(STRIKES):
+            for j, t in enumerate(EXPIRIES):
+                assert surf.vol(float(k), float(t)) == surf.vols[i, j]
+
+    def test_time_interpolation_is_linear_in_total_variance(self):
+        surf = smile_surface()
+        k, t0, t1 = 100.0, 0.25, 1.0
+        t = 0.5
+        w0 = surf.vol(k, t0) ** 2 * t0
+        w1 = surf.vol(k, t1) ** 2 * t1
+        expected = w0 + (w1 - w0) * (t - t0) / (t1 - t0)
+        assert surf.total_variance(k, t) == pytest.approx(expected, rel=1e-12)
+
+    def test_strike_interpolation_is_linear_in_variance(self):
+        surf = smile_surface()
+        t = 1.0
+        k_lo, k_hi = 80.0, 100.0
+        k = math.exp(0.5 * (math.log(k_lo / SPOT) + math.log(k_hi / SPOT)))
+        k *= SPOT  # midpoint in log-moneyness
+        expected = 0.5 * (surf.vol(k_lo, t) ** 2 + surf.vol(k_hi, t) ** 2)
+        assert surf.vol(k, t) ** 2 == pytest.approx(expected, rel=1e-12)
+
+    def test_flat_extrapolation(self):
+        surf = smile_surface()
+        assert surf.vol(10.0, 1.0) == surf.vol(80.0, 1.0)  # below grid
+        assert surf.vol(500.0, 1.0) == surf.vol(125.0, 1.0)  # above grid
+        assert surf.vol(100.0, 0.01) == surf.vol(100.0, 0.25)  # short end
+        assert surf.vol(100.0, 9.0) == surf.vol(100.0, 2.0)  # long end
+
+    def test_rejects_non_positive_queries(self):
+        surf = smile_surface()
+        with pytest.raises(ValidationError):
+            surf.vol(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            surf.vol(100.0, -1.0)
+
+
+class TestNoArbitrage:
+    def test_clean_surface_has_no_violations(self):
+        assert smile_surface().check_no_arbitrage() == []
+
+    def test_calendar_violation_detected(self):
+        vols = np.full((3, 3), 0.2)
+        vols[1, 2] = 0.1  # w(1y)=0.04 > w(2y)=0.02: calendar arbitrage
+        surf = VolSurface(
+            strikes=STRIKES, expiries_years=EXPIRIES, vols=vols, spot=SPOT
+        )
+        found = surf.calendar_violations()
+        assert [v.kind for v in found].count("calendar") == len(found) >= 1
+        hit = next(v for v in found if v.strike == 100.0)
+        assert hit.expiries == (1.0, 2.0)
+        assert hit.amount == pytest.approx(0.2**2 * 1.0 - 0.1**2 * 2.0)
+
+    def test_butterfly_violation_detected(self):
+        vols = np.full((3, 3), 0.2)
+        vols[1, :] = 0.8  # vol spike at the middle strike: C(K) above chord
+        surf = VolSurface(
+            strikes=STRIKES, expiries_years=EXPIRIES, vols=vols, spot=SPOT
+        )
+        found = surf.butterfly_violations()
+        assert found
+        assert all(v.kind == "butterfly" for v in found)
+        assert {v.strike for v in found} == {100.0}
+
+    def test_check_no_arbitrage_concatenates(self):
+        vols = np.full((3, 3), 0.2)
+        vols[1, 2] = 0.1
+        vols[1, 0] = 0.8
+        surf = VolSurface(
+            strikes=STRIKES, expiries_years=EXPIRIES, vols=vols, spot=SPOT
+        )
+        kinds = {v.kind for v in surf.check_no_arbitrage()}
+        assert kinds == {"calendar", "butterfly"}
+
+    def test_violation_is_printable(self):
+        v = ArbitrageViolation(
+            kind="calendar", strike=100.0, expiries=(1.0, 2.0), amount=0.02
+        )
+        assert "calendar" in str(v)
+        assert "K=100" in str(v)

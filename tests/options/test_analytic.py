@@ -1,5 +1,6 @@
 """Tests for the closed-form oracles (Black–Scholes, perpetual put, bounds)."""
 
+import dataclasses
 import math
 
 import pytest
@@ -10,6 +11,7 @@ from repro.options.analytic import (
     european_price,
     intrinsic_bounds,
     no_early_exercise_call,
+    no_early_exercise_put,
     perpetual_american_put,
 )
 from repro.options.contract import OptionSpec, Right
@@ -90,6 +92,67 @@ class TestBlackScholes:
         dn = european_price(make(volatility=0.2 - h))
         assert black_scholes(base).vega == pytest.approx((up - dn) / (2 * h), rel=1e-4)
 
+    def test_gamma_matches_finite_difference(self):
+        base = make()
+        h = 1e-3 * base.spot
+        up = european_price(make(spot=base.spot + h))
+        mid = european_price(base)
+        dn = european_price(make(spot=base.spot - h))
+        assert black_scholes(base).gamma == pytest.approx(
+            (up - 2 * mid + dn) / (h * h), rel=1e-4
+        )
+
+    def test_rho_matches_finite_difference(self):
+        base = make()
+        h = 1e-6
+        up = european_price(make(rate=base.rate + h))
+        dn = european_price(make(rate=base.rate - h))
+        assert black_scholes(base).rho == pytest.approx(
+            (up - dn) / (2 * h), rel=1e-6
+        )
+
+    def test_put_rho_matches_finite_difference(self):
+        base = make(right=Right.PUT)
+        h = 1e-6
+        up = european_price(make(right=Right.PUT, rate=base.rate + h))
+        dn = european_price(make(right=Right.PUT, rate=base.rate - h))
+        assert black_scholes(base).rho == pytest.approx(
+            (up - dn) / (2 * h), rel=1e-6
+        )
+        assert black_scholes(base).rho < 0.0  # puts lose value as rates rise
+
+    def test_theta_matches_finite_difference(self):
+        base = make()
+        h_days = 1e-2
+        # theta is reported per *year*: d(price)/dt with t in years
+        up = european_price(make(expiry_days=base.expiry_days - h_days))
+        dn = european_price(make(expiry_days=base.expiry_days + h_days))
+        per_year = (up - dn) / (2 * h_days / base.day_count)
+        assert black_scholes(base).theta == pytest.approx(per_year, rel=1e-6)
+
+    @given(spec=call_specs())
+    def test_property_vega_rho_match_finite_difference(self, spec):
+        """The Newton-seed Greeks must agree with bump-and-reprice on both
+        rights across the whole tree-model parameter domain."""
+        h = 1e-6
+        for s in (spec, spec.with_right(Right.PUT)):
+            r = black_scholes(s)
+            fd_vega = (
+                european_price(
+                    dataclasses.replace(s, volatility=s.volatility + h)
+                )
+                - european_price(
+                    dataclasses.replace(s, volatility=s.volatility - h)
+                )
+            ) / (2 * h)
+            assert r.vega == pytest.approx(fd_vega, rel=1e-4, abs=1e-6)
+            rate_dn = max(s.rate - h, 0.0)  # rates validate non-negative
+            fd_rho = (
+                european_price(dataclasses.replace(s, rate=s.rate + h))
+                - european_price(dataclasses.replace(s, rate=rate_dn))
+            ) / (s.rate + h - rate_dn)
+            assert r.rho == pytest.approx(fd_rho, rel=1e-4, abs=1e-6)
+
     def test_dividend_lowers_call(self):
         assert european_price(make(dividend_yield=0.05)) < european_price(make())
 
@@ -124,6 +187,11 @@ class TestBoundsAndFacts:
         assert no_early_exercise_call(make(dividend_yield=0.0))
         assert not no_early_exercise_call(make(dividend_yield=0.01))
         assert not no_early_exercise_call(make(right=Right.PUT))
+
+    def test_no_early_exercise_put_flag(self):
+        assert no_early_exercise_put(make(right=Right.PUT, rate=0.0))
+        assert not no_early_exercise_put(make(right=Right.PUT))
+        assert not no_early_exercise_put(make(rate=0.0))  # call
 
     def test_call_bounds_contain_european(self):
         s = make()

@@ -223,3 +223,46 @@ class TestChunkDedupIndices:
 
     def test_price_specs_empty_returns_empty(self):
         assert ScenarioEngine(backend="serial").price_specs([], 16) == []
+
+
+def _square_task(engine, items):
+    """Module-level map_chunks task (picklable for the process backend)."""
+    assert engine is not None  # every chunk gets a real AdvanceEngine
+    return [x * x for x in items]
+
+
+def _price_task(engine, payloads):
+    return [
+        price_american(spec, steps, engine=engine).price
+        for spec, steps in payloads
+    ]
+
+
+class TestMapChunks:
+    def test_serial_preserves_order(self):
+        engine = ScenarioEngine(backend="serial")
+        assert engine.map_chunks(list(range(10)), _square_task) == [
+            x * x for x in range(10)
+        ]
+
+    def test_thread_pool_matches_serial(self):
+        items = list(range(17))
+        serial = ScenarioEngine(backend="serial").map_chunks(items, _square_task)
+        pooled = ScenarioEngine(
+            backend="thread", workers=3, chunk_size=4
+        ).map_chunks(items, _square_task)
+        assert pooled == serial
+
+    def test_engine_backed_task_prices_correctly(self):
+        payloads = [
+            (dataclasses.replace(SPEC, strike=k), 32)
+            for k in (110.0, 120.0, 130.0)
+        ]
+        got = ScenarioEngine(backend="thread", workers=2, chunk_size=1).map_chunks(
+            payloads, _price_task
+        )
+        for (spec, steps), price in zip(payloads, got):
+            assert price == price_american(spec, steps).price
+
+    def test_empty_items(self):
+        assert ScenarioEngine(backend="serial").map_chunks([], _square_task) == []

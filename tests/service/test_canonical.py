@@ -42,6 +42,24 @@ class TestKeyInvariances:
         assert canonicalize(PUT, 128).dualized
         assert not canonicalize(dual, 128).dualized
 
+    def test_zero_rate_put_keeps_orientation(self):
+        # its dual is a zero-dividend call, which price_american answers
+        # from the closed form while the direct put path lattice-solves —
+        # folding would break the cache's exactness contract
+        import repro.core.api as api
+
+        put0 = dataclasses.replace(PUT, rate=0.0)
+        req = canonicalize(put0, 128)
+        assert not req.dualized
+        assert req.spec.right is Right.PUT
+        canonical = api.price_american(
+            req.spec, 128, model=req.model, method=req.method, base=req.base
+        )
+        direct = api.price_american(put0, 128)
+        assert canonical.price * req.scale == pytest.approx(
+            direct.price, rel=1e-12
+        )
+
     def test_loop_put_keeps_orientation(self):
         # the loop solver prices puts natively and reports the put's own
         # divider; a dual fold would swap in the mirrored dual-call divider

@@ -72,6 +72,18 @@ def test_quote_server(capsys):
     assert "quotes per solve" in out
 
 
+def test_implied_surface(capsys):
+    out = run_example(
+        "examples/implied_surface.py",
+        ["--steps", "64", "--strikes", "4", "--backend", "serial"],
+        capsys,
+    )
+    assert "calibrated implied vol surface" in out
+    assert "solves/quote" in out
+    assert "no-arbitrage diagnostics" in out
+    assert "scenario sweep off the surface" in out
+
+
 def test_paper_tables_list(capsys):
     out = run_example("examples/paper_tables.py", ["--list"], capsys)
     assert "fig5-bopm" in out
