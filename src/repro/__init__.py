@@ -39,6 +39,7 @@ from repro.core.api import (
     price_european,
     price_bermudan,
     price_many,
+    solve_batch,
     exercise_boundary,
 )
 from repro.risk import ScenarioEngine, ScenarioGrid, ScenarioResult
@@ -85,6 +86,7 @@ __all__ = [
     "price_european",
     "price_bermudan",
     "price_many",
+    "solve_batch",
     "exercise_boundary",
     "__version__",
 ]

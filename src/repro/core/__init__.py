@@ -8,13 +8,14 @@ from repro.core.api import (
     price_bermudan,
     price_european,
     price_many,
+    solve_batch,
 )
 from repro.core.bermudan import (
     price_bsm_european_fft,
     price_tree_bermudan_fft,
     price_tree_european_fft,
 )
-from repro.core.bsm_solver import BSMFFTResult, solve_bsm_fft
+from repro.core.bsm_solver import BSMFFTResult, solve_bsm_fft, solve_bsm_fft_batch
 from repro.core.fftstencil import (
     AdvanceEngine,
     AdvancePolicy,
@@ -22,7 +23,7 @@ from repro.core.fftstencil import (
     advance,
 )
 from repro.core.symmetry import solve_put_via_symmetry
-from repro.core.tree_solver import TreeFFTResult, solve_tree_fft
+from repro.core.tree_solver import TreeFFTResult, solve_tree_fft, solve_tree_fft_batch
 from repro.core.weights import (
     binomial_weights,
     convolution_power_weights,
@@ -38,11 +39,13 @@ __all__ = [
     "price_bermudan",
     "price_european",
     "price_many",
+    "solve_batch",
     "price_bsm_european_fft",
     "price_tree_bermudan_fft",
     "price_tree_european_fft",
     "BSMFFTResult",
     "solve_bsm_fft",
+    "solve_bsm_fft_batch",
     "AdvanceEngine",
     "AdvancePolicy",
     "DEFAULT_POLICY",
@@ -50,6 +53,7 @@ __all__ = [
     "solve_put_via_symmetry",
     "TreeFFTResult",
     "solve_tree_fft",
+    "solve_tree_fft_batch",
     "binomial_weights",
     "convolution_power_weights",
     "hstep_weights",

@@ -23,7 +23,7 @@ exercise divider.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -33,11 +33,11 @@ from repro.core.bermudan import (
     price_tree_bermudan_fft,
     price_tree_european_fft,
 )
-from repro.core.bsm_solver import DEFAULT_BSM_BASE, solve_bsm_fft
+from repro.core.bsm_solver import DEFAULT_BSM_BASE, solve_bsm_fft, solve_bsm_fft_batch
 from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
 from repro.core.metrics import SolveStats
 from repro.core.symmetry import solve_put_via_symmetry
-from repro.core.tree_solver import DEFAULT_BASE, solve_tree_fft
+from repro.core.tree_solver import DEFAULT_BASE, solve_tree_fft, solve_tree_fft_batch
 from repro.lattice.binomial import price_binomial
 from repro.lattice.blackscholes_fd import price_bsm_fd
 from repro.lattice.trinomial import price_trinomial
@@ -354,61 +354,254 @@ def _batch_european_tree_fft(
     model: str,
     engine: AdvanceEngine,
 ) -> list[PricingResult]:
-    """Batched European tree pricing: one ``advance_many`` jump per kernel.
+    """Batched European tree pricing: one multi-kernel jump for the batch.
 
-    All specs sharing identical lattice taps (same rate, volatility,
-    dividend yield and expiry — e.g. a strip of strikes on one underlying)
-    are stacked into a single batched rFFT jump from the expiry row to the
-    root.  Specs with distinct taps fall into separate groups, each still
-    amortising its kernel spectrum through the shared engine.
+    Every spec's expiry row is advanced ``steps`` rows to the root by its
+    *own* lattice kernel in a single
+    :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch` call — a
+    scenario grid that varies volatility/rate per cell batches exactly as
+    well as a strike strip on one underlying (which used to be the only
+    batched case, via the same-kernel ``advance_many`` path).  Per-row
+    records keep each contract's method/spectrum accounting truthful.
     """
     cls = BinomialParams if model == "binomial" else TrinomialParams
     params_list = [
         cls.from_spec(s.with_style(Style.EUROPEAN), steps) for s in specs
     ]
-    q = len(params_list[0].taps) - 1 if params_list else 1
-    groups: dict[tuple, list[int]] = {}
-    for idx, p in enumerate(params_list):
-        groups.setdefault(tuple(p.taps), []).append(idx)
-
-    results: list[Optional[PricingResult]] = [None] * len(specs)
+    if not params_list:
+        return []
+    q = len(params_list[0].taps) - 1
     j = np.arange(q * steps + 1, dtype=np.float64)
-    for taps, idxs in groups.items():
-        xs = [
-            terminal_payoff(
-                params_list[i].spec, params_list[i].asset_price(steps, j)
-            )
-            for i in idxs
-        ]
-        scale = min(params_list[i].spec.strike for i in idxs)
-        ys, rec = engine.advance_many(xs, taps, steps, scale=scale)
-        row_ws = rows_cost(1, q * steps + 1, 1)
-        # Each contract's share of the batched transform: work splits evenly,
-        # the span is shared (the batch rows transform in parallel).
-        share = WorkSpan(rec.workspan.work / max(len(idxs), 1), rec.workspan.span)
-        for r, i in enumerate(idxs):
-            stats = SolveStats()
-            stats.cells_evaluated += q * steps + 1
-            stats.note_advance(rec.method, len(xs[r]))
-            if r == 0:
-                # The whole group shares the batched transform's cache
-                # consultations; charge them once, not once per contract.
-                stats.spectrum_hits += rec.spectrum_hits
-                stats.spectrum_misses += rec.spectrum_misses
-            results[i] = PricingResult(
+    xs = [
+        terminal_payoff(p.spec, p.asset_price(steps, j)) for p in params_list
+    ]
+    ys, rec = engine.advance_batch(
+        xs,
+        [(p.taps, steps) for p in params_list],
+        scales=[p.spec.strike for p in params_list],
+    )
+    row_ws = rows_cost(1, q * steps + 1, 1)
+    results: list[PricingResult] = []
+    for r, p in enumerate(params_list):
+        row = rec.rows[r]  # type: ignore[index]
+        stats = SolveStats()
+        stats.cells_evaluated += q * steps + 1
+        stats.note_advance(row.method, row.input_len, row.spectrum_hit)
+        results.append(
+            PricingResult(
                 price=float(ys[r][0]),
                 steps=steps,
                 model=model,
                 method="fft",
-                workspan=row_ws.then(share),
+                workspan=row_ws.then(row.workspan),
                 stats=stats.as_dict(),
                 boundary=None,
                 meta={
                     "style": "european",
                     "batched": True,
-                    "batch_size": len(idxs),
-                    "params": params_list[i],
+                    "batch_size": len(specs),
+                    "params": p,
                 },
+            )
+        )
+    return results
+
+
+def _batch_european_bsm_fft(
+    specs: Sequence[OptionSpec],
+    steps: int,
+    lam: Optional[float],
+    engine: AdvanceEngine,
+) -> list[PricingResult]:
+    """Batched European FD-grid puts: one multi-kernel cone jump.
+
+    Mirrors :func:`repro.core.bermudan.price_bsm_european_fft` per row
+    (same payoff row, same single ``steps``-row jump, same apex scaling),
+    with all rows advanced by one ``advance_batch`` call.
+    """
+    params_list = [
+        BSMGridParams.from_spec(s.with_style(Style.EUROPEAN), steps, lam=lam)
+        for s in specs
+    ]
+    if not params_list:
+        return []
+    k = np.arange(-steps, steps + 1)
+    xs = [np.maximum(p.payoff(k), 0.0) for p in params_list]
+    ys, rec = engine.advance_batch(
+        xs, [(p.taps, steps) for p in params_list], scales=1.0
+    )
+    row_ws = rows_cost(1, 2 * steps + 1, 1)
+    results: list[PricingResult] = []
+    for r, p in enumerate(params_list):
+        row = rec.rows[r]  # type: ignore[index]
+        stats = SolveStats()
+        stats.note_advance(row.method, row.input_len, row.spectrum_hit)
+        results.append(
+            PricingResult(
+                price=float(p.spec.strike * ys[r][0]),
+                steps=steps,
+                model="bsm-fd",
+                method="fft",
+                workspan=row_ws.then(row.workspan),
+                stats=stats.as_dict(),
+                boundary=None,
+                meta={
+                    "style": "european",
+                    "batched": True,
+                    "batch_size": len(specs),
+                    "params": p,
+                },
+            )
+        )
+    return results
+
+
+def _wrap_tree_batch(
+    r, spec: OptionSpec, steps: int, model: str, dualized: bool
+) -> PricingResult:
+    """Envelope one lockstep tree solve exactly as price_american would."""
+    if dualized:
+        r.meta["symmetric_dual_of"] = spec
+        r.meta["note"] = (
+            "priced as the dual American call C(K, S, Y, R); "
+            "exact on CRR lattices"
+        )
+    return PricingResult(
+        r.price, steps, model, "fft", r.workspan, r.stats.as_dict(),
+        r.boundary.points if r.boundary else None, r.meta,
+    )
+
+
+def solve_batch(
+    specs: Sequence[OptionSpec],
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+) -> list[PricingResult]:
+    """Price a batch of contracts in lockstep; results in input order.
+
+    The batch core behind :func:`price_many` (and, through it, scenario
+    grids, Greek bump ladders and coalesced service buckets): contracts
+    sharing a *step schedule* — the same exercise structure over the same
+    ``steps``, not the same spec — march together, each on its **own**
+    kernel, through :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch`:
+
+    * **European tree/FD contracts** share one multi-kernel jump from the
+      expiry row to the root (one batched rFFT pair for the whole group);
+    * **American tree contracts** run their trapezoid recursions in
+      lockstep (:func:`~repro.core.tree_solver.solve_tree_fft_batch`); puts
+      join the same batch as their McDonald–Schroder dual calls, exactly as
+      :func:`price_american` prices them serially;
+    * **American FD puts** run their cone recursions in lockstep
+      (:func:`~repro.core.bsm_solver.solve_bsm_fft_batch`);
+    * zero-dividend American calls keep the closed-form shortcut and skip
+      the lattice entirely.
+
+    Every result is bit-identical to the corresponding per-contract
+    :func:`price_american` / :func:`price_european` call (batched rows
+    transform exactly as their standalone advances).  Non-``fft`` methods
+    have no batched kernel to share and fall back to the per-contract loop.
+    Bermudan contracts need explicit dates — use :func:`price_bermudan`.
+    """
+    steps = check_integer("steps", steps, minimum=1)
+    _check_model_method(model, method)
+    for spec in specs:
+        if spec.style is Style.BERMUDAN:
+            raise ValidationError(
+                "solve_batch handles American and European styles; Bermudan "
+                "contracts need exercise dates — call price_bermudan directly"
+            )
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    results: list[Optional[PricingResult]] = [None] * len(specs)
+    if method != "fft":
+        for i, spec in enumerate(specs):
+            if spec.style is Style.EUROPEAN:
+                results[i] = price_european(
+                    spec, steps, model=model, method=method, lam=lam,
+                    policy=policy, engine=engine,
+                )
+            else:
+                results[i] = price_american(
+                    spec, steps, model=model, method=method, base=base,
+                    lam=lam, policy=policy, engine=engine,
+                )
+        return results  # type: ignore[return-value]
+
+    euro_idx = [i for i, s in enumerate(specs) if s.style is Style.EUROPEAN]
+    amer_idx = [i for i, s in enumerate(specs) if s.style is not Style.EUROPEAN]
+
+    if model in ("binomial", "trinomial"):
+        if euro_idx:
+            for i, r in zip(
+                euro_idx,
+                _batch_european_tree_fft(
+                    [specs[i] for i in euro_idx], steps, model, engine
+                ),
+            ):
+                results[i] = r
+        lattice_idx: list[int] = []
+        params_list: list = []
+        dualized: list[bool] = []
+        cls = BinomialParams if model == "binomial" else TrinomialParams
+        for i in amer_idx:
+            spec = specs[i].with_style(Style.AMERICAN)
+            if no_early_exercise_call(spec):
+                # the closed form needs no lattice — answer it directly
+                results[i] = price_american(
+                    spec, steps, model=model, method=method, base=base,
+                    lam=lam, policy=policy, engine=engine,
+                )
+                continue
+            dual = spec.right is Right.PUT
+            params_list.append(
+                cls.from_spec(spec.symmetric_dual() if dual else spec, steps)
+            )
+            dualized.append(dual)
+            lattice_idx.append(i)
+        if lattice_idx:
+            tree_results = solve_tree_fft_batch(
+                params_list,
+                base=DEFAULT_BASE if base is None else base,
+                policy=policy,
+                engine=engine,
+            )
+            for i, r, dual in zip(lattice_idx, tree_results, dualized):
+                results[i] = _wrap_tree_batch(r, specs[i], steps, model, dual)
+        return results  # type: ignore[return-value]
+
+    # bsm-fd: the FD grid prices puts (from_spec validates per contract)
+    if euro_idx:
+        for i, r in zip(
+            euro_idx,
+            _batch_european_bsm_fft(
+                [specs[i] for i in euro_idx], steps, lam, engine
+            ),
+        ):
+            results[i] = r
+    if amer_idx:
+        bsm_params = [
+            BSMGridParams.from_spec(
+                specs[i].with_style(Style.AMERICAN), steps, lam=lam
+            )
+            for i in amer_idx
+        ]
+        bsm_results = solve_bsm_fft_batch(
+            bsm_params,
+            base=DEFAULT_BSM_BASE if base is None else base,
+            policy=policy,
+            engine=engine,
+        )
+        for i, r in zip(amer_idx, bsm_results):
+            results[i] = PricingResult(
+                r.price, steps, "bsm-fd", "fft", r.workspan,
+                r.stats.as_dict(),
+                r.boundary.points if r.boundary else None, r.meta,
             )
     return results  # type: ignore[return-value]
 
@@ -431,14 +624,16 @@ def price_many(
     Each spec is priced per its own ``style`` (American or European;
     Bermudan contracts need explicit dates — use :func:`price_bermudan`).
     All solves share one plan-caching
-    :class:`~repro.core.fftstencil.AdvanceEngine`, so contracts with
-    identical lattice parameters (a strike strip on one underlying, a
-    calibration grid, a risk scenario sweep) pay each kernel transform once
-    across the whole batch.  European tree contracts with ``method="fft"``
-    additionally collapse into batched ``advance_many`` jumps — one stacked
-    rFFT per distinct kernel — the portfolio fast path.  Bit-identical
-    repeated contracts are solved once and the result fanned out in input
-    order (duplicates carry ``meta["deduplicated_of"]``).
+    :class:`~repro.core.fftstencil.AdvanceEngine`, and with
+    ``method="fft"`` the whole portfolio routes through
+    :func:`solve_batch`: contracts are grouped by *step schedule* (style),
+    not by identical spec, and each group marches in lockstep through
+    multi-kernel :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch`
+    transforms — a scenario grid, an implied-vol ladder or a Greek bump
+    grid whose cells all differ in vol/rate batches exactly as well as a
+    strike strip on one underlying.  Bit-identical repeated contracts are
+    solved once and the result fanned out in input order (duplicates carry
+    ``meta["deduplicated_of"]``).
 
     ``workers`` > 1 delegates the batch fan-out to a
     :class:`~repro.risk.engine.ScenarioEngine` over the given ``backend``
@@ -519,35 +714,10 @@ def price_many(
                 "price_many handles American and European styles; Bermudan "
                 "contracts need exercise dates — call price_bermudan directly"
             )
-
-    results: list[Optional[PricingResult]] = [None] * len(specs)
-    euro_idx = [
-        i
-        for i, s in enumerate(specs)
-        if s.style is Style.EUROPEAN
-        and method == "fft"
-        and model in ("binomial", "trinomial")
-    ]
-    if euro_idx:
-        batched = _batch_european_tree_fft(
-            [specs[i] for i in euro_idx], steps, model, engine
-        )
-        for i, r in zip(euro_idx, batched):
-            results[i] = r
-    for i, spec in enumerate(specs):
-        if results[i] is not None:
-            continue
-        if spec.style is Style.EUROPEAN:
-            results[i] = price_european(
-                spec, steps, model=model, method=method, lam=lam,
-                policy=policy, engine=engine,
-            )
-        else:
-            results[i] = price_american(
-                spec, steps, model=model, method=method, base=base, lam=lam,
-                policy=policy, engine=engine,
-            )
-    return results  # type: ignore[return-value]
+    return solve_batch(
+        specs, steps, model=model, method=method, base=base, lam=lam,
+        policy=policy, engine=engine,
+    )
 
 
 @dataclass

@@ -25,7 +25,7 @@ semantics (see docs/DESIGN.md §2.4 for the case analysis).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.core.fftstencil import (
     AdvancePolicy,
     engine_delta as _engine_delta,
 )
+from repro.core.lockstep import AdvanceRequest, drive_lockstep, drive_serial
 from repro.core.metrics import SolveStats
 from repro.options.params import BSMGridParams
 from repro.parallel.workspan import WorkSpan, rows_cost
@@ -58,11 +59,15 @@ class BSMFFTResult:
 
 
 class _BSMSolver:
+    """One fft-bsm solve's state; :meth:`advance` is a generator that
+    yields :class:`~repro.core.lockstep.AdvanceRequest` for its linear
+    jumps (docs/DESIGN.md §7) — serviced serially or in lockstep."""
+
     def __init__(
         self,
         params: BSMGridParams,
         base: int,
-        engine: AdvanceEngine,
+        engine: Optional[AdvanceEngine],
         recorder: Optional[BoundaryRecorder],
     ):
         self.p = params
@@ -71,12 +76,20 @@ class _BSMSolver:
         self.engine = engine
         self.stats = SolveStats()
         self.rec = recorder
+        # Per-solve payoff table: the cone only reaches k in [-T, T], so
+        # one vectorised exp up front turns every payoff() call — one per
+        # naive row — into a slice.  Bit-identical to the per-call formula.
+        T = params.steps
+        self._pay_tab = np.asarray(
+            self.p.payoff(np.arange(-T, T + 1)), dtype=np.float64
+        )
+        self._tab_off = T
 
     def payoff(self, lo: int, hi: int) -> np.ndarray:
-        """Signed green values ``1 - e^{s_k}`` for ``k = lo..hi``."""
+        """Signed green values ``1 - e^{s_k}`` for ``k = lo..hi`` (a view)."""
         if hi < lo:
             return np.empty(0, dtype=np.float64)
-        return np.asarray(self.p.payoff(np.arange(lo, hi + 1)), dtype=np.float64)
+        return self._pay_tab[lo + self._tab_off : hi + self._tab_off + 1]
 
     def _record(self, row: int, f: int, window_lo: int) -> None:
         if self.rec is not None and f >= window_lo:
@@ -117,6 +130,9 @@ class _BSMSolver:
     ) -> tuple[np.ndarray, int, WorkSpan]:
         """Advance the window ``h`` rows; see module docstring for semantics.
 
+        A generator: yields :class:`AdvanceRequest`, receives ``(values,
+        record)``, returns the usual ``(values, f, workspan)`` triple.
+
         Precondition: ``len(values) >= 2h + 1``.
         """
         self.stats.note_depth(depth)
@@ -125,7 +141,7 @@ class _BSMSolver:
 
         if f < k_lo:
             # Every cell of every involved row is red: one linear jump.
-            y, rec = self.engine.advance(values, self.taps, h, scale=1.0)
+            y, rec = yield AdvanceRequest(values, self.taps, h, 1.0)
             self.stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
             return y, min(f, out_lo - 1), rec.workspan
 
@@ -142,7 +158,7 @@ class _BSMSolver:
         # ---- strip around the divider (recursive; Fig 4a's sub-trapezoid) --
         sub_lo = max(k_lo, f - 2 * h1)
         sub_hi = f + 2 * h1  # <= k_hi by the split guard
-        strip_vals, f_mid, ws_strip = self.advance(
+        strip_vals, f_mid, ws_strip = yield from self.advance(
             values[sub_lo - k_lo : sub_hi - k_lo + 1],
             sub_lo,
             f,
@@ -156,7 +172,7 @@ class _BSMSolver:
         # ---- provably-red block: everything right of the 45° line from f --
         fft_lo = max(f + h1, mid_lo)  # == f + h1 given the guard
         xin = values[(fft_lo - h1) - k_lo : (mid_hi + h1) - k_lo + 1]
-        y, rec = self.engine.advance(xin, self.taps, h1, scale=1.0)
+        y, rec = yield AdvanceRequest(xin, self.taps, h1, 1.0)
         self.stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
         ws_fft = rec.workspan
 
@@ -179,35 +195,25 @@ class _BSMSolver:
         ws_half = ws_fft.beside(ws_strip)
 
         # ---- remaining h - h1 rows: same problem from the mid row ---------
-        out_vals, f_out, ws_rest = self.advance(
+        out_vals, f_out, ws_rest = yield from self.advance(
             mid_vals, mid_lo, f_mid, h - h1, n0 + h1, depth + 1
         )
         return out_vals, f_out, ws_half.then(ws_rest)
 
 
-def solve_bsm_fft(
+def _bsm_solve_gen(
     params: BSMGridParams,
-    *,
-    base: int = DEFAULT_BSM_BASE,
-    policy: AdvancePolicy = DEFAULT_POLICY,
-    engine: Optional[AdvanceEngine] = None,
-    record_boundary: bool = False,
-) -> BSMFFTResult:
-    """Price the American put of ``params.spec`` in ``O(T log^2 T)`` work.
+    base: int,
+    recorder: Optional[BoundaryRecorder],
+):
+    """Generator body of one fft-bsm solve.
 
-    The answer is the apex value ``K * v[T, 0]`` of the dependency cone whose
-    base is the initial condition ``v[0, k] = max(1 - e^{s_k}, 0)`` on
-    ``k in [-T, T]`` (paper Fig 4b).  ``engine`` (default: fresh per solve)
-    carries the kernel-spectrum plan cache; share one across solves with
-    identical grid coefficients to amortise the kernel transforms further.
+    Yields :class:`~repro.core.lockstep.AdvanceRequest` for every linear
+    jump and returns the :class:`BSMFFTResult` (without the driver-supplied
+    ``meta["engine"]`` delta) via ``StopIteration``.
     """
-    base = check_integer("base", base, minimum=1)
     T = params.steps
-    recorder = BoundaryRecorder() if record_boundary else None
-    if engine is None:
-        engine = AdvanceEngine(policy)
-    engine_before = engine.cache_info()
-    solver = _BSMSolver(params, base, engine, recorder)
+    solver = _BSMSolver(params, base, None, recorder)
 
     pay0 = solver.payoff(-T, T)
     vals = np.maximum(pay0, 0.0)
@@ -233,7 +239,7 @@ def solve_bsm_fft(
             remaining = 0
             break
         h = remaining // 2
-        vals, f, w = solver.advance(vals, k_lo, f, h, n0)
+        vals, f, w = yield from solver.advance(vals, k_lo, f, h, n0)
         ws = ws.then(w)
         k_lo += h
         n0 += h
@@ -252,6 +258,69 @@ def solve_bsm_fft(
             "model": "bsm-fd",
             "base": base,
             "params": params,
-            "engine": _engine_delta(engine_before, engine.cache_info()),
         },
     )
+
+
+def solve_bsm_fft(
+    params: BSMGridParams,
+    *,
+    base: int = DEFAULT_BSM_BASE,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+    record_boundary: bool = False,
+) -> BSMFFTResult:
+    """Price the American put of ``params.spec`` in ``O(T log^2 T)`` work.
+
+    The answer is the apex value ``K * v[T, 0]`` of the dependency cone whose
+    base is the initial condition ``v[0, k] = max(1 - e^{s_k}, 0)`` on
+    ``k in [-T, T]`` (paper Fig 4b).  ``engine`` (default: fresh per solve)
+    carries the kernel-spectrum plan cache; share one across solves with
+    identical grid coefficients to amortise the kernel transforms further.
+    """
+    base = check_integer("base", base, minimum=1)
+    recorder = BoundaryRecorder() if record_boundary else None
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine_before = engine.cache_info()
+    result = drive_serial(_bsm_solve_gen(params, base, recorder), engine)
+    result.meta["engine"] = _engine_delta(engine_before, engine.cache_info())
+    return result
+
+
+def solve_bsm_fft_batch(
+    params_list: Sequence[BSMGridParams],
+    *,
+    base: int = DEFAULT_BSM_BASE,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+    record_boundary: bool = False,
+) -> list[BSMFFTResult]:
+    """Price B American puts with B *different* FD grids in lockstep.
+
+    The multi-kernel sibling of
+    :func:`~repro.core.tree_solver.solve_tree_fft_batch`: each grid runs
+    its own cone recursion as a generator, and every round's outstanding
+    linear jumps are serviced by one
+    :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch` call.  Each
+    result is bit-identical to ``solve_bsm_fft(params_list[i])``;
+    ``meta["engine"]`` carries the batch-wide engine delta and
+    ``meta["batched"]``/``meta["batch_size"]`` the lockstep provenance.
+    """
+    base = check_integer("base", base, minimum=1)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine_before = engine.cache_info()
+    gens = [
+        _bsm_solve_gen(
+            params, base, BoundaryRecorder() if record_boundary else None
+        )
+        for params in params_list
+    ]
+    results: list[BSMFFTResult] = drive_lockstep(gens, engine)
+    delta = _engine_delta(engine_before, engine.cache_info())
+    for result in results:
+        result.meta["engine"] = delta
+        result.meta["batched"] = True
+        result.meta["batch_size"] = len(results)
+    return results

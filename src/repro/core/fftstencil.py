@@ -20,7 +20,12 @@ advance is then one forward rFFT of ``x``, one pointwise multiply, one
 inverse — versus ``fftconvolve``'s three transforms of a larger padded
 length plus a reversed-kernel copy.  :meth:`AdvanceEngine.advance_many`
 additionally stacks same-kernel advances into one batched
-``scipy.fft.rfft(axis=-1)`` call for portfolio workloads.
+``scipy.fft.rfft(axis=-1)`` call for portfolio workloads, and
+:meth:`AdvanceEngine.advance_batch` generalises that to B inputs with B
+*different* kernels — the lockstep batch solver's workhorse
+(docs/DESIGN.md §7): rows group by padded length, multiply row-wise by a
+cached stacked kernel-spectrum block, and transform in one batched pair,
+with per-row robustness decisions and per-row accounting.
 
 Numerical-robustness extension (documented in docs/DESIGN.md §1): FFT
 convolution carries an *absolute* error ~``eps * ||x||_2 * ||W||_2``, so when
@@ -80,6 +85,27 @@ class AdvancePolicy:
 
 DEFAULT_POLICY = AdvancePolicy()
 
+#: Spectrum blocks larger than this many complex elements (32 MiB) are
+#: assembled but not cached — rebuilding one from the per-row spectrum
+#: cache is cheap, while a handful of resident giant blocks is not.
+MAX_BLOCK_ELEMENTS = 1 << 21
+
+#: Soft byte budget for the kernel-spectrum cache.  ``advance_batch``
+#: scales the entry bound with the batch width (B interleaved solves need
+#: ~B x log T live spectra to keep per-solve repeats warm), so a byte
+#: bound — not just an entry count — keeps wide batches of long kernels
+#: from pinning unbounded memory.
+MAX_SPECTRA_BYTES = 64 * (1 << 20)
+
+#: Byte budget for the batched-transform input stacks, the engine's
+#: largest scratch buffers: each ratchets to the widest batch seen for its
+#: padded length, so a long-lived shared engine must not keep every size
+#: it ever served.  Sized above the working set of a 1024-wide lockstep
+#: batch (~40 live pad lengths x a few MB) — a tighter budget makes the
+#: eviction loop churn fresh allocations every round and costs more than
+#: it saves.
+MAX_STACK_BYTES = 256 * (1 << 20)
+
 
 @dataclass
 class AdvanceRecord:
@@ -87,12 +113,26 @@ class AdvanceRecord:
 
     ``spectrum_hit`` is ``True``/``False`` when the engine's kernel-spectrum
     cache was consulted (hit/miss), ``None`` on paths that never touch it
-    (direct correlation, h=0 copies, the legacy ``fftconvolve`` path).  For
-    batched records it is ``True`` only when *every* length group hit.
-    ``spectrum_hits``/``spectrum_misses`` carry the exact per-call counts
-    (a batched advance consults the cache once per length group).
-    ``batch`` counts the inputs a single :meth:`AdvanceEngine.advance_many`
-    transform carried (1 for plain advances).
+    (direct correlation, h=0 copies, the legacy ``fftconvolve`` path, and
+    batch rows served from a cached *spectrum block* — the block counters
+    cover those).  For batched records it is ``True`` only when every
+    consulted group hit.  ``spectrum_hits``/``spectrum_misses`` carry the
+    exact per-call counts (a batched advance consults the cache once per
+    length group — :meth:`AdvanceEngine.advance_batch` once per *distinct*
+    per-row kernel).  ``batch`` counts the inputs a single batched
+    transform carried (1 for plain advances).  ``method`` is ``"mixed"``
+    when a batch's rows resolved to different methods.
+
+    Batched calls additionally report:
+
+    ``block_hits`` / ``block_misses``
+        consultations of the stacked spectrum-*block* cache (one per FFT
+        group of an :meth:`AdvanceEngine.advance_batch` call);
+    ``rows``
+        per-input sub-records, in input order — each row mirrors exactly
+        what a standalone :meth:`AdvanceEngine.advance` of that input would
+        have recorded (method, lengths, work/span share), so per-solve
+        statistics stay truthful under lockstep batching.
     """
 
     method: str
@@ -103,6 +143,9 @@ class AdvanceRecord:
     spectrum_hits: int = 0
     spectrum_misses: int = 0
     batch: int = 1
+    block_hits: int = 0
+    block_misses: int = 0
+    rows: Optional[list["AdvanceRecord"]] = None
 
 
 def _direct_correlate(x: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -163,10 +206,12 @@ class AdvanceEngine:
     An engine is **not thread-safe** (the scratch buffers are shared across
     its calls); use one engine per solve/thread.  The module-level
     :func:`advance` wrapper keeps one default engine per thread.
-    max_spectra / max_scratch:
-        Bounds on the two caches (oldest-first eviction); a single solve
-        stays far below them, the defaults only matter for long-lived shared
-        engines.
+    max_spectra / max_scratch / max_blocks:
+        Bounds on the caches (oldest-first eviction); a single solve stays
+        far below them, the defaults only matter for long-lived shared
+        engines.  ``max_blocks`` bounds the stacked spectrum-*block* cache
+        of :meth:`advance_batch` — blocks are ``(B, n_rfft)`` complex
+        arrays, much larger than single spectra, so the bound is tight.
     """
 
     def __init__(
@@ -176,19 +221,32 @@ class AdvanceEngine:
         reuse: bool = True,
         max_spectra: int = 512,
         max_scratch: int = 64,
+        max_blocks: int = 16,
     ):
         self.policy = policy
         self.reuse = reuse
         self.max_spectra = max_spectra
         self.max_scratch = max_scratch
+        self.max_blocks = max_blocks
         self._spectra: dict[tuple, np.ndarray] = {}
+        self._spectra_bytes = 0
         self._scratch: dict[int, np.ndarray] = {}
+        self._stack_scratch: dict[int, np.ndarray] = {}
+        self._stack_scratch_bytes = 0
         self._fast_len: dict[int, int] = {}
+        self._blocks: dict[tuple, np.ndarray] = {}
+        # Block keys seen exactly once: a block is only materialised (rows
+        # stacked into one array) when its key *recurs* — one-shot batch
+        # shapes (a heterogeneous grid priced once) never pay the copies.
+        self._block_seen: dict[tuple, None] = {}
         # Counters (exposed through SolveStats / cache_info for benchmarks).
         self.spectrum_hits = 0
         self.spectrum_misses = 0
         self.advances = 0
         self.batched_inputs = 0
+        self.batch_advances = 0
+        self.block_hits = 0
+        self.block_misses = 0
 
     # ------------------------------------------------------------------ #
     # Plan helpers
@@ -229,24 +287,67 @@ class AdvanceEngine:
             "spectrum_misses": self.spectrum_misses,
             "cached_spectra": len(self._spectra),
             "cached_scratch": len(self._scratch),
+            "cached_blocks": len(self._blocks),
             "advances": self.advances,
             "batched_inputs": self.batched_inputs,
+            "batch_advances": self.batch_advances,
+            "block_hits": self.block_hits,
+            "block_misses": self.block_misses,
         }
 
     def _kernel_spectrum(
-        self, taps_t: tuple, h: int, n: int, w: np.ndarray
+        self, taps_t: tuple, h: int, n: int, w: Optional[np.ndarray] = None
     ) -> tuple[np.ndarray, bool]:
+        """Cached ``conj(rfft(W, n))``; the kernel ``w`` is only
+        materialised on a miss (warm advances never touch the weights)."""
         key = (taps_t, h, n)
         spec = self._spectra.get(key)
         if spec is not None:
             self.spectrum_hits += 1
             return spec, True
         self.spectrum_misses += 1
+        if w is None:
+            w = hstep_weights(taps_t, h)
         spec = np.conj(sfft.rfft(w, n=n))
-        if len(self._spectra) >= self.max_spectra:
-            self._spectra.pop(next(iter(self._spectra)))
         self._spectra[key] = spec
+        self._spectra_bytes += spec.nbytes
+        while len(self._spectra) > 1 and (
+            len(self._spectra) > self.max_spectra
+            or self._spectra_bytes > MAX_SPECTRA_BYTES
+        ):
+            old = self._spectra.pop(next(iter(self._spectra)))
+            self._spectra_bytes -= old.nbytes
         return spec, False
+
+    def _padded_stack(self, rows: int, n: int) -> np.ndarray:
+        """Reusable ``(>= rows, n)`` scratch for batched transforms.
+
+        Callers overwrite every used row in full (payload then zero tail),
+        so no clearing is needed here; ``stack[:rows]`` is what they
+        transform.  Stacks are the engine's largest buffers (they ratchet
+        to the widest batch seen per padded length), so the cache is
+        byte-budgeted: oversized requests get a one-shot buffer and the
+        resident set is evicted oldest-first past ``MAX_STACK_BYTES``.
+        """
+        buf = self._stack_scratch.get(n)
+        if buf is None or buf.shape[0] < rows:
+            buf = np.zeros((rows, n), dtype=np.float64)
+            if buf.nbytes > MAX_STACK_BYTES:
+                return buf  # one-shot: too large to keep resident
+            old = self._stack_scratch.pop(n, None)
+            if old is not None:
+                self._stack_scratch_bytes -= old.nbytes
+            self._stack_scratch[n] = buf
+            self._stack_scratch_bytes += buf.nbytes
+            while len(self._stack_scratch) > 1 and (
+                len(self._stack_scratch) > self.max_scratch
+                or self._stack_scratch_bytes > MAX_STACK_BYTES
+            ):
+                dropped = self._stack_scratch.pop(
+                    next(iter(self._stack_scratch))
+                )
+                self._stack_scratch_bytes -= dropped.nbytes
+        return buf
 
     def _padded(self, x: np.ndarray, n: int) -> np.ndarray:
         buf = self._scratch.get(n)
@@ -274,14 +375,14 @@ class AdvanceEngine:
         return kernel_len
 
     def _fft_cached(
-        self, x: np.ndarray, taps_t: tuple, h: int, w: np.ndarray
+        self, x: np.ndarray, taps_t: tuple, h: int, kernel_len: int
     ) -> tuple[np.ndarray, WorkSpan, bool]:
         m = len(x)
         n = self.fast_len(m)
-        spec, hit = self._kernel_spectrum(taps_t, h, n, w)
+        spec, hit = self._kernel_spectrum(taps_t, h, n)
         X = sfft.rfft(self._padded(x, n))
         X *= spec
-        y = sfft.irfft(X, n=n)[: m - len(w) + 1]
+        y = sfft.irfft(X, n=n)[: m - kernel_len + 1]
         one_fft = fft_cost(n)
         transforms = 2.0 if hit else 3.0
         ws = WorkSpan(
@@ -311,14 +412,14 @@ class AdvanceEngine:
         if h == 0:
             return x.copy(), AdvanceRecord("copy", len(x), 0, WorkSpan(len(x), 1.0))
         kernel_len = self._validate(x, q, h)
-        w = hstep_weights(taps_t, h)
         x_max = float(np.max(np.abs(x))) if len(x) else 0.0
         method = self.policy.choose(
             x_max, scale if scale is not None else 0.0, kernel_len
         )
         if method == "fft":
             if self.reuse:
-                y, ws, hit = self._fft_cached(x, taps_t, h, w)
+                # the kernel itself is only materialised on a spectrum miss
+                y, ws, hit = self._fft_cached(x, taps_t, h, kernel_len)
                 return y, AdvanceRecord(
                     "fft",
                     len(x),
@@ -328,11 +429,11 @@ class AdvanceEngine:
                     spectrum_hits=int(hit),
                     spectrum_misses=int(not hit),
                 )
-            y = _fft_correlate(x, w)
+            y = _fft_correlate(x, hstep_weights(taps_t, h))
             return y, AdvanceRecord(
                 "fft", len(x), h, _legacy_fft_workspan(len(x), kernel_len)
             )
-        y = _direct_correlate(x, w)
+        y = _direct_correlate(x, hstep_weights(taps_t, h))
         ws = WorkSpan(2.0 * len(y) * kernel_len, np.log2(kernel_len + 1.0) + 1.0)
         return y, AdvanceRecord(method, len(x), h, ws)
 
@@ -350,8 +451,14 @@ class AdvanceEngine:
         batched ``rfft(axis=-1)``/``irfft(axis=-1)`` pair against one cached
         kernel spectrum — the portfolio fast path behind
         :func:`repro.core.api.price_many`.  Mixed lengths are grouped by
-        length.  Returns the per-input outputs (input order preserved) and
-        one aggregate record.
+        length, and the FFT-vs-direct robustness choice is made *per
+        length group* from that group's own magnitude — one
+        outlier-magnitude input no longer forces its whole batch off the
+        FFT fast path (the aggregate record reports ``"mixed"`` when groups
+        diverge).  Returns the per-input outputs (input order preserved)
+        and one aggregate record; independent groups (and independent rows
+        on the non-stacked paths) compose in parallel (``beside``), so the
+        recorded span reflects the batch's real critical path.
         """
         h = check_integer("h", h, minimum=0)
         taps_t = tuple(float(v) for v in taps)
@@ -362,45 +469,62 @@ class AdvanceEngine:
             return [], AdvanceRecord("copy", 0, h, WorkSpan.ZERO, batch=0)
         if h == 0:
             self.advances += 1
+            self.batched_inputs += len(arrs)
             return [a.copy() for a in arrs], AdvanceRecord(
                 "copy", total, 0, WorkSpan(total, 1.0), batch=len(arrs)
             )
         kernel_len = q * h + 1
         for a in arrs:
             self._validate(a, q, h)
-        w = hstep_weights(taps_t, h)
-        x_max = max(float(np.max(np.abs(a))) if len(a) else 0.0 for a in arrs)
-        method = self.policy.choose(
-            x_max, scale if scale is not None else 0.0, kernel_len
-        )
+        scale_val = scale if scale is not None else 0.0
         self.advances += 1
         self.batched_inputs += len(arrs)
-        if method != "fft" or not self.reuse:
-            outs = [
-                _fft_correlate(a, w) if method == "fft" else _direct_correlate(a, w)
-                for a in arrs
-            ]
-            if method == "fft":
-                ws = WorkSpan.ZERO
-                for a in arrs:
-                    ws = ws.then(_legacy_fft_workspan(len(a), kernel_len))
-            else:
-                n_out = sum(len(o) for o in outs)
-                ws = WorkSpan(
-                    2.0 * n_out * kernel_len, np.log2(kernel_len + 1.0) + 1.0
-                )
-            return outs, AdvanceRecord(method, total, h, ws, batch=len(arrs))
 
-        # Group indices by input length; one batched transform per group.
+        # Group indices by input length; one batched transform (and one
+        # FFT-vs-direct decision) per group.
         groups: dict[int, list[int]] = {}
         for idx, a in enumerate(arrs):
             groups.setdefault(len(a), []).append(idx)
         outs: list[Optional[np.ndarray]] = [None] * len(arrs)
         ws = WorkSpan.ZERO
         hits = misses = 0
+        consulted = False
+        methods: set[str] = set()
         for m, idxs in groups.items():
+            g_max = max(
+                float(np.max(np.abs(arrs[i]))) if len(arrs[i]) else 0.0
+                for i in idxs
+            )
+            g_method = self.policy.choose(g_max, scale_val, kernel_len)
+            methods.add(g_method)
+            if g_method != "fft":
+                w = hstep_weights(taps_t, h)
+                g_ws = WorkSpan.ZERO
+                for i in idxs:
+                    y = _direct_correlate(arrs[i], w)
+                    outs[i] = y
+                    g_ws = g_ws.beside(
+                        WorkSpan(
+                            2.0 * len(y) * kernel_len,
+                            np.log2(kernel_len + 1.0) + 1.0,
+                        )
+                    )
+                ws = ws.beside(g_ws)
+                continue
+            if not self.reuse:
+                # Legacy fftconvolve per row; the rows are independent, so
+                # the record composes them in parallel (beside) — the same
+                # critical-path accounting the cached stacked path reports.
+                w = hstep_weights(taps_t, h)
+                g_ws = WorkSpan.ZERO
+                for i in idxs:
+                    outs[i] = _fft_correlate(arrs[i], w)
+                    g_ws = g_ws.beside(_legacy_fft_workspan(m, kernel_len))
+                ws = ws.beside(g_ws)
+                continue
+            consulted = True
             n = self.fast_len(m)
-            spec, hit = self._kernel_spectrum(taps_t, h, n, w)
+            spec, hit = self._kernel_spectrum(taps_t, h, n)
             if hit:
                 hits += 1
             else:
@@ -418,21 +542,263 @@ class AdvanceEngine:
             transforms = 2.0 * len(idxs) + (0.0 if hit else 1.0)
             # batched rows transform independently: critical path is one
             # forward/inverse pair (plus the kernel transform on a miss)
-            ws = ws.then(
+            ws = ws.beside(
                 WorkSpan(
                     transforms * one_fft.work + 2.0 * n * len(idxs),
                     (2.0 if hit else 3.0) * one_fft.span + 1.0,
                 )
             )
         return list(outs), AdvanceRecord(  # type: ignore[arg-type]
-            "fft",
+            methods.pop() if len(methods) == 1 else "mixed",
             total,
             h,
             ws,
-            spectrum_hit=misses == 0,
+            spectrum_hit=(misses == 0) if consulted else None,
             spectrum_hits=hits,
             spectrum_misses=misses,
             batch=len(arrs),
+        )
+
+    def _spectrum_block(
+        self, keys: Sequence[tuple]
+    ) -> tuple[Optional[np.ndarray], list[np.ndarray], bool, dict[int, bool]]:
+        """Stacked conjugated kernel spectra for per-row ``(taps, h, n)`` keys.
+
+        The lockstep recursion asks for the *same combination* of per-row
+        kernels at every reuse of a batch shape (a re-priced grid, a warm
+        quote-service bucket), so the assembled ``(B, n_rfft)`` block is
+        cached whole, keyed by the tuple of per-row keys: a warm round
+        costs one dict lookup instead of B spectrum lookups plus a B-row
+        stack.  A block is only *materialised* on the key's second
+        occurrence — one-shot batch shapes multiply row-by-row against the
+        per-row spectrum cache (one consult per *distinct* key; duplicate
+        rows share their first occurrence's spectrum) and never pay the
+        stacking copies.
+
+        Returns ``(block, row_specs, block_hit, consults)``: ``block`` is
+        the stacked array on a hit (``row_specs`` empty), else ``None``
+        with one spectrum per row in ``row_specs``; ``consults`` maps row
+        position -> that row's per-key hit/miss (consulting rows only).
+        """
+        block_key = tuple(keys)
+        block = self._blocks.get(block_key)
+        if block is not None:
+            self.block_hits += 1
+            return block, [], True, {}
+        self.block_misses += 1
+        n = keys[0][2]
+        row_specs: list[Optional[np.ndarray]] = [None] * len(keys)
+        consults: dict[int, bool] = {}
+        seen: dict[tuple, int] = {}
+        for r, key in enumerate(keys):
+            first = seen.setdefault(key, r)
+            if first != r:
+                row_specs[r] = row_specs[first]
+                continue
+            taps_t, h, _ = key
+            spec, hit = self._kernel_spectrum(taps_t, h, n)
+            row_specs[r] = spec
+            consults[r] = hit
+        recurring = block_key in self._block_seen
+        if not recurring:
+            if len(self._block_seen) >= 8 * self.max_blocks:
+                self._block_seen.pop(next(iter(self._block_seen)))
+            self._block_seen[block_key] = None
+        elif len(keys) * (n // 2 + 1) <= MAX_BLOCK_ELEMENTS:
+            block = np.vstack(row_specs)
+            if len(self._blocks) >= self.max_blocks:
+                self._blocks.pop(next(iter(self._blocks)))
+            self._blocks[block_key] = block
+        return block, row_specs, False, consults  # type: ignore[return-value]
+
+    def advance_batch(
+        self,
+        xs: Sequence[np.ndarray],
+        kernels: Sequence[Tuple[Sequence[float], int]],
+        *,
+        scales: object = None,
+    ) -> tuple[list[np.ndarray], AdvanceRecord]:
+        """Advance B inputs, each by its **own** ``(taps, h)`` kernel, at once.
+
+        The multi-kernel generalisation of :meth:`advance_many` and the
+        workhorse of the lockstep batch solver
+        (:func:`repro.core.lockstep.drive_lockstep`): scenario grids,
+        implied-vol ladders and Greek bump grids vary volatility/rate per
+        cell, so every cell carries a *different* kernel and the same-kernel
+        fast path never applies.  Here rows are grouped by padded FFT
+        length, each group is stacked into one ``(G, n)`` array, multiplied
+        row-wise by a stacked ``(G, n_rfft)`` kernel-spectrum block (cached
+        whole — see :meth:`_spectrum_block`), and transformed with a single
+        ``rfft``/``irfft`` pair — one batched transform per group instead
+        of B Python-level calls.
+
+        Robustness and accounting are **per row**: each row makes its own
+        FFT-vs-direct choice against its own magnitude and ``scales[i]``,
+        and the returned record's ``rows`` list carries one sub-record per
+        input mirroring what a standalone :meth:`advance` would have
+        recorded.  Every FFT row's output is bit-identical to its
+        standalone advance (same pad, same spectrum; a batched real FFT
+        transforms each row exactly as the 1-D transform does), so lockstep
+        solves match their serial twins bit-for-bit.
+
+        Parameters
+        ----------
+        xs:
+            The B input rows.
+        kernels:
+            One ``(taps, h)`` pair per input; ``h = 0`` rows are copied.
+        scales:
+            ``None``, a scalar applied to every row, or one scale per row
+            (``None`` entries disable that row's guard).
+        """
+        arrs = [np.ascontiguousarray(x, dtype=np.float64) for x in xs]
+        if len(arrs) != len(kernels):
+            raise ValidationError(
+                f"advance_batch needs one kernel per input: got {len(arrs)} "
+                f"inputs, {len(kernels)} kernels"
+            )
+        kers = [
+            (tuple(float(v) for v in taps), check_integer("h", h, minimum=0))
+            for taps, h in kernels
+        ]
+        if not arrs:
+            return [], AdvanceRecord("copy", 0, 0, WorkSpan.ZERO, batch=0, rows=[])
+        B = len(arrs)
+        if scales is None:
+            scale_list = [0.0] * B
+        elif np.isscalar(scales):
+            scale_list = [float(scales)] * B  # type: ignore[arg-type]
+        else:
+            scale_list = [0.0 if s is None else float(s) for s in scales]  # type: ignore[union-attr]
+            if len(scale_list) != B:
+                raise ValidationError(
+                    f"scales must be a scalar or one per input: got "
+                    f"{len(scale_list)} for {B} inputs"
+                )
+        self.advances += 1
+        self.batched_inputs += B
+        self.batch_advances += 1
+        if self.reuse:
+            # Lockstep interleaving destroys the per-solve temporal locality
+            # the default spectrum bound assumes: B solves' kernels repeat
+            # with a reuse distance of ~B x (distinct kernels per solve).
+            # Scale the entry bound with the batch width; MAX_SPECTRA_BYTES
+            # still caps the memory.
+            self.max_spectra = max(self.max_spectra, 8 * B)
+
+        rows: list[Optional[AdvanceRecord]] = [None] * B
+        outs: list[Optional[np.ndarray]] = [None] * B
+        fft_groups: dict[int, list[int]] = {}
+        for i, (a, (taps_t, h)) in enumerate(zip(arrs, kers)):
+            q = len(taps_t) - 1
+            if h == 0:
+                outs[i] = a.copy()
+                rows[i] = AdvanceRecord("copy", len(a), 0, WorkSpan(len(a), 1.0))
+                continue
+            kernel_len = self._validate(a, q, h)
+            x_max = float(np.max(np.abs(a))) if len(a) else 0.0
+            method = self.policy.choose(x_max, scale_list[i], kernel_len)
+            if method != "fft":
+                w = hstep_weights(taps_t, h)
+                y = _direct_correlate(a, w)
+                outs[i] = y
+                rows[i] = AdvanceRecord(
+                    "direct", len(a), h,
+                    WorkSpan(
+                        2.0 * len(y) * kernel_len,
+                        np.log2(kernel_len + 1.0) + 1.0,
+                    ),
+                )
+                continue
+            if not self.reuse:
+                w = hstep_weights(taps_t, h)
+                outs[i] = _fft_correlate(a, w)
+                rows[i] = AdvanceRecord(
+                    "fft", len(a), h, _legacy_fft_workspan(len(a), kernel_len)
+                )
+                continue
+            fft_groups.setdefault(self.fast_len(len(a)), []).append(i)
+
+        hits = misses = block_hits = block_misses = 0
+        for n, idxs in fft_groups.items():
+            one_fft = fft_cost(n)
+            if len(idxs) == 1:
+                # A lone row gains nothing from stacking: serve it through
+                # the plain cached path (same accounting as advance()).
+                i = idxs[0]
+                taps_t, h = kers[i]
+                y, row_ws, hit = self._fft_cached(
+                    arrs[i], taps_t, h, (len(taps_t) - 1) * h + 1
+                )
+                outs[i] = y
+                rows[i] = AdvanceRecord(
+                    "fft", len(arrs[i]), h, row_ws,
+                    spectrum_hit=hit,
+                    spectrum_hits=int(hit),
+                    spectrum_misses=int(not hit),
+                )
+                hits += int(hit)
+                misses += int(not hit)
+                continue
+            keys = [(kers[i][0], kers[i][1], n) for i in idxs]
+            block, row_specs, block_hit, consults = self._spectrum_block(keys)
+            block_hits += int(block_hit)
+            block_misses += int(not block_hit)
+            stack = self._padded_stack(len(idxs), n)
+            for r, i in enumerate(idxs):
+                a = arrs[i]
+                row = stack[r]
+                row[: len(a)] = a
+                row[len(a):] = 0.0
+            X = sfft.rfft(stack[: len(idxs)], axis=-1)
+            if block is not None:
+                X *= block
+            else:
+                for r, spec in enumerate(row_specs):
+                    X[r] *= spec
+            Y = sfft.irfft(X, n=n, axis=-1)
+            for r, i in enumerate(idxs):
+                taps_t, h = kers[i]
+                out_len = len(arrs[i]) - (len(taps_t) - 1) * h
+                outs[i] = Y[r, :out_len].copy()
+                consult = consults.get(r)
+                if consult is None:
+                    # served from the block cache (or a duplicate key):
+                    # no per-key consult happened for this row
+                    t = 2.0
+                    row_hit: Optional[bool] = None
+                else:
+                    t = 2.0 if consult else 3.0
+                    row_hit = consult
+                    hits += int(consult)
+                    misses += int(not consult)
+                rows[i] = AdvanceRecord(
+                    "fft", len(arrs[i]), h,
+                    WorkSpan(t * one_fft.work + 2.0 * n, t * one_fft.span + 1.0),
+                    spectrum_hit=row_hit,
+                    spectrum_hits=int(row_hit is True),
+                    spectrum_misses=int(row_hit is False),
+                )
+
+        total = sum(len(a) for a in arrs)
+        ws = WorkSpan.ZERO
+        methods: set[str] = set()
+        for rec in rows:
+            ws = ws.beside(rec.workspan)  # type: ignore[union-attr]
+            methods.add(rec.method)  # type: ignore[union-attr]
+        consulted = hits + misses > 0
+        return list(outs), AdvanceRecord(  # type: ignore[arg-type]
+            methods.pop() if len(methods) == 1 else "mixed",
+            total,
+            max(h for _, h in kers),
+            ws,
+            spectrum_hit=(misses == 0) if consulted else None,
+            spectrum_hits=hits,
+            spectrum_misses=misses,
+            batch=B,
+            block_hits=block_hits,
+            block_misses=block_misses,
+            rows=rows,  # type: ignore[arg-type]
         )
 
 
@@ -444,7 +810,15 @@ def engine_delta(before: dict, after: dict) -> dict:
     cache sizes stay absolute — they describe the engine, not the solve.
     """
     out = dict(after)
-    for key in ("spectrum_hits", "spectrum_misses", "advances", "batched_inputs"):
+    for key in (
+        "spectrum_hits",
+        "spectrum_misses",
+        "advances",
+        "batched_inputs",
+        "batch_advances",
+        "block_hits",
+        "block_misses",
+    ):
         out[key] = after[key] - before[key]
     return out
 

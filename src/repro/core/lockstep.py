@@ -1,0 +1,96 @@
+"""Lockstep drivers for generator-style solvers (docs/DESIGN.md §7).
+
+The trapezoid solvers are data-dependent: each linear advance's window
+depends on the divider the previous advance revealed, so one solve is an
+inherently *sequential* chain of advances.  Different solves, however, are
+independent — and a scenario grid, an implied-vol ladder or a coalesced
+service bucket is exactly B such chains.  This module turns those B
+Python-level chains into a handful of wide vectorized transforms:
+
+* each solver is written as a **generator** that ``yield``s
+  :class:`AdvanceRequest` objects (the linear advance it needs next) and
+  receives ``(values, record)`` back — the solver never touches an engine;
+* :func:`drive_serial` services one generator against one engine — the
+  classic per-solve path, call-for-call identical to the pre-refactor code;
+* :func:`drive_lockstep` services B generators *in rounds*: every round it
+  collects the one request each live solver is blocked on and answers them
+  all with a single :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch`
+  — one batched ``rfft``/row-multiply/``irfft`` per round instead of B
+  Python-level FFT calls, with each row advanced by its *own* kernel.
+
+Because a batched real FFT transforms each row exactly as the 1-D
+transform would (verified by the bit-agreement tests), a lockstep solve is
+bit-identical to its serial twin: same pads, same spectra, same dividers,
+same recursion shape.  Batching changes the wall-clock, never the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fftstencil import AdvanceEngine, AdvanceRecord
+
+#: What a solver generator yields: one linear advance it cannot proceed
+#: without.  ``scale`` feeds the engine's FFT-vs-direct robustness guard.
+@dataclass
+class AdvanceRequest:
+    x: np.ndarray
+    taps: Tuple[float, ...]
+    h: int
+    scale: Optional[float] = None
+
+
+#: A solver generator: yields requests, receives ``(values, record)``,
+#: returns its solve result via ``StopIteration.value``.
+SolverGen = Generator[AdvanceRequest, Tuple[np.ndarray, AdvanceRecord], object]
+
+
+def drive_serial(gen: SolverGen, engine: AdvanceEngine):
+    """Run one solver generator to completion on ``engine``.
+
+    Each yielded request becomes one :meth:`AdvanceEngine.advance` call —
+    the same call sequence the solvers made before the generator refactor,
+    so serial results (prices, stats, workspans) are unchanged.
+    """
+    try:
+        req = next(gen)
+        while True:
+            req = gen.send(engine.advance(req.x, req.taps, req.h, scale=req.scale))
+    except StopIteration as stop:
+        return stop.value
+
+
+def drive_lockstep(gens: Sequence[SolverGen], engine: AdvanceEngine) -> list:
+    """Run B solver generators in lockstep rounds on ``engine``.
+
+    Every round gathers the single request each unfinished generator is
+    blocked on and services the whole set with one
+    :meth:`AdvanceEngine.advance_batch` call.  Generators finish at their
+    own pace (their recursion shapes differ with the divider data); the
+    batch simply narrows as they do.  Results come back in input order.
+    """
+    results: list = [None] * len(gens)
+    live: dict[int, AdvanceRequest] = {}
+    for i, gen in enumerate(gens):
+        try:
+            live[i] = next(gen)
+        except StopIteration as stop:  # solved without a single advance
+            results[i] = stop.value
+    while live:
+        idxs = list(live)
+        reqs = [live[i] for i in idxs]
+        outs, rec = engine.advance_batch(
+            [r.x for r in reqs],
+            [(r.taps, r.h) for r in reqs],
+            scales=[r.scale for r in reqs],
+        )
+        for i, y, row_rec in zip(idxs, outs, rec.rows):
+            try:
+                live[i] = gens[i].send((y, row_rec))
+            except StopIteration as stop:
+                results[i] = stop.value
+                del live[i]
+    return results

@@ -40,7 +40,7 @@ from __future__ import annotations
 import math as _math
 from dataclasses import dataclass, field
 from math import isqrt
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from repro.core.fftstencil import (
     AdvancePolicy,
     engine_delta as _engine_delta,
 )
+from repro.core.lockstep import AdvanceRequest, drive_lockstep, drive_serial
 from repro.core.metrics import SolveStats
 from repro.options.contract import Right, Style
 from repro.options.params import BinomialParams, TrinomialParams
@@ -76,13 +77,22 @@ class TreeFFTResult:
 
 
 class _TreeSolver:
-    """One solve's worth of state for the trapezoid decomposition."""
+    """One solve's worth of state for the trapezoid decomposition.
+
+    :meth:`solve_trapezoid` is a *generator* (docs/DESIGN.md §7): it yields
+    :class:`~repro.core.lockstep.AdvanceRequest` objects for its linear
+    advances and receives ``(values, record)`` back, so the same solver
+    code runs serially (one engine call per request) or in lockstep with B
+    sibling solves (one ``advance_batch`` call per round).  ``engine`` is
+    kept for construction compatibility but the advances themselves are
+    serviced by whichever driver runs the generator.
+    """
 
     def __init__(
         self,
         params: TreeParams,
         base: int,
-        engine: AdvanceEngine,
+        engine: Optional[AdvanceEngine],
         recorder: Optional[BoundaryRecorder],
     ):
         self.p = params
@@ -101,6 +111,16 @@ class _TreeSolver:
         self._spot = params.spec.spot
         self._strike = params.spec.strike
         self._alpha = 2.0 if self.q == 1 else 1.0
+        # Per-solve green-value table: the exponent alpha*j - i only ever
+        # takes values in [-T, T], so one vectorised exp up front turns
+        # every green() call — the naive strips evaluate one per row — into
+        # a strided slice.  Bit-identical to the per-call formula: exp sees
+        # the same exact float inputs either way.
+        T = params.steps
+        e = np.arange(-T, T + 1, dtype=np.float64)
+        self._green_tab = self._spot * np.exp(e * self._log_u) - self._strike
+        self._tab_off = T
+        self._alpha_i = 2 if self.q == 1 else 1
 
     # ------------------------------------------------------------------ #
     # Grid helpers
@@ -113,14 +133,13 @@ class _TreeSolver:
         """Signed exercise values for columns ``lo..hi`` of row ``i``.
 
         Equal to ``params.exercise_value(i, arange(lo, hi+1))`` (the tests
-        assert this), but inlined for per-row speed in the naive strips.
+        assert this), served as a strided view of the per-solve table.
         """
         if hi < lo:
             return np.empty(0, dtype=np.float64)
-        j = np.arange(lo, hi + 1, dtype=np.float64)
-        return (
-            self._spot * np.exp((self._alpha * j - i) * self._log_u) - self._strike
-        )
+        a = self._alpha_i
+        start = a * lo - i + self._tab_off
+        return self._green_tab[start : a * hi - i + self._tab_off + 1 : a]
 
     def _record(self, row: int, jb: int, c0: int) -> None:
         # jb is the *global* divider only when it fell inside the window.
@@ -187,6 +206,10 @@ class _TreeSolver:
     ) -> tuple[np.ndarray, int, WorkSpan]:
         """Solve a trapezoid of height ``ell`` (see module docstring).
 
+        A generator: yields :class:`AdvanceRequest`, receives ``(values,
+        record)``; its return value (via ``StopIteration``) is the usual
+        ``(vals, j_bot, workspan)`` triple.
+
         Preconditions (maintained by the driver and recursion):
         ``vals`` covers exactly the red columns ``[c0..j_top]`` of row
         ``i_top``; cell ``(i_top, j_top+1)`` is green or off-row;
@@ -210,7 +233,7 @@ class _TreeSolver:
             x = np.concatenate([vals, self.green(i_top, j_top + 1, ext_hi)])
         else:
             x = vals
-        y_fft, rec = self.engine.advance(x, self.taps, h, scale=self.scale)
+        y_fft, rec = yield AdvanceRequest(x, self.taps, h, self.scale)
         self.stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
         ws_fft = rec.workspan
         # y_fft covers columns [c0 .. hi_fft] of row i_mid.
@@ -224,7 +247,7 @@ class _TreeSolver:
             self._record(i_mid, j_mid, c0)
         else:
             c0_sub = j_top - q * h + 1
-            sub_vals, j_mid, ws_sub = self.solve_trapezoid(
+            sub_vals, j_mid, ws_sub = yield from self.solve_trapezoid(
                 i_top, c0_sub, vals[c0_sub - c0 :], j_top, h, depth + 1
             )
             # j_mid >= hi_fft is guaranteed (FFT block is provably red);
@@ -242,48 +265,13 @@ class _TreeSolver:
 
         # -------- 3. remaining ell - h rows: same problem from mid row --- #
         h2 = ell - h
-        out_vals, j_bot, ws_rest = self.solve_trapezoid(
+        out_vals, j_bot, ws_rest = yield from self.solve_trapezoid(
             i_mid, c0, mid_vals, j_mid, h2, depth + 1
         )
         return out_vals, j_bot, ws_half.then(ws_rest)
 
 
-def solve_tree_fft(
-    params: TreeParams,
-    *,
-    base: int = DEFAULT_BASE,
-    tail: Optional[int] = None,
-    policy: AdvancePolicy = DEFAULT_POLICY,
-    engine: Optional[AdvanceEngine] = None,
-    record_boundary: bool = False,
-) -> TreeFFTResult:
-    """Price an American call on a tree lattice in ``O(T log^2 T)`` work.
-
-    Parameters
-    ----------
-    params:
-        :class:`BinomialParams` (fft-bopm) or :class:`TrinomialParams`
-        (fft-topm); must describe a *call* (see module docstring for puts).
-    base:
-        Recursion base-case height (paper: 8 is empirically best; the
-        ablation benchmark sweeps this).
-    tail:
-        Switch to the naive sweep when this many rows remain; default
-        ``max(base, isqrt(T))`` — the paper's leftover-sqrt(T)-triangle rule,
-        keeping the naive tail at O(T) work.
-    policy:
-        FFT-vs-direct robustness policy for the linear advances (ignored
-        when ``engine`` is supplied — the engine carries its own).
-    engine:
-        Plan-caching :class:`~repro.core.fftstencil.AdvanceEngine` to run
-        the linear advances on.  Default: a fresh engine per solve.  Pass a
-        shared engine to amortise kernel spectra across a batch of solves
-        with identical lattice parameters (see ``price_many``).
-    record_boundary:
-        Collect the divider positions the algorithm learns exactly
-        (trapezoid interfaces + naive rows) into a
-        :class:`~repro.core.boundary.BoundaryRecorder`.
-    """
+def _validate_tree_solve(params: TreeParams) -> None:
     if params.spec.right is not Right.CALL:
         raise ValidationError(
             "solve_tree_fft prices calls; price puts through "
@@ -294,18 +282,23 @@ def solve_tree_fft(
             "solve_tree_fft handles American exercise; use "
             "repro.core.bermudan for European/Bermudan contracts"
         )
-    base = check_integer("base", base, minimum=1)
-    T = params.steps
-    if tail is None:
-        tail = max(base, isqrt(T))
-    tail = check_integer("tail", tail, minimum=1)
 
-    recorder = BoundaryRecorder() if record_boundary else None
-    if engine is None:
-        engine = AdvanceEngine(policy)
-    engine_before = engine.cache_info()
-    solver = _TreeSolver(params, base, engine, recorder)
+
+def _tree_solve_gen(
+    params: TreeParams,
+    base: int,
+    tail: int,
+    recorder: Optional[BoundaryRecorder],
+):
+    """Generator body of one fft-bopm/fft-topm solve.
+
+    Yields :class:`~repro.core.lockstep.AdvanceRequest` for every linear
+    advance and returns the :class:`TreeFFTResult` (without the
+    driver-supplied ``meta["engine"]`` delta) via ``StopIteration``.
+    """
+    solver = _TreeSolver(params, base, None, recorder)
     q = solver.q
+    T = params.steps
 
     # Expiry row: G = max(0, green); red cells are where green <= 0.
     greens_T = solver.green(T, 0, solver.row_end(T))
@@ -349,7 +342,7 @@ def solve_tree_fft(
             vals, jb, w = solver.naive_descend(i, 0, vals, jb, step_rows)
             i -= step_rows
         else:
-            vals, jb, w = solver.solve_trapezoid(i, 0, vals, jb, ell)
+            vals, jb, w = yield from solver.solve_trapezoid(i, 0, vals, jb, ell)
             i -= ell
             if recorder is not None and jb >= 0:
                 recorder.record(i, jb)
@@ -369,6 +362,110 @@ def solve_tree_fft(
             "base": base,
             "tail": tail,
             "params": params,
-            "engine": _engine_delta(engine_before, engine.cache_info()),
         },
     )
+
+
+def solve_tree_fft(
+    params: TreeParams,
+    *,
+    base: int = DEFAULT_BASE,
+    tail: Optional[int] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+    record_boundary: bool = False,
+) -> TreeFFTResult:
+    """Price an American call on a tree lattice in ``O(T log^2 T)`` work.
+
+    Parameters
+    ----------
+    params:
+        :class:`BinomialParams` (fft-bopm) or :class:`TrinomialParams`
+        (fft-topm); must describe a *call* (see module docstring for puts).
+    base:
+        Recursion base-case height (paper: 8 is empirically best; the
+        ablation benchmark sweeps this).
+    tail:
+        Switch to the naive sweep when this many rows remain; default
+        ``max(base, isqrt(T))`` — the paper's leftover-sqrt(T)-triangle rule,
+        keeping the naive tail at O(T) work.
+    policy:
+        FFT-vs-direct robustness policy for the linear advances (ignored
+        when ``engine`` is supplied — the engine carries its own).
+    engine:
+        Plan-caching :class:`~repro.core.fftstencil.AdvanceEngine` to run
+        the linear advances on.  Default: a fresh engine per solve.  Pass a
+        shared engine to amortise kernel spectra across a batch of solves
+        with identical lattice parameters (see ``price_many``).
+    record_boundary:
+        Collect the divider positions the algorithm learns exactly
+        (trapezoid interfaces + naive rows) into a
+        :class:`~repro.core.boundary.BoundaryRecorder`.
+    """
+    _validate_tree_solve(params)
+    base = check_integer("base", base, minimum=1)
+    T = params.steps
+    if tail is None:
+        tail = max(base, isqrt(T))
+    tail = check_integer("tail", tail, minimum=1)
+
+    recorder = BoundaryRecorder() if record_boundary else None
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine_before = engine.cache_info()
+    result = drive_serial(_tree_solve_gen(params, base, tail, recorder), engine)
+    result.meta["engine"] = _engine_delta(engine_before, engine.cache_info())
+    return result
+
+
+def solve_tree_fft_batch(
+    params_list: Sequence[TreeParams],
+    *,
+    base: int = DEFAULT_BASE,
+    tail: Optional[int] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+    record_boundary: bool = False,
+) -> list[TreeFFTResult]:
+    """Price B American calls with B *different* lattices in lockstep.
+
+    Each parameter set gets its own trapezoid recursion (its own divider
+    trajectory, recursion shape and statistics), but the B recursions run
+    as generators serviced round-by-round through
+    :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch` — one
+    batched ``rfft``/row-multiply/``irfft`` per round where the serial loop
+    made B Python-level engine calls.  Every row of every batched transform
+    is bit-identical to its standalone advance, so each returned result
+    equals ``solve_tree_fft(params_list[i])`` bit-for-bit.
+
+    ``tail=None`` resolves per solve to ``max(base, isqrt(T))`` — mixed
+    step counts are allowed (they simply desynchronise the rounds).
+    ``meta["engine"]`` on every result carries the *batch-wide* engine
+    delta (the transforms are shared, so per-solve attribution is not
+    meaningful); ``meta["batched"]``/``meta["batch_size"]`` mark the
+    lockstep provenance.
+    """
+    for params in params_list:
+        _validate_tree_solve(params)
+    base = check_integer("base", base, minimum=1)
+    if tail is not None:
+        tail = check_integer("tail", tail, minimum=1)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine_before = engine.cache_info()
+    gens = [
+        _tree_solve_gen(
+            params,
+            base,
+            tail if tail is not None else max(base, isqrt(params.steps)),
+            BoundaryRecorder() if record_boundary else None,
+        )
+        for params in params_list
+    ]
+    results: list[TreeFFTResult] = drive_lockstep(gens, engine)
+    delta = _engine_delta(engine_before, engine.cache_info())
+    for result in results:
+        result.meta["engine"] = delta
+        result.meta["batched"] = True
+        result.meta["batch_size"] = len(results)
+    return results

@@ -96,7 +96,10 @@ def convolution_power_weights(taps: Sequence[float], h: int) -> np.ndarray:
     return w
 
 
-@lru_cache(maxsize=256)
+#: Sized for lockstep batches: B interleaved solves touch ~B x log T
+#: distinct kernels between repeats, so a few thousand entries keep the
+#: per-solve repeats warm where 256 thrashed (kernels are ~qh floats each).
+@lru_cache(maxsize=4096)
 def _cached_weights(taps: tuple[float, ...], h: int) -> np.ndarray:
     if len(taps) == 2 and taps[0] > 0.0 and taps[1] > 0.0:
         w = binomial_weights(taps[0], taps[1], h)

@@ -11,6 +11,7 @@ from repro.risk.engine import (
     BACKENDS,
     ScenarioEngine,
     ScenarioResult,
+    available_workers,
 )
 from repro.risk.grid import ScenarioCell, ScenarioGrid
 
@@ -20,4 +21,5 @@ __all__ = [
     "ScenarioEngine",
     "ScenarioGrid",
     "ScenarioResult",
+    "available_workers",
 ]

@@ -57,6 +57,28 @@ from repro.util.validation import ValidationError, check_integer
 BACKENDS = ("process", "thread", "serial")
 
 
+def available_workers() -> int:
+    """CPUs actually available to this process, not the host's core count.
+
+    ``os.cpu_count()`` reports every logical core on the machine; a pinned
+    or containerized process (``taskset``, cgroup cpusets, k8s CPU limits)
+    may be allowed far fewer, and sizing a pool to the host count
+    oversubscribes the allowance — workers time-slice instead of running
+    concurrently.  ``os.sched_getaffinity(0)`` reflects the real allowance
+    where the platform provides it (Linux); elsewhere — or if the probe
+    fails — fall back to ``os.cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            mask = getaffinity(0)
+        except OSError:  # pragma: no cover — platform-specific failure
+            mask = None
+        if mask:
+            return len(mask)
+    return os.cpu_count() or 1
+
+
 # --------------------------------------------------------------------- #
 # Worker-side state
 # --------------------------------------------------------------------- #
@@ -188,8 +210,11 @@ class ScenarioEngine:
     Parameters
     ----------
     workers:
-        Worker count for the parallel backends (default: ``os.cpu_count()``).
-        ``workers=1`` runs serially whatever the backend.
+        Worker count for the parallel backends (default:
+        :func:`available_workers` — the CPUs this process may actually
+        use, which on pinned/containerized hosts is fewer than
+        ``os.cpu_count()``).  ``workers=1`` runs serially whatever the
+        backend.
     backend:
         ``"process"`` (default) | ``"thread"`` | ``"serial"`` — see the
         module docstring.
@@ -223,7 +248,8 @@ class ScenarioEngine:
                 f"unknown backend {backend!r}; choose one of {BACKENDS}"
             )
         self.workers = check_integer(
-            "workers", workers if workers is not None else os.cpu_count() or 1,
+            "workers",
+            workers if workers is not None else available_workers(),
             minimum=1,
         )
         self.backend = backend
@@ -356,6 +382,7 @@ class ScenarioEngine:
 
         t0 = time.perf_counter()
         cells_wall = 0.0
+        engine_info: Optional[dict] = None
         if serial:
             engine = AdvanceEngine(self.policy)
             for lo, hi in chunks:
@@ -365,6 +392,7 @@ class ScenarioEngine:
                 _rebase_dedup_indices(chunk_results, lo)
                 results[lo:hi] = chunk_results
                 cells_wall += seconds
+            engine_info = engine.cache_info()
         else:
             with self._make_pool() as pool:
                 payloads = [
@@ -400,6 +428,10 @@ class ScenarioEngine:
             "predicted_speedup": t1 / tp if tp > 0.0 else 1.0,
             "parallelism": workspan.parallelism,
         }
+        if engine_info is not None:
+            # serial runs share one engine: surface its counters so callers
+            # can verify the grid rode the batched advance path
+            meta["engine"] = engine_info
         return ScenarioResult(
             grid=grid,
             results=results,  # type: ignore[arg-type]

@@ -15,9 +15,14 @@ The serving pipeline (docs/DESIGN.md §5) is
   bounded queue whose :meth:`QuoteService.flush` groups compatible pending
   requests (same model/method/steps/base/lam bucket) into one
   :func:`repro.core.api.price_many` batch — sharing the service's
-  plan-caching :class:`~repro.core.fftstencil.AdvanceEngine`, keeping the
-  batched European fast path, and (``workers > 1``) fanning the batch across
-  a :class:`~repro.risk.engine.ScenarioEngine` worker pool.
+  plan-caching :class:`~repro.core.fftstencil.AdvanceEngine` and
+  (``workers > 1``) fanning the batch across a
+  :class:`~repro.risk.engine.ScenarioEngine` worker pool.  Since the
+  lockstep batch solver landed, a coalesced bucket needs no kernel
+  overlap to batch: every bucket marches through
+  :func:`repro.core.api.solve_batch`'s multi-kernel ``advance_batch``
+  transforms, cells with *different* vols/rates included (European jumps
+  and American trapezoid recursions alike).
 
 Identical in-flight requests are merged: submitting a key that is already
 queued attaches the new ticket to the existing pending solve, and a cold

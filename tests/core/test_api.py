@@ -268,13 +268,13 @@ class TestPriceManyDedup:
         from repro.core.api import price_many
 
         solved = []
-        real = api_module.solve_tree_fft
+        real = api_module.solve_tree_fft_batch
 
-        def counting(params, **kwargs):
-            solved.append(params)
-            return real(params, **kwargs)
+        def counting(params_list, **kwargs):
+            solved.extend(params_list)
+            return real(params_list, **kwargs)
 
-        monkeypatch.setattr(api_module, "solve_tree_fft", counting)
+        monkeypatch.setattr(api_module, "solve_tree_fft_batch", counting)
         other = dataclasses.replace(SPEC, strike=120.0)
         specs = [SPEC, other, SPEC, SPEC, other]
         results = price_many(specs, 64)
@@ -294,13 +294,13 @@ class TestPriceManyDedup:
         from repro.core.fftstencil import AdvanceEngine
 
         batch_sizes = []
-        real = AdvanceEngine.advance_many
+        real = AdvanceEngine.advance_batch
 
-        def counting(self, xs, taps, h, **kwargs):
+        def counting(self, xs, kernels, **kwargs):
             batch_sizes.append(len(xs))
-            return real(self, xs, taps, h, **kwargs)
+            return real(self, xs, kernels, **kwargs)
 
-        monkeypatch.setattr(AdvanceEngine, "advance_many", counting)
+        monkeypatch.setattr(AdvanceEngine, "advance_batch", counting)
         euro = SPEC.with_style(Style.EUROPEAN)
         results = price_many([euro, euro, euro], 64)
         assert batch_sizes == [1]  # three requests, one stacked transform row

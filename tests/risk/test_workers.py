@@ -1,0 +1,66 @@
+"""Affinity-aware worker sizing and batched-grid engine counters."""
+
+import os
+
+import pytest
+
+from repro.core.api import price_american
+from repro.options.contract import paper_benchmark_spec
+from repro.risk import ScenarioEngine, ScenarioGrid, available_workers
+
+SPEC = paper_benchmark_spec()
+
+
+class TestAvailableWorkers:
+    def test_uses_affinity_mask_when_present(self, monkeypatch):
+        """A pinned process must size its pool from the affinity mask, not
+        the host's core count (oversubscription satellite)."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 3}, raising=False
+        )
+        assert available_workers() == 2
+        assert ScenarioEngine().workers == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert available_workers() == 6
+        assert ScenarioEngine().workers == 6
+
+    def test_empty_mask_falls_back(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(), raising=False
+        )
+        assert available_workers() == 4
+
+    def test_explicit_workers_still_win(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        assert ScenarioEngine(workers=3).workers == 3
+
+
+class TestSerialGridEngineMeta:
+    def test_serial_grid_reports_batched_engine_counters(self):
+        grid = ScenarioGrid.cartesian(
+            SPEC, vol_bumps=(-0.05, 0.0, 0.05), rate_bumps=(0.0, 0.002)
+        )
+        result = ScenarioEngine(backend="serial").price_grid(grid, 64)
+        info = result.meta["engine"]
+        # every cell differs in vol or rate, yet the grid rode the
+        # multi-kernel batch path
+        assert info["batch_advances"] > 0
+        assert info["batched_inputs"] >= len(grid)
+        for cell, r in zip(grid, result.results):
+            assert r.price == pytest.approx(
+                price_american(cell.spec, 64).price, rel=1e-12
+            )
+
+    def test_pool_backends_omit_engine_meta(self):
+        cells = [SPEC] * 3
+        result = ScenarioEngine(
+            backend="thread", workers=2, chunk_size=1
+        ).price_grid(cells, 32)
+        assert "engine" not in result.meta
