@@ -42,6 +42,15 @@ from repro.core.api import (
     solve_batch,
     exercise_boundary,
 )
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.risk import ScenarioEngine, ScenarioGrid, ScenarioResult
 from repro.service import (
     CanonicalPolicy,
@@ -60,8 +69,15 @@ from repro.market import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BreakerPolicy",
     "CanonicalPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
     "MarketQuote",
+    "RetryPolicy",
     "QuoteCache",
     "QuoteService",
     "VolSurface",

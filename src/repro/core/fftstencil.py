@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Literal, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import fft as sfft
@@ -228,6 +228,12 @@ class AdvanceEngine:
         self.max_spectra = max_spectra
         self.max_scratch = max_scratch
         self.max_blocks = max_blocks
+        #: Optional zero-arg cooperative-interrupt hook, invoked at every
+        #: advance entry (see :meth:`_tick`).  The resilience tier binds a
+        #: deadline here (``engine.checkpoint = deadline.checkpoint``) so a
+        #: long *serial* solve — which nothing can preempt — observes its
+        #: budget within one advance and aborts by raising from the hook.
+        self.checkpoint: Optional[Callable[[], None]] = None
         self._spectra: dict[tuple, np.ndarray] = {}
         self._spectra_bytes = 0
         self._scratch: dict[int, np.ndarray] = {}
@@ -247,6 +253,19 @@ class AdvanceEngine:
         self.batch_advances = 0
         self.block_hits = 0
         self.block_misses = 0
+        self.checkpoints = 0
+
+    def _tick(self) -> None:
+        """Run the cooperative-interrupt hook (if any) and count it.
+
+        Called once per advance entry — frequent enough that a deadline
+        bound here fires within one advance of expiring, cheap enough
+        (one attribute read when unset) to leave on every path.
+        """
+        cb = self.checkpoint
+        if cb is not None:
+            self.checkpoints += 1
+            cb()
 
     # ------------------------------------------------------------------ #
     # Plan helpers
@@ -293,6 +312,7 @@ class AdvanceEngine:
             "batch_advances": self.batch_advances,
             "block_hits": self.block_hits,
             "block_misses": self.block_misses,
+            "checkpoints": self.checkpoints,
         }
 
     def _kernel_spectrum(
@@ -404,6 +424,7 @@ class AdvanceEngine:
         default engine): ``y[c'] = (A^h x)[c']`` on the ``len(x) - q*h``
         left-aligned output columns.
         """
+        self._tick()
         h = check_integer("h", h, minimum=0)
         x = np.ascontiguousarray(x, dtype=np.float64)
         taps_t = tuple(float(v) for v in taps)
@@ -460,6 +481,7 @@ class AdvanceEngine:
         on the non-stacked paths) compose in parallel (``beside``), so the
         recorded span reflects the batch's real critical path.
         """
+        self._tick()
         h = check_integer("h", h, minimum=0)
         taps_t = tuple(float(v) for v in taps)
         q = len(taps_t) - 1
@@ -651,6 +673,7 @@ class AdvanceEngine:
             ``None``, a scalar applied to every row, or one scale per row
             (``None`` entries disable that row's guard).
         """
+        self._tick()
         arrs = [np.ascontiguousarray(x, dtype=np.float64) for x in xs]
         if len(arrs) != len(kernels):
             raise ValidationError(
@@ -818,6 +841,7 @@ def engine_delta(before: dict, after: dict) -> dict:
         "batch_advances",
         "block_hits",
         "block_misses",
+        "checkpoints",
     ):
         out[key] = after[key] - before[key]
     return out

@@ -91,7 +91,9 @@ class OptionSpec:
         check_positive("volatility", self.volatility)
         check_nonnegative("dividend_yield", self.dividend_yield)
         check_positive("expiry_days", self.expiry_days)
-        if self.day_count <= 0:
+        # `not (x > 0)` rather than `x <= 0`: NaN fails every comparison,
+        # so the inverted form also rejects a NaN day_count
+        if not self.day_count > 0:
             raise ValidationError(f"day_count must be > 0, got {self.day_count}")
         if not isinstance(self.right, Right):
             raise ValidationError(f"right must be a Right, got {self.right!r}")

@@ -1,0 +1,72 @@
+"""Resilience layer: failure semantics for the serving stack.
+
+The production north star ("serving heavy traffic") assumes failure
+semantics the pricing engines alone do not provide: bounded latency,
+isolation of bad requests, recovery from dead workers, and graceful
+degradation under pressure.  This package supplies them as small,
+injectable, deterministic pieces (docs/DESIGN.md §8):
+
+* :class:`Deadline` / :class:`DeadlineExceeded` — one budget carried from
+  the service front door into worker chunk dispatch; per-cell timeout
+  markers, never whole-batch failures.
+* :class:`RetryPolicy` — jittered exponential backoff with injectable
+  sleep/seed; drives pool rebuild and chunk re-dispatch on worker death.
+* :class:`BreakerPolicy` / :class:`CircuitBreaker` /
+  :class:`CircuitOpenError` — per-bucket closed → open → half-open fail
+  fast, on an injectable clock.
+* :class:`FaultPlan` / :class:`InjectedCrash` — seeded, deterministic
+  fault injection (crashes, delays, corrupted rows) that replays
+  identically on every backend; the proof harness for all of the above.
+* marker helpers (:func:`timeout_result`, :func:`is_served`, …) — the
+  explicit per-cell outcome vocabulary shared by the risk and service
+  tiers.
+"""
+
+from repro.resilience.breaker import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    effective_deadline,
+)
+from repro.resilience.faults import (
+    CorruptedResult,
+    FaultPlan,
+    InjectedCrash,
+    validate_row,
+)
+from repro.resilience.markers import (
+    failure_result,
+    is_failure,
+    is_marker,
+    is_served,
+    is_stale,
+    is_timeout,
+    timeout_result,
+)
+from repro.resilience.retry import TRANSIENT, RetryPolicy
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CorruptedResult",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "InjectedCrash",
+    "RetryPolicy",
+    "TRANSIENT",
+    "effective_deadline",
+    "failure_result",
+    "is_failure",
+    "is_marker",
+    "is_served",
+    "is_stale",
+    "is_timeout",
+    "timeout_result",
+    "validate_row",
+]

@@ -1,0 +1,208 @@
+"""Per-bucket circuit breakers: fail fast on repeatedly-failing shapes.
+
+A coalescing service has a specific failure amplifier: one pathological
+request *shape* — a ``(model, method, steps)`` bucket whose solves keep
+dying — re-enters the queue forever, and every flush pays the full solve
+cost to rediscover the same failure while healthy buckets wait behind it.
+The classic remedy is a circuit breaker per bucket:
+
+``closed``
+    Normal serving.  ``failure_threshold`` *consecutive* failures trip the
+    breaker open (a success resets the count).
+``open``
+    Calls are rejected immediately (:class:`CircuitOpenError`) without
+    touching the engines; after ``reset_timeout`` seconds the breaker
+    moves to half-open on the next :meth:`CircuitBreaker.allow`.
+``half_open``
+    Up to ``half_open_max`` probe calls are let through.  ``success_threshold``
+    consecutive probe successes close the breaker; any probe failure
+    re-opens it (and restarts the reset timer).
+
+The clock is injectable; the state machine is pinned on a fake clock by
+``tests/resilience/test_breaker.py``.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_positive,
+)
+
+Clock = Callable[[], float]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(RuntimeError):
+    """Rejected fast: this request shape's breaker is open.
+
+    Structured payload: ``bucket`` (the breaker key), ``retry_after``
+    (seconds until the breaker will admit a probe), ``state``.
+    """
+
+    def __init__(self, message: str, *, bucket=None, retry_after: float = 0.0):
+        super().__init__(message)
+        self.bucket = bucket
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Configuration for one :class:`CircuitBreaker` (see module docstring)."""
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+    half_open_max: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        check_integer("failure_threshold", self.failure_threshold, minimum=1)
+        check_positive("reset_timeout", self.reset_timeout)
+        check_integer("half_open_max", self.half_open_max, minimum=1)
+        check_integer("success_threshold", self.success_threshold, minimum=1)
+        if self.success_threshold > self.half_open_max:
+            raise ValidationError(
+                "success_threshold cannot exceed half_open_max: the breaker "
+                "could never close"
+            )
+
+
+class CircuitBreaker:
+    """One closed → open → half-open state machine on an injectable clock."""
+
+    def __init__(self, policy: BreakerPolicy, clock: Clock = time.monotonic):
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        # lifetime counters for stats()
+        self._failures = 0
+        self._successes = 0
+        self._rejections = 0
+        self._opens = 0
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, now: float) -> None:
+        """Open → half-open once the reset timeout has elapsed (lock held)."""
+        if (
+            self._state == OPEN
+            and now - self._opened_at >= self.policy.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def _trip(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._opens += 1
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._advance(self._clock())
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 if not open)."""
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0, self.policy.reset_timeout - (now - self._opened_at)
+            )
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Half-open admissions are counted as probes (at most
+        ``half_open_max`` before an outcome must arrive), so a thundering
+        herd cannot stampede a recovering bucket.  A caller whose admitted
+        probe never reports an outcome (e.g. it merged onto another
+        in-flight solve) leaves a probe slot consumed until the next
+        open/half-open transition — harmless, the breaker re-probes after
+        another ``reset_timeout``.
+        """
+        with self._lock:
+            self._advance(self._clock())
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.policy.half_open_max:
+                    self._probes_in_flight += 1
+                    return True
+                self._rejections += 1
+                return False
+            self._rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            self._successes += 1
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.policy.success_threshold:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                self._trip(now)  # a failed probe re-opens immediately
+            elif self._state == CLOSED:
+                self._consecutive_failures += 1
+                if (
+                    self._consecutive_failures
+                    >= self.policy.failure_threshold
+                ):
+                    self._trip(now)
+            # failures reported while OPEN (stragglers from before the trip)
+            # only count in the lifetime counter
+
+    def reject(self, bucket=None) -> CircuitOpenError:
+        """Build the structured fail-fast error for this breaker."""
+        retry_after = self.retry_after()
+        return CircuitOpenError(
+            f"circuit open for bucket {bucket!r}; retry in "
+            f"{retry_after:.3g}s",
+            bucket=bucket,
+            retry_after=retry_after,
+        )
+
+    def stats(self) -> dict:
+        with self._lock:
+            self._advance(self._clock())
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failures": self._failures,
+                "successes": self._successes,
+                "rejections": self._rejections,
+                "opens": self._opens,
+            }

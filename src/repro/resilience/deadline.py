@@ -1,0 +1,118 @@
+"""Deadline budgets: bounded latency for every serving-tier code path.
+
+A :class:`Deadline` is a wall-clock budget created where a request enters
+the stack (``QuoteService.quote``/``quote_many``/``submit``) and *carried*
+— not re-derived — through bucket coalescing into
+:class:`~repro.risk.engine.ScenarioEngine` chunk dispatch, so every tier
+charges against the same budget instead of stacking its own timeout on top
+of everyone else's.
+
+Enforcement points
+------------------
+* **Pool futures**: the scenario engine waits on chunk futures with
+  ``deadline.remaining()``; chunks that miss the budget resolve to
+  per-cell timeout markers (:func:`timeout_result`) while finished chunks
+  keep their real results — a ``TimeoutError`` per cell, never per batch.
+* **Serial solves**: pure-Python solves cannot be preempted, so the
+  plan-caching :class:`~repro.core.fftstencil.AdvanceEngine` accepts a
+  ``checkpoint`` callable invoked at every advance; binding it to
+  :meth:`Deadline.checkpoint` makes a long solve raise
+  :class:`DeadlineExceeded` within one advance of the budget expiring.
+* **Queues and caches**: the quote service consults ``expired`` before
+  committing to a cold solve and may serve a stale cache entry instead
+  (docs/DESIGN.md §8).
+
+The clock is injectable (default :func:`time.monotonic`); tests pin every
+transition on a fake clock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+from repro.util.validation import ValidationError, check_finite
+
+Clock = Callable[[], float]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A deadline budget ran out before the work completed."""
+
+
+class Deadline:
+    """A point in (monotonic) time after which work should stop.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now* (must be finite and >= 0; a zero budget is
+        already expired — useful for "serve only what is warm" calls).
+    clock:
+        Zero-argument monotonic callable; tests inject fakes.
+    """
+
+    __slots__ = ("budget", "_expires_at", "_clock")
+
+    def __init__(self, seconds: float, clock: Clock = time.monotonic):
+        seconds = check_finite("seconds", seconds)
+        if seconds < 0.0:
+            raise ValidationError(f"seconds must be >= 0, got {seconds!r}")
+        self.budget = seconds
+        self._clock = clock
+        self._expires_at = clock() + seconds
+
+    @classmethod
+    def after(cls, seconds: float, clock: Clock = time.monotonic) -> "Deadline":
+        """Alias constructor reading as prose: ``Deadline.after(0.25)``."""
+        return cls(seconds, clock=clock)
+
+    # ------------------------------------------------------------------ #
+    def remaining(self) -> float:
+        """Seconds left in the budget, clamped at 0.0."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            where = f" in {label}" if label else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget:g}s exceeded{where}"
+            )
+
+    def checkpoint(self) -> None:
+        """Engine-hook spelling of :meth:`check` (no label, bound method).
+
+        Assign ``engine.checkpoint = deadline.checkpoint`` so a serial
+        solve observes the budget cooperatively at every advance.
+        """
+        self.check()
+
+    def sleep_budget(self, seconds: float) -> float:
+        """Clamp a backoff sleep to what the budget still allows."""
+        return min(seconds, self.remaining())
+
+
+def effective_deadline(
+    deadlines: "list[Optional[Deadline]]",
+) -> Optional[Deadline]:
+    """The tightest of several optional deadlines (``None`` entries pass).
+
+    Used by the quote service's coalescer: a bucket groups requests that
+    may each carry their own budget; the bucket solve honors the tightest
+    one so no member's budget is silently exceeded.
+    """
+    best: Optional[Deadline] = None
+    best_remaining = math.inf
+    for d in deadlines:
+        if d is None:
+            continue
+        r = d.remaining()
+        if r < best_remaining:
+            best, best_remaining = d, r
+    return best

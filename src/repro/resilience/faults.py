@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the worker and serving tiers.
+
+A :class:`FaultPlan` is a *seeded, picklable* description of exactly which
+cells of a batch fail, how, and on which attempt — crashes (exception or
+real worker-process death), per-solve delays, and corrupted result rows.
+Determinism is the point: faults key on the **flat cell index and the
+attempt number** (both carried in the chunk payload), never on wall-clock
+or on shared mutable counters, so the same plan replays the same failure
+sequence on any backend — serial, thread pool, or process pool — and a
+failing CI run reproduces from its recorded seed.
+
+The scenario engine applies the plan around each cell solve
+(:meth:`FaultPlan.before` / :meth:`FaultPlan.after`); the retry layer
+(:mod:`repro.resilience.retry`) must then recover: a crash whose
+``attempts`` budget is exhausted prices cleanly on the next attempt, so a
+correct retry implementation yields **bit-identical** final answers with
+zero unhandled exceptions — the contract pinned by ``tests/resilience/``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.api import PricingResult
+from repro.util.validation import ValidationError
+
+CRASH_EXCEPTION = "exception"
+CRASH_EXIT = "exit"
+
+
+class InjectedCrash(RuntimeError):
+    """A fault-plan crash: stands in for a worker dying mid-solve."""
+
+
+class CorruptedResult(RuntimeError):
+    """Raised by a resilient dispatcher when a returned row fails
+    output validation (non-finite price on a non-marker result)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which cells fail, how, and for how many attempts.
+
+    Parameters
+    ----------
+    crashes:
+        ``{cell_index: attempts}`` — the cell's solve crashes while
+        ``attempt < attempts`` (so ``1`` means: first try dies, first
+        retry succeeds).
+    delays:
+        ``{cell_index: seconds}`` — sleep injected before the cell's
+        solve on **every** attempt (drive a deadline past its budget).
+    corrupt:
+        ``{cell_index: attempts}`` — the cell's *result* comes back with a
+        NaN price while ``attempt < attempts``; detected by the
+        dispatcher's output validation and re-priced.
+    crash_style:
+        ``"exception"`` raises :class:`InjectedCrash` (any backend);
+        ``"exit"`` kills the worker **process** via ``os._exit`` — a real
+        dead worker, driving ``BrokenProcessPool`` and the pool-rebuild
+        path.  Outside a child process (serial/thread backends) ``"exit"``
+        degrades to the exception so a test plan can never kill the test
+        runner.
+    seed:
+        Provenance only (recorded by :meth:`describe` and the CI failure
+        artifact); use :meth:`FaultPlan.random` to *derive* a plan from it.
+    """
+
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    delays: Mapping[int, float] = field(default_factory=dict)
+    corrupt: Mapping[int, int] = field(default_factory=dict)
+    crash_style: str = CRASH_EXCEPTION
+    seed: Optional[int] = None
+    sleep: object = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.crash_style not in (CRASH_EXCEPTION, CRASH_EXIT):
+            raise ValidationError(
+                f"crash_style must be {CRASH_EXCEPTION!r} or {CRASH_EXIT!r},"
+                f" got {self.crash_style!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_cells: int,
+        *,
+        crash_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 0.0,
+        corrupt_rate: float = 0.0,
+        attempts: int = 1,
+        crash_style: str = CRASH_EXCEPTION,
+    ) -> "FaultPlan":
+        """Derive a plan deterministically from ``seed``.
+
+        Each cell independently draws crash/delay/corrupt membership from
+        one :class:`random.Random` stream, so the same ``(seed, n_cells,
+        rates)`` always builds the same plan — the seed alone reproduces a
+        failing run.
+        """
+        rng = random.Random(seed)
+        crashes: dict[int, int] = {}
+        delays: dict[int, float] = {}
+        corrupt: dict[int, int] = {}
+        for cell in range(n_cells):
+            if rng.random() < crash_rate:
+                crashes[cell] = attempts
+            if rng.random() < delay_rate:
+                delays[cell] = delay
+            if rng.random() < corrupt_rate:
+                corrupt[cell] = attempts
+        return cls(
+            crashes=crashes, delays=delays, corrupt=corrupt,
+            crash_style=crash_style, seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def before(self, cell: int, attempt: int) -> None:
+        """Apply pre-solve faults for ``cell`` on try number ``attempt``."""
+        delay = self.delays.get(cell)
+        if delay:
+            self.sleep(delay)
+        if attempt < self.crashes.get(cell, 0):
+            if (
+                self.crash_style == CRASH_EXIT
+                and multiprocessing.parent_process() is not None
+            ):
+                # a real dead worker — only ever inside a pool child
+                os._exit(17)
+            raise InjectedCrash(
+                f"injected crash: cell {cell}, attempt {attempt}"
+            )
+
+    def after(
+        self, cell: int, attempt: int, result: PricingResult
+    ) -> PricingResult:
+        """Apply post-solve faults: corrupt the row while budgeted."""
+        if attempt < self.corrupt.get(cell, 0):
+            bad = result.scaled(1.0)  # never mutate the genuine result
+            bad.price = float("nan")
+            return bad
+        return result
+
+    def describe(self) -> dict:
+        """JSON-ready reproduction record (CI uploads this on failure)."""
+        return {
+            "seed": self.seed,
+            "crash_style": self.crash_style,
+            "crashes": {str(k): v for k, v in sorted(self.crashes.items())},
+            "delays": {str(k): v for k, v in sorted(self.delays.items())},
+            "corrupt": {str(k): v for k, v in sorted(self.corrupt.items())},
+        }
+
+
+def validate_row(result: PricingResult) -> None:
+    """Output validation for a worker-returned row.
+
+    Raises :class:`CorruptedResult` when a row that claims to be served
+    carries a non-finite price — the detector that turns silent data
+    corruption into a retryable failure.  Marker rows (timeout/failure
+    stand-ins, which are NaN by design) pass through.
+    """
+    if result.meta.get("timeout") or result.meta.get("failed"):
+        return
+    if not math.isfinite(result.price):
+        raise CorruptedResult(
+            f"non-finite price {result.price!r} from a served row "
+            f"({result.model}/{result.method}, steps={result.steps})"
+        )

@@ -1,0 +1,64 @@
+"""Explicit per-cell outcome markers for partial-result returns.
+
+When a deadline, breaker, or exhausted retry prevents a cell from being
+served, the resilient paths return a *marker* :class:`PricingResult` in
+that cell's slot — ``price`` is NaN and ``meta`` names the reason — so a
+batch keeps its shape (results stay in flat grid / submission order) and
+the failure mode is explicit per cell rather than one exception for the
+whole batch.  Markers are never cached and never count as solves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.api import PricingResult
+
+#: ``meta`` keys marking a non-served cell; consumers test via the
+#: predicates below, not these literals.
+TIMEOUT_KEY = "timeout"
+FAILED_KEY = "failed"
+STALE_KEY = "stale"
+
+
+def timeout_result(
+    steps: int, model: str, method: str, *, detail: str = ""
+) -> PricingResult:
+    """A per-cell ``TimeoutError`` stand-in: NaN price, ``meta["timeout"]``."""
+    meta = {TIMEOUT_KEY: True}
+    if detail:
+        meta["detail"] = detail
+    return PricingResult(float("nan"), steps, model, method, meta=meta)
+
+
+def failure_result(
+    steps: int, model: str, method: str, error: BaseException
+) -> PricingResult:
+    """A per-cell failure marker carrying the error's repr (not the object —
+    markers must stay picklable and cycle-free)."""
+    return PricingResult(
+        float("nan"), steps, model, method,
+        meta={FAILED_KEY: True, "error": f"{type(error).__name__}: {error}"},
+    )
+
+
+def is_timeout(result: PricingResult) -> bool:
+    return bool(result.meta.get(TIMEOUT_KEY))
+
+
+def is_failure(result: PricingResult) -> bool:
+    return bool(result.meta.get(FAILED_KEY))
+
+
+def is_stale(result: PricingResult) -> bool:
+    return bool(result.meta.get(STALE_KEY))
+
+
+def is_marker(result: PricingResult) -> bool:
+    """True for any not-actually-served result (timeout/failure marker)."""
+    return is_timeout(result) or is_failure(result)
+
+
+def is_served(result: PricingResult) -> bool:
+    """A genuinely priced result: not a marker, finite price."""
+    return not is_marker(result) and math.isfinite(result.price)

@@ -1,0 +1,129 @@
+"""Retry with jittered exponential backoff, fully injectable for tests.
+
+:class:`RetryPolicy` is a frozen value object describing *how* to retry —
+attempt budget, backoff curve, jitter, and which exception types count as
+transient — with the clock-touching pieces (``sleep``) and the randomness
+(``seed`` → :class:`random.Random`) injectable so every retry schedule is
+reproducible in tests.
+
+The scenario engine uses it to re-dispatch a dead worker's chunk (pool
+rebuild on :class:`concurrent.futures.BrokenExecutor`, then chunk-level
+re-submission) and to re-price cells whose results came back corrupted;
+the quote service's per-request isolation of poisoned buckets composes
+with it unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+from repro.resilience.faults import CorruptedResult, InjectedCrash
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_nonnegative,
+)
+
+#: Failures worth re-trying: worker/pool death, injected faults, OS-level
+#: hiccups, corrupted outputs.  Deliberately excludes ``ValidationError``
+#: and other ``ValueError``\ s — a poisoned request fails identically on
+#: every attempt and must be isolated, not retried.
+TRANSIENT: Tuple[Type[BaseException], ...] = (
+    BrokenExecutor,
+    InjectedCrash,
+    CorruptedResult,
+    ConnectionError,
+    OSError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff: delay ``i`` is
+    ``min(base_delay * multiplier**i, max_delay)`` scaled by a uniform
+    jitter factor in ``[1 - jitter, 1 + jitter]``.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``3`` = one try + two retries).
+    base_delay, multiplier, max_delay:
+        The backoff curve, in seconds.
+    jitter:
+        Fractional spread (``0.5`` → ±50%); de-synchronizes retry storms.
+    retry_on:
+        Exception types considered transient.
+    seed:
+        Seeds the jitter stream (:meth:`rng`); ``None`` draws a fresh
+        stream per call site.
+    sleep:
+        Injectable sleep; tests pass a recorder, production the default
+        :func:`time.sleep`.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retry_on: Tuple[Type[BaseException], ...] = TRANSIENT
+    seed: Optional[int] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        check_integer("max_attempts", self.max_attempts, minimum=1)
+        check_nonnegative("base_delay", self.base_delay)
+        check_nonnegative("max_delay", self.max_delay)
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(
+                f"jitter must be in [0, 1], got {self.jitter!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def rng(self) -> random.Random:
+        """A fresh jitter stream (deterministic when ``seed`` is set)."""
+        return random.Random(self.seed)
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt + 1`` (attempt 0 = first
+        failure)."""
+        raw = min(
+            self.base_delay * self.multiplier ** max(0, attempt),
+            self.max_delay,
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        r = rng if rng is not None else self.rng()
+        return raw * (1.0 + self.jitter * (2.0 * r.random() - 1.0))
+
+    def delays(self, rng: Optional[random.Random] = None) -> "list[float]":
+        """The full backoff schedule (``max_attempts - 1`` entries)."""
+        r = rng if rng is not None else self.rng()
+        return [self.delay(i, r) for i in range(self.max_attempts - 1)]
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` under this policy: transient failures back off and
+        retry; the last failure (or any non-transient one) propagates."""
+        r = self.rng()
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 — filtered below
+                if (
+                    not self.is_transient(exc)
+                    or attempt + 1 >= self.max_attempts
+                ):
+                    raise
+                self.sleep(self.delay(attempt, r))
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -41,7 +41,15 @@ import os
 import sys
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -51,10 +59,33 @@ from repro.core.api import PricingResult, price_many
 from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
 from repro.options.contract import OptionSpec
 from repro.parallel.workspan import WorkSpan
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.resilience.faults import CorruptedResult, FaultPlan, validate_row
+from repro.resilience.markers import failure_result, timeout_result
+from repro.resilience.retry import RetryPolicy
 from repro.risk.grid import ScenarioGrid
 from repro.util.validation import ValidationError, check_integer
 
 BACKENDS = ("process", "thread", "serial")
+
+#: One process-wide warning when a parallel backend silently degrades to
+#: the serial path because its pool could not be built at all.
+_POOL_FALLBACK_WARNED = False
+
+
+def _warn_pool_fallback(reason: str) -> None:
+    global _POOL_FALLBACK_WARNED
+    if not _POOL_FALLBACK_WARNED:
+        _POOL_FALLBACK_WARNED = True
+        warnings.warn(
+            "ScenarioEngine could not build its worker pool and fell back "
+            f"to serial execution ({reason}); results are identical but no "
+            "parallel speedup applies.  Further fallbacks in this process "
+            "are recorded in result meta['fallback_reason'] without "
+            "warning again.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def available_workers() -> int:
@@ -150,6 +181,39 @@ def _price_chunk(
     return start, results, seconds
 
 
+def _price_cells(
+    payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy, int,
+                   Optional[FaultPlan]],
+) -> tuple[int, list[PricingResult], float]:
+    """Executor task for the *resilient* path: price a chunk cell by cell.
+
+    Unlike :func:`_price_chunk` this prices one cell per ``price_many``
+    call so the fault hooks fire per cell, keyed on the **flat grid index
+    and attempt number** — the same ``(cell, attempt)`` replays the same
+    fault on any backend, which is what makes fault runs deterministic.
+    Within-chunk cross-cell dedup is deliberately given up here (each cell
+    is its own batch); per-cell solves are bit-identical to batched ones
+    (the lockstep guarantee), so answers do not move.
+
+    A crash mid-chunk discards the chunk's partial results; the parent
+    re-dispatches and the surviving cells are simply re-priced —
+    deterministic solves make the recompute free of answer drift.
+    """
+    lo, specs, steps, kwargs, policy, attempt, plan = payload
+    engine = _worker_engine(policy)
+    t0 = time.perf_counter()
+    results: list[PricingResult] = []
+    for i, spec in enumerate(specs):
+        cell = lo + i
+        if plan is not None:
+            plan.before(cell, attempt)
+        r = price_many([spec], steps, engine=engine, **kwargs)[0]
+        if plan is not None:
+            r = plan.after(cell, attempt, r)
+        results.append(r)
+    return lo, results, time.perf_counter() - t0
+
+
 def _map_chunk(payload: tuple) -> tuple[int, list]:
     """Executor task: run a caller task on this worker's persistent engine."""
     start, items, task, policy = payload
@@ -225,10 +289,29 @@ class ScenarioEngine:
     model, method, base, lam, policy:
         Default pricing configuration, per :func:`repro.core.api.price_many`;
         each can be overridden per :meth:`price_grid` call.
+    retry, fault_plan:
+        Default resilience configuration (overridable per call):
+        a :class:`~repro.resilience.retry.RetryPolicy` for transient
+        worker failures, and a :class:`~repro.resilience.faults.FaultPlan`
+        for deterministic fault injection (tests/benchmarks only).
 
     The engine itself holds no mutable pricing state — pools are created
     per :meth:`price_grid` call and per-worker ``AdvanceEngine`` instances
     live in the workers — so one ``ScenarioEngine`` may be shared freely.
+
+    Resilient dispatch
+    ------------------
+    :meth:`price_grid` accepts ``deadline`` / ``retry`` / ``fault_plan``;
+    when any is set the grid runs through the *resilient* dispatch loop
+    (``submit`` + ``wait`` instead of ``pool.map``) which prices chunks
+    cell by cell, re-dispatches transiently-failed chunks with jittered
+    backoff, rebuilds a broken process pool once per break (re-pricing
+    only the chunks the dead worker held), isolates a poisoned request by
+    splitting its chunk into single cells, and — when the deadline
+    expires — returns *partial results*: every finished cell keeps its
+    bit-exact price, unfinished cells carry an explicit timeout marker
+    (:func:`repro.resilience.markers.timeout_result`).  With all three
+    unset, dispatch is byte-for-byte the original fast path.
     """
 
     def __init__(
@@ -242,6 +325,8 @@ class ScenarioEngine:
         base: Optional[int] = None,
         lam: Optional[float] = None,
         policy: AdvancePolicy = DEFAULT_POLICY,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if backend not in BACKENDS:
             raise ValidationError(
@@ -261,6 +346,8 @@ class ScenarioEngine:
         self.base = base
         self.lam = lam
         self.policy = policy
+        self.retry = retry
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ #
     def _chunks(self, n: int) -> list[tuple[int, int]]:
@@ -293,6 +380,9 @@ class ScenarioEngine:
         method: Optional[str] = None,
         base: Optional[int] = None,
         lam: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> list[PricingResult]:
         """Price a flat contract list; results in input order.
 
@@ -308,6 +398,7 @@ class ScenarioEngine:
         return self.price_grid(
             ScenarioGrid.explicit(list(specs)), steps,
             model=model, method=method, base=base, lam=lam,
+            deadline=deadline, retry=retry, fault_plan=fault_plan,
         ).results
 
     def map_chunks(self, items: Sequence, task) -> list:
@@ -358,11 +449,21 @@ class ScenarioEngine:
         method: Optional[str] = None,
         base: Optional[int] = None,
         lam: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ScenarioResult:
         """Price every grid cell; results come back in flat grid order.
 
         ``grid`` may be a :class:`ScenarioGrid` or a plain contract
         sequence (wrapped via :meth:`ScenarioGrid.explicit`).
+
+        ``deadline`` / ``retry`` / ``fault_plan`` select the resilient
+        dispatch (class docstring); ``retry`` and ``fault_plan`` default
+        to the engine's own.  Without ``retry``, a cell failure propagates
+        as before; with it, exhausted/non-transient failures become
+        per-cell markers and ``meta["resilience"]`` reports the recovery
+        counters.
         """
         if not isinstance(grid, ScenarioGrid):
             grid = ScenarioGrid.explicit(list(grid))
@@ -374,27 +475,65 @@ class ScenarioEngine:
             "lam": self.lam if lam is None else lam,
             "policy": self.policy,
         }
+        if retry is None:
+            retry = self.retry
+        if fault_plan is None:
+            fault_plan = self.fault_plan
+        resilient = (
+            deadline is not None or retry is not None or fault_plan is not None
+        )
 
         specs = grid.specs
         chunks = self._chunks(len(specs))
         results: list[Optional[PricingResult]] = [None] * len(specs)
         serial = self.backend == "serial" or self.workers == 1 or len(chunks) == 1
+        fallback_reason: Optional[str] = None
+        if serial and self.backend != "serial":
+            # parallel was configured but this run cannot use it — benign,
+            # recorded for observability, no warning
+            fallback_reason = "workers=1" if self.workers == 1 else "single_chunk"
+
+        pool: Optional[Executor] = None
+        if not serial:
+            try:
+                pool = self._make_pool()
+            except (OSError, RuntimeError) as exc:
+                # pool construction itself failed (sandboxed host, fd/sem
+                # exhaustion, missing multiprocessing primitives): degrade
+                # to the bit-identical serial path instead of failing the
+                # whole grid, and say so — once loudly, then via meta.
+                serial = True
+                fallback_reason = (
+                    f"pool_unavailable: {type(exc).__name__}: {exc}"
+                )
+                _warn_pool_fallback(fallback_reason)
 
         t0 = time.perf_counter()
         cells_wall = 0.0
         engine_info: Optional[dict] = None
+        rmeta: Optional[dict] = None
         if serial:
-            engine = AdvanceEngine(self.policy)
-            for lo, hi in chunks:
-                chunk_results, seconds = _run_chunk(
-                    engine, specs[lo:hi], steps, kwargs
+            if resilient:
+                cells_wall, rmeta, engine_info = self._solve_serial_resilient(
+                    results, specs, steps, kwargs, deadline, retry, fault_plan
                 )
-                _rebase_dedup_indices(chunk_results, lo)
-                results[lo:hi] = chunk_results
-                cells_wall += seconds
-            engine_info = engine.cache_info()
+            else:
+                engine = AdvanceEngine(self.policy)
+                for lo, hi in chunks:
+                    chunk_results, seconds = _run_chunk(
+                        engine, specs[lo:hi], steps, kwargs
+                    )
+                    _rebase_dedup_indices(chunk_results, lo)
+                    results[lo:hi] = chunk_results
+                    cells_wall += seconds
+                engine_info = engine.cache_info()
+        elif resilient:
+            cells_wall, rmeta = self._solve_pooled_resilient(
+                pool, results, specs, steps, kwargs, chunks,
+                deadline, retry, fault_plan,
+            )
         else:
-            with self._make_pool() as pool:
+            with pool:
                 payloads = [
                     (lo, specs[lo:hi], steps, kwargs, self.policy)
                     for lo, hi in chunks
@@ -428,6 +567,10 @@ class ScenarioEngine:
             "predicted_speedup": t1 / tp if tp > 0.0 else 1.0,
             "parallelism": workspan.parallelism,
         }
+        if fallback_reason is not None:
+            meta["fallback_reason"] = fallback_reason
+        if rmeta is not None:
+            meta["resilience"] = rmeta
         if engine_info is not None:
             # serial runs share one engine: surface its counters so callers
             # can verify the grid rode the batched advance path
@@ -438,3 +581,238 @@ class ScenarioEngine:
             workspan=workspan,
             meta=meta,
         )
+
+    # ------------------------------------------------------------------ #
+    # Resilient dispatch
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fresh_rmeta(
+        deadline: Optional[Deadline], fault_plan: Optional[FaultPlan]
+    ) -> dict:
+        rmeta: dict = {
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "isolated": 0,
+            "corrupt_detected": 0,
+            "timeouts": [],
+            "failed": {},
+        }
+        if deadline is not None:
+            rmeta["deadline_budget_s"] = deadline.budget
+        if fault_plan is not None and fault_plan.seed is not None:
+            rmeta["fault_seed"] = fault_plan.seed
+        return rmeta
+
+    def _solve_serial_resilient(
+        self,
+        results: "list[Optional[PricingResult]]",
+        specs: Sequence[OptionSpec],
+        steps: int,
+        kwargs: dict,
+        deadline: Optional[Deadline],
+        retry: Optional[RetryPolicy],
+        plan: Optional[FaultPlan],
+    ) -> tuple[float, dict, dict]:
+        """Serial resilient loop: one engine, cell-by-cell, cooperative
+        deadline preemption via the engine's ``checkpoint`` hook.
+
+        Fills ``results`` in place; returns ``(cells_wall, rmeta,
+        engine_info)``.
+        """
+        engine = AdvanceEngine(self.policy)
+        if deadline is not None:
+            engine.checkpoint = deadline.checkpoint
+        rmeta = self._fresh_rmeta(deadline, plan)
+        rng = retry.rng() if retry is not None else None
+        mm = (kwargs["model"], kwargs["method"])
+        cells_wall = 0.0
+        for idx, spec in enumerate(specs):
+            if deadline is not None and deadline.expired:
+                results[idx] = timeout_result(
+                    steps, *mm, detail="budget spent before solve"
+                )
+                rmeta["timeouts"].append(idx)
+                continue
+            attempt = 0
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    if plan is not None:
+                        plan.before(idx, attempt)
+                    r = price_many([spec], steps, engine=engine, **kwargs)[0]
+                    if plan is not None:
+                        r = plan.after(idx, attempt, r)
+                    validate_row(r)
+                except DeadlineExceeded:
+                    # checkpoint fired mid-solve: this cell times out, the
+                    # pre-loop check marks every later cell without solving
+                    cells_wall += time.perf_counter() - t0
+                    results[idx] = timeout_result(
+                        steps, *mm, detail="preempted mid-solve"
+                    )
+                    rmeta["timeouts"].append(idx)
+                    break
+                except Exception as exc:
+                    cells_wall += time.perf_counter() - t0
+                    if isinstance(exc, CorruptedResult):
+                        rmeta["corrupt_detected"] += 1
+                    if (
+                        retry is not None
+                        and retry.is_transient(exc)
+                        and attempt + 1 < retry.max_attempts
+                    ):
+                        rmeta["retries"] += 1
+                        delay = retry.delay(attempt, rng)
+                        if deadline is not None:
+                            delay = deadline.sleep_budget(delay)
+                        if delay > 0.0:
+                            retry.sleep(delay)
+                        attempt += 1
+                        continue
+                    if retry is None:
+                        # deadline/fault-only resilience keeps the original
+                        # raise-through failure contract
+                        raise
+                    results[idx] = failure_result(steps, *mm, exc)
+                    rmeta["failed"][idx] = f"{type(exc).__name__}: {exc}"
+                    break
+                else:
+                    cells_wall += time.perf_counter() - t0
+                    results[idx] = r
+                    break
+        engine.checkpoint = None
+        return cells_wall, rmeta, engine.cache_info()
+
+    def _solve_pooled_resilient(
+        self,
+        pool: Executor,
+        results: "list[Optional[PricingResult]]",
+        specs: Sequence[OptionSpec],
+        steps: int,
+        kwargs: dict,
+        chunks: "list[tuple[int, int]]",
+        deadline: Optional[Deadline],
+        retry: Optional[RetryPolicy],
+        plan: Optional[FaultPlan],
+    ) -> tuple[float, dict]:
+        """Pooled resilient loop: ``submit`` + ``wait(FIRST_COMPLETED)``.
+
+        Fills ``results`` in place; returns ``(cells_wall, rmeta)``.
+
+        Recovery ladder, per completed-with-error chunk:
+
+        1. ``BrokenExecutor`` — the pool died under the chunk.  The first
+           future of the current pool *generation* to observe the break
+           rebuilds the pool (once); every affected chunk then re-enters
+           the ladder as a transient failure, so only the dead worker's
+           chunks re-price.
+        2. transient + attempts left → jittered backoff (clamped to the
+           deadline) and re-dispatch with ``attempt + 1``.
+        3. non-transient in a multi-cell chunk → split into single-cell
+           dispatches (same attempt): the poisoned request fails alone,
+           its chunk siblings are served.
+        4. single cell, exhausted or non-transient → failure marker (or
+           raise, when no retry policy is in force).
+
+        Rows of successful chunks are validated; corrupted rows re-enter
+        the ladder as single-cell transient failures.  When the deadline
+        expires with futures outstanding, their unfilled cells become
+        timeout markers and the pool is cancelled — finished cells always
+        keep their bit-exact prices.
+        """
+        rmeta = self._fresh_rmeta(deadline, plan)
+        rng = retry.rng() if retry is not None else None
+        mm = (kwargs["model"], kwargs["method"])
+        cells_wall = 0.0
+        generation = 0
+        pending: dict = {}  # future -> (lo, hi, attempt, generation)
+
+        def dispatch(lo: int, hi: int, attempt: int) -> None:
+            payload = (
+                lo, list(specs[lo:hi]), steps, kwargs, self.policy,
+                attempt, plan,
+            )
+            pending[pool.submit(_price_cells, payload)] = (
+                lo, hi, attempt, generation,
+            )
+
+        def handle_failure(
+            lo: int, hi: int, attempt: int, exc: BaseException
+        ) -> None:
+            if (
+                retry is not None
+                and retry.is_transient(exc)
+                and attempt + 1 < retry.max_attempts
+            ):
+                rmeta["retries"] += 1
+                delay = retry.delay(attempt, rng)
+                if deadline is not None:
+                    delay = deadline.sleep_budget(delay)
+                if delay > 0.0:
+                    retry.sleep(delay)
+                dispatch(lo, hi, attempt + 1)
+            elif hi - lo > 1:
+                # a poisoned request must fail alone, not take its chunk
+                # siblings down with it
+                rmeta["isolated"] += 1
+                for cell in range(lo, hi):
+                    dispatch(cell, cell + 1, attempt)
+            elif retry is None:
+                raise exc
+            else:
+                results[lo] = failure_result(steps, *mm, exc)
+                rmeta["failed"][lo] = f"{type(exc).__name__}: {exc}"
+
+        try:
+            for lo, hi in chunks:
+                dispatch(lo, hi, 0)
+            while pending:
+                timeout = deadline.remaining() if deadline is not None else None
+                done, _ = wait(
+                    list(pending), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # budget spent with futures outstanding: partial return
+                    for fut, (lo, hi, _a, _g) in pending.items():
+                        fut.cancel()
+                        for cell in range(lo, hi):
+                            if results[cell] is None:
+                                results[cell] = timeout_result(
+                                    steps, *mm, detail="chunk unfinished"
+                                )
+                                rmeta["timeouts"].append(cell)
+                    pending.clear()
+                    break
+                for fut in done:
+                    lo, hi, attempt, fut_generation = pending.pop(fut)
+                    try:
+                        _lo, chunk_results, seconds = fut.result()
+                    except BrokenExecutor as exc:
+                        if fut_generation == generation:
+                            # first observer of this break rebuilds; sibling
+                            # futures from the dead generation fall through
+                            # to the ladder without rebuilding again
+                            generation += 1
+                            rmeta["pool_rebuilds"] += 1
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = self._make_pool()
+                        handle_failure(lo, hi, attempt, exc)
+                        continue
+                    except Exception as exc:
+                        handle_failure(lo, hi, attempt, exc)
+                        continue
+                    cells_wall += seconds
+                    for i, r in enumerate(chunk_results):
+                        cell = lo + i
+                        try:
+                            validate_row(r)
+                        except CorruptedResult as exc:
+                            rmeta["corrupt_detected"] += 1
+                            handle_failure(cell, cell + 1, attempt, exc)
+                        else:
+                            results[cell] = r
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        rmeta["timeouts"].sort()
+        return cells_wall, rmeta

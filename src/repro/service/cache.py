@@ -15,6 +15,16 @@ Semantics
   deterministic.  ``ttl=None`` (default) never expires.  Expiry is lazy: an
   expired entry is dropped (and counted) when next looked up or when
   :meth:`purge_expired` sweeps.
+* **Stale grace** (``stale_grace > 0``): an expired entry is *retained* for
+  ``stale_grace`` further seconds instead of being dropped.  It no longer
+  satisfies :meth:`get` (expired is expired — the miss drives a refresh),
+  but :meth:`get_stale` can still serve it explicitly — the
+  stale-while-revalidate degradation path the quote service uses under
+  breaker-open or deadline pressure (docs/DESIGN.md §8).  Entry lifecycle:
+  *fresh* (age < ttl) → *stale* (ttl <= age < ttl + grace) → *gone*.
+  Each entry counts at most one expiration, at the fresh→stale
+  transition.  With the default ``stale_grace=0`` behaviour is exactly
+  the original drop-at-expiry.
 * **Clock injection**: ``clock`` is any zero-argument monotonic callable;
   production uses :func:`time.monotonic`, tests pass a fake.  The cache
   never reads the wall clock behind the caller's back.
@@ -44,6 +54,8 @@ class CacheEntry:
     result: PricingResult
     created_at: float
     hits: int = 0
+    #: the fresh→stale transition was already counted in ``expirations``
+    expired_counted: bool = False
 
 
 class QuoteCache:
@@ -54,11 +66,17 @@ class QuoteCache:
         maxsize: int = 4096,
         ttl: Optional[float] = None,
         clock: Clock = time.monotonic,
+        stale_grace: float = 0.0,
     ):
         self.maxsize = check_integer("maxsize", maxsize, minimum=1)
         if ttl is not None and ttl <= 0.0:
             raise ValidationError(f"ttl must be > 0 or None, got {ttl}")
+        if not stale_grace >= 0.0:  # NaN-proof inverted comparison
+            raise ValidationError(
+                f"stale_grace must be >= 0, got {stale_grace}"
+            )
         self.ttl = ttl
+        self.stale_grace = float(stale_grace)
         self._clock = clock
         self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
@@ -67,21 +85,45 @@ class QuoteCache:
         self._evictions = 0
         self._expirations = 0
         self._stores = 0
+        self._stale_served = 0
 
     # ------------------------------------------------------------------ #
     def _expired(self, entry: CacheEntry, now: float) -> bool:
         return self.ttl is not None and now - entry.created_at >= self.ttl
 
+    def _gone(self, entry: CacheEntry, now: float) -> bool:
+        """Past the stale grace too — nothing may serve it any more."""
+        return (
+            self.ttl is not None
+            and now - entry.created_at >= self.ttl + self.stale_grace
+        )
+
+    def _note_expired(self, key: Hashable, entry: CacheEntry, now: float) -> None:
+        """Count the fresh→stale transition once and drop gone entries.
+
+        Call only when ``entry`` is known expired; the lock must be held.
+        """
+        if not entry.expired_counted:
+            entry.expired_counted = True
+            self._expirations += 1
+        if self._gone(entry, now):
+            del self._entries[key]
+
     def get(self, key: Hashable) -> Optional[PricingResult]:
-        """The cached canonical result, or ``None`` (counted as a miss)."""
+        """The cached canonical result, or ``None`` (counted as a miss).
+
+        An expired entry never satisfies ``get`` — even inside the stale
+        grace, where it is retained for :meth:`get_stale` but the miss
+        recorded here is what drives its refresh.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
                 return None
-            if self._expired(entry, self._clock()):
-                del self._entries[key]
-                self._expirations += 1
+            now = self._clock()
+            if self._expired(entry, now):
+                self._note_expired(key, entry, now)
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -93,17 +135,42 @@ class QuoteCache:
         """Like :meth:`get` but touches neither the hit/miss counters nor
         LRU recency — for probes that may decide to re-solve anyway (e.g.
         the service's boundary-upgrade check), so the stats keep meaning
-        "requests served from cache".  Expired entries are still dropped
-        (and counted as expirations).
+        "requests served from cache".  Expired entries still transition
+        (counted once) and gone entries are still dropped.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return None
-            if self._expired(entry, self._clock()):
-                del self._entries[key]
-                self._expirations += 1
+            now = self._clock()
+            if self._expired(entry, now):
+                self._note_expired(key, entry, now)
                 return None
+            return entry.result
+
+    def get_stale(self, key: Hashable) -> Optional[PricingResult]:
+        """Serve ``key`` even if expired, as long as it is within the stale
+        grace — the degradation path for breaker-open / deadline pressure.
+
+        Returns the stored canonical result for *fresh or stale* entries
+        (``None`` for absent/gone ones).  Counts ``stale_served`` when the
+        entry was actually expired; never touches hit/miss counters or LRU
+        recency (serving stale must not keep a dying entry "recently
+        used").  Callers are expected to mark the served copy stale and
+        schedule a refresh — the cache only vouches that the value was
+        exact when stored.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            now = self._clock()
+            if self._gone(entry, now):
+                self._note_expired(key, entry, now)
+                return None
+            if self._expired(entry, now):
+                self._note_expired(key, entry, now)
+                self._stale_served += 1
             return entry.result
 
     def put(self, key: Hashable, result: PricingResult) -> None:
@@ -132,14 +199,27 @@ class QuoteCache:
                 self._evictions += 1
 
     def purge_expired(self) -> int:
-        """Drop every expired entry now; returns how many went."""
+        """Drop every no-longer-servable entry now; returns how many went.
+
+        Entries inside the stale grace are *kept* (still servable via
+        :meth:`get_stale`) but their expiration is counted; with the
+        default ``stale_grace=0`` this is exactly "drop every expired
+        entry".
+        """
         with self._lock:
             now = self._clock()
-            dead = [k for k, e in self._entries.items() if self._expired(e, now)]
-            for k in dead:
-                del self._entries[k]
-            self._expirations += len(dead)
-            return len(dead)
+            dropped = 0
+            for k in list(self._entries):
+                e = self._entries[k]
+                if not self._expired(e, now):
+                    continue
+                if not e.expired_counted:
+                    e.expired_counted = True
+                    self._expirations += 1
+                if self._gone(e, now):
+                    del self._entries[k]
+                    dropped += 1
+            return dropped
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe the session)."""
@@ -167,8 +247,10 @@ class QuoteCache:
                 "evictions": self._evictions,
                 "expirations": self._expirations,
                 "stores": self._stores,
+                "stale_served": self._stale_served,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "ttl": self.ttl,
+                "stale_grace": self.stale_grace,
                 "hit_ratio": self._hits / lookups if lookups else 0.0,
             }

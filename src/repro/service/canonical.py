@@ -49,8 +49,10 @@ from repro.options.contract import OptionSpec, Right, Style
 from repro.options.params import BSMGridParams
 from repro.util.validation import (
     ValidationError,
+    check_finite,
     check_integer,
     check_nonnegative,
+    check_spec_finite,
 )
 
 #: Bump when the canonical form changes incompatibly, so stale keys from an
@@ -140,6 +142,17 @@ def canonicalize(
     """
     steps = check_integer("steps", steps, minimum=1)
     check_model_method(model, method)
+    # Service-boundary NaN/inf screen: constructor validation does not
+    # survive pickling (worker boundaries restore __dict__ directly), and a
+    # NaN coordinate both poisons its coalesced bucket's arithmetic and —
+    # since NaN != NaN — builds a key that can never hit the cache.  The
+    # solve knobs get the same screen: a NaN lam would otherwise bucket and
+    # fail only deep inside the FD solve.
+    check_spec_finite(spec)
+    if base is not None:
+        base = check_integer("base", base, minimum=1)
+    if lam is not None:
+        lam = check_finite("lam", lam)
     if spec.style is Style.BERMUDAN:
         raise ValidationError(
             "the quote service keys American and European contracts; a "

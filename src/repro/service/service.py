@@ -57,6 +57,22 @@ from repro.core.api import (
 )
 from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
 from repro.options.contract import OptionSpec, Style
+from repro.resilience.breaker import (
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.deadline import Deadline, DeadlineExceeded, effective_deadline
+from repro.resilience.faults import FaultPlan
+from repro.resilience.markers import (
+    STALE_KEY,
+    failure_result,
+    is_marker,
+    is_timeout,
+    timeout_result,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.risk.engine import BACKENDS, ScenarioEngine
 from repro.service.cache import Clock, QuoteCache
 from repro.service.canonical import (
@@ -70,7 +86,26 @@ from repro.util.validation import ValidationError, check_integer
 
 
 class ServiceOverloadedError(RuntimeError):
-    """Raised by a non-blocking submit when the pending queue is full."""
+    """Raised by a non-blocking submit when the pending queue is full.
+
+    Structured payload, so a load-shedding caller can act without parsing
+    the message: ``rejected_keys`` (the canonical keys this call could not
+    enqueue), ``pending`` (queue depth at rejection) and ``max_pending``
+    (the configured bound).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rejected_keys: Sequence = (),
+        pending: int = 0,
+        max_pending: int = 0,
+    ):
+        super().__init__(message)
+        self.rejected_keys = list(rejected_keys)
+        self.pending = pending
+        self.max_pending = max_pending
 
 
 @dataclass
@@ -81,6 +116,9 @@ class _Pending:
     canonical_result: Optional[PricingResult] = None
     error: Optional[BaseException] = None
     event: threading.Event = field(default_factory=threading.Event)
+    #: tightest budget any merged caller carried; the bucket solve honors
+    #: the tightest across its members (effective_deadline)
+    deadline: Optional[Deadline] = None
 
 
 class QuoteTicket:
@@ -171,6 +209,28 @@ class QuoteService:
         :class:`ScenarioEngine` builds its pool per call, so small batches
         would pay pool startup that dwarfs their solve time; buckets below
         this size run on the serial shared engine instead.
+    breaker:
+        Optional :class:`~repro.resilience.breaker.BreakerPolicy` — one
+        :class:`CircuitBreaker` per ``(model, method, steps)`` bucket,
+        created lazily on the service's ``clock``.  While a bucket's
+        breaker is open, its quotes are served stale (when the cache still
+        holds the key within ``stale_grace``) or rejected fast with
+        :class:`~repro.resilience.breaker.CircuitOpenError`; healthy
+        buckets are unaffected.
+    retry, fault_plan:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` /
+        :class:`~repro.resilience.faults.FaultPlan` forwarded to the
+        solve tier.  When either is set, bucket solves route through a
+        resilient :class:`ScenarioEngine` dispatch (serial-backend when
+        ``workers == 1``) so transient worker failures re-dispatch and
+        exhausted failures come back as per-cell markers instead of
+        batch-wide exceptions.
+    stale_grace:
+        Stale-while-revalidate window (seconds) for the internally-built
+        cache: expired entries remain servable — explicitly marked
+        ``meta["stale"]`` — for this long under breaker-open or deadline
+        pressure, with a refresh enqueued in the background.  Ignored when
+        ``cache`` is injected (configure the injected cache directly).
     """
 
     def __init__(
@@ -192,6 +252,10 @@ class QuoteService:
         max_pending: int = 1024,
         coalesce: bool = True,
         workers_min_batch: int = 8,
+        breaker: Optional[BreakerPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        stale_grace: float = 0.0,
     ):
         check_model_method(model, method)
         if backend not in BACKENDS:
@@ -212,7 +276,10 @@ class QuoteService:
         self.cache = (
             cache
             if cache is not None
-            else QuoteCache(maxsize=cache_size, ttl=ttl, clock=clock)
+            else QuoteCache(
+                maxsize=cache_size, ttl=ttl, clock=clock,
+                stale_grace=stale_grace,
+            )
         )
         self.workers = (
             1 if workers is None else check_integer("workers", workers, minimum=1)
@@ -223,14 +290,24 @@ class QuoteService:
         self.workers_min_batch = check_integer(
             "workers_min_batch", workers_min_batch, minimum=2
         )
+        self.breaker_policy = breaker
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self._clock = clock
 
         self._engine = AdvanceEngine(policy)
+        # A retry/fault configuration needs the scenario engine's resilient
+        # dispatch even on one worker — a serial-backend engine gives the
+        # same per-cell recovery ladder without a pool.
+        resilient_solves = retry is not None or fault_plan is not None
         self._scenario = (
             ScenarioEngine(
-                workers=self.workers, backend=backend, model=model,
-                method=method, base=base, lam=lam, policy=policy,
+                workers=self.workers,
+                backend=backend if self.workers > 1 else "serial",
+                model=model, method=method, base=base, lam=lam,
+                policy=policy, retry=retry, fault_plan=fault_plan,
             )
-            if self.workers > 1
+            if self.workers > 1 or resilient_solves
             else None
         )
         self._lock = threading.RLock()
@@ -239,6 +316,7 @@ class QuoteService:
         self._solve_mutex = threading.Lock()
         self._queue: list[_Pending] = []
         self._inflight: dict[tuple, _Pending] = {}
+        self._breakers: dict[tuple, CircuitBreaker] = {}
         self._quotes = 0
         self._solves = 0
         self._batches = 0
@@ -247,6 +325,9 @@ class QuoteService:
         self._merged = 0
         self._boundary_upgrades = 0
         self._overloads = 0
+        self._stale_quotes = 0
+        self._refreshes = 0
+        self._deadline_misses = 0
 
     # ------------------------------------------------------------------ #
     # Canonicalization / solving
@@ -287,26 +368,47 @@ class QuoteService:
             )
 
     def _solve_requests(
-        self, reqs: Sequence[CanonicalRequest]
+        self,
+        reqs: Sequence[CanonicalRequest],
+        deadline: Optional[Deadline] = None,
     ) -> list[PricingResult]:
-        """Solve a bucket of same-configuration canonical requests."""
+        """Solve a bucket of same-configuration canonical requests.
+
+        ``deadline`` is carried into the solve tier: the scenario engine
+        waits its chunk futures against it (per-cell timeout markers on
+        expiry), and the serial shared engine observes it cooperatively
+        through its ``checkpoint`` hook, raising
+        :class:`~repro.resilience.deadline.DeadlineExceeded` mid-solve.
+        """
         r0 = reqs[0]
         specs = [r.spec for r in reqs]
-        if self._scenario is not None and len(specs) >= self.workers_min_batch:
+        resilient_solves = self.retry is not None or self.fault_plan is not None
+        if self._scenario is not None and (
+            len(specs) >= self.workers_min_batch or resilient_solves
+        ):
             # worker pools build their own per-worker engines (no mutex);
             # the pool is built per call, so only buckets big enough to
-            # amortise its startup fan out — the rest stay serial
+            # amortise its startup fan out — or any bucket when a
+            # retry/fault configuration wants the resilient per-cell
+            # dispatch — leave the serial shared engine
             results = self._scenario.price_specs(
                 specs, r0.steps, model=r0.model, method=r0.method,
-                base=r0.base, lam=r0.lam,
+                base=r0.base, lam=r0.lam, deadline=deadline,
             )
         else:
             with self._solve_mutex:
-                results = price_many(
-                    specs, r0.steps, model=r0.model, method=r0.method,
-                    base=r0.base, lam=r0.lam, policy=self.policy,
-                    engine=self._engine,
-                )
+                if deadline is not None:
+                    deadline.check("bucket solve")
+                    self._engine.checkpoint = deadline.checkpoint
+                try:
+                    results = price_many(
+                        specs, r0.steps, model=r0.model, method=r0.method,
+                        base=r0.base, lam=r0.lam, policy=self.policy,
+                        engine=self._engine,
+                    )
+                finally:
+                    if deadline is not None:
+                        self._engine.checkpoint = None
         with self._lock:
             self._solves += len(specs)
             if len(specs) > 1:
@@ -314,6 +416,91 @@ class QuoteService:
                 self._batched_requests += len(specs)
                 self._max_batch = max(self._max_batch, len(specs))
         return results
+
+    # ------------------------------------------------------------------ #
+    # Resilience plumbing
+    # ------------------------------------------------------------------ #
+    def _breaker_for(self, req: CanonicalRequest) -> Optional[CircuitBreaker]:
+        """This request's bucket breaker (lazily created; None when
+        breakers are not configured)."""
+        if self.breaker_policy is None:
+            return None
+        key = (req.model, req.method, req.steps)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.breaker_policy, clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def _stale_canonical(self, req: CanonicalRequest) -> Optional[PricingResult]:
+        """Degradation fetch: the key's stale-but-graced canonical result
+        (None if the cache cannot vouch for one), with a refresh enqueued
+        so the next flush re-solves it."""
+        canonical = self.cache.get_stale(req.key)
+        if canonical is not None:
+            self._enqueue_refresh(req)
+            with self._lock:
+                self._stale_quotes += 1
+        return canonical
+
+    def _enqueue_refresh(self, req: CanonicalRequest) -> bool:
+        """Queue a background re-solve for a stale-served key.
+
+        The refresh rides the ordinary pending queue (drained by the next
+        ``flush``/``result``/backpressure drain) rather than a thread of
+        its own — deterministic, testable, and automatically coalesced
+        with any real traffic on the same bucket.  Skipped when the key is
+        already in flight or the queue is full (the stale serve stands on
+        its own either way).
+        """
+        with self._lock:
+            if req.key in self._inflight or len(self._queue) >= self.max_pending:
+                return False
+            pending = _Pending(req)
+            self._inflight[req.key] = pending
+            self._queue.append(pending)
+            self._refreshes += 1
+            return True
+
+    @staticmethod
+    def _mark_stale(out: PricingResult, reason: str) -> PricingResult:
+        out.meta[STALE_KEY] = True
+        out.meta["stale_reason"] = reason
+        return out
+
+    def _gate_or_degrade(
+        self, req: CanonicalRequest, deadline: Optional[Deadline]
+    ) -> Optional[PricingResult]:
+        """Pre-solve gate for a cold quote: open breaker or spent deadline
+        short-circuits to a stale serve (or a structured rejection).
+
+        Returns the decanonicalized stale result, or None to proceed with
+        the solve.  Checks ``state`` — not ``allow()`` — so a half-open
+        probe slot is only consumed by the actual solve attempt in
+        :meth:`_resolve_group`, never burned twice per quote.
+        """
+        breaker = self._breaker_for(req)
+        if breaker is not None and breaker.state == OPEN:
+            canonical = self._stale_canonical(req)
+            if canonical is None:
+                raise breaker.reject(self._bucket_of(req))
+            return self._mark_stale(
+                _tagged(canonical, req, "stale"), "breaker_open"
+            )
+        if deadline is not None and deadline.expired:
+            with self._lock:
+                self._deadline_misses += 1
+            canonical = self._stale_canonical(req)
+            if canonical is None:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.budget:g}s spent before the "
+                    "solve could start and no stale entry is servable"
+                )
+            return self._mark_stale(
+                _tagged(canonical, req, "stale"), "deadline"
+            )
+        return None
 
     # ------------------------------------------------------------------ #
     # Synchronous quoting
@@ -328,6 +515,7 @@ class QuoteService:
         base: Optional[int] = None,
         lam: Optional[float] = None,
         return_boundary: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> PricingResult:
         """Price one contract through the cache.
 
@@ -339,6 +527,15 @@ class QuoteService:
         subsequent boundary queries on the key are warm too (European
         contracts have no exercise boundary; the flag is ignored for them).
         A key already queued via :meth:`submit` is ridden, not re-solved.
+
+        ``deadline`` bounds a cold solve: when the budget is already spent
+        (or runs out mid-solve) the quote is served stale — explicitly
+        marked ``meta["stale"]``, refresh enqueued — if the cache still
+        holds the key within its stale grace, and raises
+        :class:`~repro.resilience.deadline.DeadlineExceeded` otherwise.
+        The same degradation applies when the bucket's circuit breaker is
+        open.  Warm keys are always served; a deadline never costs a cache
+        hit anything.
         """
         req = self._canonicalize(spec, steps, model, method, base, lam)
         # European contracts have no divider to record — never re-solve a
@@ -362,6 +559,13 @@ class QuoteService:
             with self._lock:
                 self._quotes += 1
             return _tagged(cached, req, "hit")
+        # Cold: an open breaker or spent budget degrades to a stale serve
+        # (or a structured rejection) before any solve is attempted.
+        degraded = self._gate_or_degrade(req, deadline)
+        if degraded is not None:
+            with self._lock:
+                self._quotes += 1
+            return degraded
         # An identical submit may be queued: claim it — only *this* key,
         # never the rest of the queue, so a latency-sensitive single quote
         # cannot be taxed with a batch — or, when a concurrent flush already
@@ -381,8 +585,10 @@ class QuoteService:
                 except ValueError:
                     waiting = pending  # a concurrent flush is solving it
             else:
-                own = _Pending(req)
+                own = _Pending(req, deadline=deadline)
                 self._inflight[req.key] = own
+        if claimed is not None and claimed.deadline is None:
+            claimed.deadline = deadline  # our budget now bounds its solve
         if waiting is not None and not wants_boundary:
             with self._lock:
                 self._quotes += 1
@@ -395,9 +601,30 @@ class QuoteService:
         if mine is not None and not wants_boundary:
             with self._lock:
                 self._quotes += 1
-            self._resolve_group([mine])  # solve errors propagate
+            try:
+                self._resolve_group([mine])  # solve errors propagate
+            except (DeadlineExceeded, CircuitOpenError):
+                # the solve itself missed the budget (or hit an opening
+                # breaker): same degradation ladder as the pre-solve gate
+                with self._lock:
+                    self._deadline_misses += 1
+                canonical = self._stale_canonical(req)
+                if canonical is None:
+                    raise
+                return self._mark_stale(
+                    _tagged(canonical, req, "stale"), "deadline"
+                )
+            result = mine.canonical_result
+            if is_timeout(result):
+                # resilient solve tiers report budget misses as markers,
+                # not exceptions — degrade those identically
+                canonical = self._stale_canonical(req)
+                if canonical is not None:
+                    return self._mark_stale(
+                        _tagged(canonical, req, "stale"), "deadline"
+                    )
             return _tagged(
-                mine.canonical_result, req,
+                result, req,
                 "merged" if claimed is not None else "miss",
             )
         try:
@@ -427,6 +654,7 @@ class QuoteService:
         method: Optional[str] = None,
         base: Optional[int] = None,
         lam: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> list[PricingResult]:
         """Price a batch through the cache; results in submission order.
 
@@ -434,6 +662,14 @@ class QuoteService:
         distinct misses solved in one coalesced batch (``coalesce=False``:
         one at a time).  Every duplicate of a solved key is served from that
         single solve (``meta["cache"] == "merged"``).
+
+        ``deadline`` bounds the whole batch.  Keys whose solve misses the
+        budget — or whose bucket breaker is open — are degraded per key,
+        never per batch: served stale (``meta["stale"]``) when the cache
+        still holds them, or returned as explicit NaN-priced markers
+        (``meta["timeout"]`` / ``meta["failed"]``) otherwise; every other
+        key keeps its bit-exact price.  The batch keeps submission order
+        and raises nothing for these degradable outcomes.
         """
         reqs = [
             self._canonicalize(s, steps, model, method, base, lam)
@@ -496,12 +732,16 @@ class QuoteService:
                 # submits merge onto this call's solve; it rides the same
                 # resolution machinery (bucketing, poison isolation, cache
                 # stores) as the adopted submits
-                pending = _Pending(req)
+                pending = _Pending(req, deadline=deadline)
                 with self._lock:
                     if req.key not in self._inflight:
                         self._inflight[req.key] = pending
                 own.append(pending)
                 tags[req.key] = "miss"
+        if deadline is not None:
+            for pending in adopted_by_key.values():
+                if pending.deadline is None:
+                    pending.deadline = deadline
         to_resolve = list(adopted_by_key.values()) + own
         if to_resolve:
             # one bucketed resolution for adopted submits and this call's
@@ -515,13 +755,55 @@ class QuoteService:
                 # mirror flush(): even a BaseException mid-retry must not
                 # leave a pending wedged (adoptees live in _inflight)
                 self._abandon_unresolved(to_resolve)
-            first_error = next(
-                (p.error for p in to_resolve if p.error is not None), None
-            )
+            # Degradable outcomes — the budget ran out, or the bucket's
+            # breaker rejected — become per-key stale serves or explicit
+            # markers; anything else (a genuinely poisoned solve with no
+            # retry policy to marker-ize it) still raises as before.
+            first_error: Optional[BaseException] = None
+            for pending in to_resolve:
+                err = pending.error
+                if err is None:
+                    result = pending.canonical_result
+                    resolved[pending.request.key] = result
+                    # resilient solve tiers report per-cell budget misses
+                    # and exhausted failures as markers, not exceptions —
+                    # degrade a timeout marker to a stale serve when one
+                    # is available, and tag markers for what they are
+                    if is_timeout(result):
+                        canonical = self._stale_canonical(pending.request)
+                        if canonical is not None:
+                            resolved[pending.request.key] = canonical
+                            tags[pending.request.key] = "stale"
+                        else:
+                            tags[pending.request.key] = "timeout"
+                    elif is_marker(result):
+                        tags[pending.request.key] = "failed"
+                    continue
+                if isinstance(err, (DeadlineExceeded, CircuitOpenError)):
+                    preq = pending.request
+                    with self._lock:
+                        self._deadline_misses += isinstance(
+                            err, DeadlineExceeded
+                        )
+                    canonical = self._stale_canonical(preq)
+                    if canonical is not None:
+                        resolved[preq.key] = canonical
+                        tags[preq.key] = "stale"
+                    elif isinstance(err, DeadlineExceeded):
+                        resolved[preq.key] = timeout_result(
+                            preq.steps, preq.model, preq.method,
+                            detail=str(err),
+                        )
+                        tags[preq.key] = "timeout"
+                    else:
+                        resolved[preq.key] = failure_result(
+                            preq.steps, preq.model, preq.method, err
+                        )
+                        tags[preq.key] = "failed"
+                elif first_error is None:
+                    first_error = err
             if first_error is not None:
                 raise first_error
-            for pending in to_resolve:
-                resolved[pending.request.key] = pending.canonical_result
         out: list[PricingResult] = []
         served_keys: set = set()
         merged = 0
@@ -532,7 +814,10 @@ class QuoteService:
             served_keys.add(req.key)
             if tag == "merged":
                 merged += 1
-            out.append(_tagged(resolved[req.key], req, tag))
+            served = _tagged(resolved[req.key], req, tag)
+            if tag == "stale":
+                self._mark_stale(served, "degraded")
+            out.append(served)
         with self._lock:
             self._merged += merged
         return out
@@ -601,6 +886,7 @@ class QuoteService:
         base: Optional[int] = None,
         lam: Optional[float] = None,
         block: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> QuoteTicket:
         """Enqueue a request; returns a :class:`QuoteTicket`.
 
@@ -608,7 +894,11 @@ class QuoteService:
         the in-flight solve.  A new key joins the bounded queue; when the
         queue is full, ``block=True`` drains it synchronously (backpressure:
         the submitter pays for the flush) and ``block=False`` raises
-        :class:`ServiceOverloadedError`.
+        :class:`ServiceOverloadedError` with a structured payload naming
+        the rejected canonical key and the queue bound, so a shedding
+        caller can retry or re-route without string parsing.  ``deadline``
+        is carried on the pending entry; the flush that solves its bucket
+        honors the tightest deadline across the bucket's members.
         """
         req = self._canonicalize(spec, steps, model, method, base, lam)
         while True:
@@ -622,9 +912,11 @@ class QuoteService:
                 elif (pending := self._inflight.get(req.key)) is not None:
                     self._quotes += 1
                     self._merged += 1
+                    if deadline is not None and pending.deadline is None:
+                        pending.deadline = deadline
                     tag = "merged"
                 elif len(self._queue) < self.max_pending:
-                    pending = _Pending(req)
+                    pending = _Pending(req, deadline=deadline)
                     self._inflight[req.key] = pending
                     self._queue.append(pending)
                     self._quotes += 1
@@ -634,7 +926,10 @@ class QuoteService:
                     if not block:
                         raise ServiceOverloadedError(
                             f"pending queue full ({self.max_pending} solves "
-                            "queued); flush() or submit with block=True"
+                            "queued); flush() or submit with block=True",
+                            rejected_keys=[req.key],
+                            pending=len(self._queue),
+                            max_pending=self.max_pending,
                         )
             if tag == "hit":
                 # built outside the lock: the envelope copy work of a warm
@@ -719,10 +1014,28 @@ class QuoteService:
         *batch* solve fails, each member is retried alone — one poisoned
         request (a spec only the solver can reject) must not starve its
         valid bucket siblings — and the first per-member error propagates.
+
+        Resilience hooks: the group's breaker must admit the solve
+        (half-open probe accounting happens here, exactly once per solve
+        attempt) and records its outcome — ``DeadlineExceeded`` and
+        timeout markers count as failures, so a bucket that keeps missing
+        its budget trips open like any other failing bucket.  The tightest
+        deadline across the group's members bounds the solve.  Marker
+        results resolve their tickets but are never cached.
         """
+        breaker = self._breaker_for(group[0].request)
+        if breaker is not None and not breaker.allow():
+            exc = breaker.reject(self._bucket_of(group[0].request))
+            self._fail_pendings(group, exc)
+            raise exc
+        deadline = effective_deadline([p.deadline for p in group])
         try:
-            results = self._solve_requests([p.request for p in group])
+            results = self._solve_requests(
+                [p.request for p in group], deadline=deadline
+            )
         except Exception as exc:
+            if breaker is not None:
+                breaker.record_failure()
             if len(group) == 1:
                 self._fail_pendings(group, exc)
                 raise
@@ -737,10 +1050,18 @@ class QuoteService:
                 raise first_error
             return
         except BaseException as exc:  # interrupts: fail fast, never hang
+            if breaker is not None:
+                breaker.record_failure()
             self._fail_pendings(group, exc)
             raise
+        if breaker is not None:
+            if any(is_timeout(r) for r in results):
+                breaker.record_failure()
+            else:
+                breaker.record_success()
         for pending, result in zip(group, results):
-            self.cache.put(pending.request.key, result)
+            if not is_marker(result):
+                self.cache.put(pending.request.key, result)
             pending.canonical_result = result
             self._drop_inflight(pending)
             pending.event.set()
@@ -784,6 +1105,10 @@ class QuoteService:
     def stats(self) -> dict:
         """Snapshot: cache counters plus service-level serving counters."""
         with self._lock:
+            breakers = {
+                "/".join(map(str, key)): breaker.stats()
+                for key, breaker in self._breakers.items()
+            }
             return {
                 "cache": self.cache.stats(),
                 "service": {
@@ -800,5 +1125,11 @@ class QuoteService:
                     "workers": self.workers,
                     "backend": self.backend if self.workers > 1 else "serial",
                     "coalesce": self.coalesce,
+                },
+                "resilience": {
+                    "breakers": breakers,
+                    "stale_quotes": self._stale_quotes,
+                    "refreshes": self._refreshes,
+                    "deadline_misses": self._deadline_misses,
                 },
             }

@@ -65,6 +65,32 @@ def check_in_range(
     return v
 
 
+def check_spec_finite(spec: Any) -> Any:
+    """Re-validate a contract's numeric fields at a service boundary.
+
+    ``OptionSpec.__post_init__`` already rejects NaN/inf at construction,
+    but construction is not the only way a spec reaches the serving tier:
+    unpickling (the process-pool worker boundary) restores ``__dict__``
+    without re-running ``__post_init__``, so a spec corrupted in transit —
+    or built by a caller that bypassed the constructor — would sail into a
+    coalesced bucket and poison every sibling solve with NaN arithmetic.
+    The quote service calls this on every request before keying it; the
+    cost is six float checks, the payoff is that a bad request dies alone
+    with a :class:`ValidationError` naming the field.
+
+    Duck-typed on the spec's numeric attributes so this module stays below
+    :mod:`repro.options` in the import order.
+    """
+    check_positive("spot", spec.spot)
+    check_positive("strike", spec.strike)
+    check_nonnegative("rate", spec.rate)
+    check_positive("volatility", spec.volatility)
+    check_nonnegative("dividend_yield", spec.dividend_yield)
+    check_positive("expiry_days", spec.expiry_days)
+    check_positive("day_count", spec.day_count)
+    return spec
+
+
 def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
     """Return ``value`` as an int, optionally requiring ``value >= minimum``.
 

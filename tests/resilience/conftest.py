@@ -1,0 +1,63 @@
+"""Shared fixtures for the resilience suite.
+
+Every test that injects faults registers its :class:`FaultPlan` here; on
+any test failure the collected plans are dumped to
+``fault_plan_seeds.json`` next to the pytest invocation so CI can upload
+the exact reproduction recipe as an artifact (see the ``resilience`` job
+in ``.github/workflows/ci.yml``).
+"""
+
+import json
+import os
+
+import pytest
+
+
+class FakeClock:
+    """Deterministic monotonic clock for deadline/breaker/cache tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+_RECORDED_PLANS: list = []
+_ANY_FAILED = False
+
+
+@pytest.fixture
+def record_plan():
+    """Call with a FaultPlan (and optionally a label) to register it for
+    the CI failure artifact."""
+
+    def _record(plan, label: str = ""):
+        _RECORDED_PLANS.append({"label": label, **plan.describe()})
+        return plan
+
+    return _record
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        global _ANY_FAILED
+        _ANY_FAILED = True
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _ANY_FAILED and _RECORDED_PLANS:
+        path = os.path.join(os.getcwd(), "fault_plan_seeds.json")
+        with open(path, "w") as fh:
+            json.dump({"plans": _RECORDED_PLANS}, fh, indent=2)

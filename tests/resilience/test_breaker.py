@@ -1,0 +1,143 @@
+"""Circuit breaker state machine, every transition pinned on a fake clock."""
+
+import pytest
+
+from repro.resilience import BreakerPolicy, CircuitBreaker, CircuitOpenError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.util.validation import ValidationError
+
+
+def make(fake_clock, **kw):
+    defaults = dict(
+        failure_threshold=3, reset_timeout=30.0, half_open_max=1,
+        success_threshold=1,
+    )
+    defaults.update(kw)
+    return CircuitBreaker(BreakerPolicy(**defaults), clock=fake_clock)
+
+
+class TestClosedToOpen:
+    def test_consecutive_failures_trip(self, fake_clock):
+        b = make(fake_clock)
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_streak(self, fake_clock):
+        b = make(fake_clock)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()  # streak broken
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+
+    def test_retry_after_counts_down(self, fake_clock):
+        b = make(fake_clock)
+        for _ in range(3):
+            b.record_failure()
+        assert b.retry_after() == 30.0
+        fake_clock.advance(12.0)
+        assert b.retry_after() == 18.0
+
+
+class TestOpenToHalfOpen:
+    def test_reset_timeout_admits_probe(self, fake_clock):
+        b = make(fake_clock)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(29.0)
+        assert not b.allow()
+        fake_clock.advance(1.0)  # exactly reset_timeout
+        assert b.state == HALF_OPEN
+        assert b.allow()  # the probe
+
+    def test_probe_cap(self, fake_clock):
+        b = make(fake_clock, half_open_max=2, success_threshold=2)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(30.0)
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()  # both probe slots consumed
+
+
+class TestHalfOpenOutcomes:
+    def test_probe_success_closes(self, fake_clock):
+        b = make(fake_clock)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(30.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_probe_failure_reopens_and_restarts_timer(self, fake_clock):
+        b = make(fake_clock)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(30.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.retry_after() == 30.0  # full reset, not the remainder
+
+    def test_success_threshold_needs_multiple_probes(self, fake_clock):
+        b = make(fake_clock, half_open_max=2, success_threshold=2)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(30.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == HALF_OPEN  # one success is not enough
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+
+
+class TestRejectAndStats:
+    def test_reject_payload(self, fake_clock):
+        b = make(fake_clock)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(10.0)
+        err = b.reject(("binomial", "fft", 512))
+        assert isinstance(err, CircuitOpenError)
+        assert err.bucket == ("binomial", "fft", 512)
+        assert err.retry_after == 20.0
+
+    def test_stats_counters(self, fake_clock):
+        b = make(fake_clock)
+        b.record_success()
+        for _ in range(3):
+            b.record_failure()
+        b.allow()
+        s = b.stats()
+        assert s["state"] == OPEN
+        assert s["successes"] == 1
+        assert s["failures"] == 3
+        assert s["rejections"] == 1
+        assert s["opens"] == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(reset_timeout=0.0)
+        with pytest.raises(ValidationError):
+            # could never close
+            BreakerPolicy(half_open_max=1, success_threshold=2)
+
+    def test_straggler_failures_while_open_do_not_retrip(self, fake_clock):
+        # failures reported by solves that started before the trip must
+        # not restart the reset timer
+        b = make(fake_clock)
+        for _ in range(3):
+            b.record_failure()
+        fake_clock.advance(15.0)
+        b.record_failure()  # straggler
+        assert b.retry_after() == 15.0

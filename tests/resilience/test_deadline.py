@@ -1,0 +1,72 @@
+"""Deadline budgets on an injected clock."""
+
+import pytest
+
+from repro.resilience import Deadline, DeadlineExceeded, effective_deadline
+from repro.util.validation import ValidationError
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self, fake_clock):
+        d = Deadline(10.0, clock=fake_clock)
+        assert d.remaining() == 10.0
+        fake_clock.advance(4.0)
+        assert d.remaining() == 6.0
+        assert not d.expired
+
+    def test_expires_at_boundary_exactly(self, fake_clock):
+        d = Deadline(10.0, clock=fake_clock)
+        fake_clock.advance(10.0)
+        assert d.expired
+        assert d.remaining() == 0.0
+
+    def test_remaining_clamps_at_zero(self, fake_clock):
+        d = Deadline(1.0, clock=fake_clock)
+        fake_clock.advance(5.0)
+        assert d.remaining() == 0.0
+
+    def test_zero_budget_is_born_expired(self, fake_clock):
+        assert Deadline(0.0, clock=fake_clock).expired
+
+    def test_check_raises_with_label(self, fake_clock):
+        d = Deadline(1.0, clock=fake_clock)
+        d.check("solve")  # within budget: no-op
+        fake_clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="solve"):
+            d.check("solve")
+
+    def test_checkpoint_is_timeout_error(self, fake_clock):
+        # DeadlineExceeded must be catchable as TimeoutError — callers
+        # treat budget misses like any other timeout
+        d = Deadline(0.0, clock=fake_clock)
+        with pytest.raises(TimeoutError):
+            d.checkpoint()
+
+    def test_sleep_budget_clamps(self, fake_clock):
+        d = Deadline(3.0, clock=fake_clock)
+        assert d.sleep_budget(10.0) == 3.0
+        assert d.sleep_budget(1.0) == 1.0
+        fake_clock.advance(3.0)
+        assert d.sleep_budget(1.0) == 0.0
+
+    def test_after_alias(self, fake_clock):
+        assert Deadline.after(5.0, clock=fake_clock).remaining() == 5.0
+
+    def test_validation(self, fake_clock):
+        with pytest.raises(ValidationError):
+            Deadline(-1.0, clock=fake_clock)
+        with pytest.raises(ValidationError):
+            Deadline(float("nan"), clock=fake_clock)
+        with pytest.raises(ValidationError):
+            Deadline(float("inf"), clock=fake_clock)
+
+
+class TestEffectiveDeadline:
+    def test_tightest_wins(self, fake_clock):
+        loose = Deadline(10.0, clock=fake_clock)
+        tight = Deadline(2.0, clock=fake_clock)
+        assert effective_deadline([loose, None, tight]) is tight
+
+    def test_all_none(self):
+        assert effective_deadline([None, None]) is None
+        assert effective_deadline([]) is None

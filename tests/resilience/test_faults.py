@@ -1,0 +1,87 @@
+"""FaultPlan determinism and the output-validation detector."""
+
+import pytest
+
+from repro.core.api import PricingResult
+from repro.resilience import FaultPlan, InjectedCrash
+from repro.resilience.faults import CorruptedResult, validate_row
+from repro.resilience.markers import failure_result, timeout_result
+from repro.util.validation import ValidationError
+
+
+def served(price=3.14):
+    return PricingResult(price, 64, "binomial", "fft")
+
+
+class TestPlanMechanics:
+    def test_crash_budget_by_attempt(self):
+        plan = FaultPlan(crashes={2: 2})
+        with pytest.raises(InjectedCrash):
+            plan.before(2, 0)
+        with pytest.raises(InjectedCrash):
+            plan.before(2, 1)
+        plan.before(2, 2)  # budget exhausted: succeeds
+        plan.before(0, 0)  # other cells never crash
+
+    def test_delay_applies_every_attempt(self):
+        slept = []
+        plan = FaultPlan(delays={1: 0.25}, sleep=slept.append)
+        plan.before(1, 0)
+        plan.before(1, 1)
+        plan.before(0, 0)
+        assert slept == [0.25, 0.25]
+
+    def test_corruption_budget_and_isolation(self):
+        plan = FaultPlan(corrupt={0: 1})
+        genuine = served()
+        bad = plan.after(0, 0, genuine)
+        assert bad.price != bad.price  # NaN
+        assert genuine.price == 3.14  # original never mutated
+        assert plan.after(0, 1, genuine) is genuine
+        assert plan.after(1, 0, genuine) is genuine
+
+    def test_exit_style_degrades_outside_pool_children(self):
+        # "exit" in the parent process must raise, never kill the runner
+        plan = FaultPlan(crashes={0: 1}, crash_style="exit")
+        with pytest.raises(InjectedCrash):
+            plan.before(0, 0)
+
+    def test_crash_style_validated(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(crash_style="segfault")
+
+
+class TestRandomDerivation:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(42, 100, crash_rate=0.2, corrupt_rate=0.1)
+        b = FaultPlan.random(42, 100, crash_rate=0.2, corrupt_rate=0.1)
+        assert a.crashes == b.crashes
+        assert a.corrupt == b.corrupt
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.random(1, 200, crash_rate=0.3)
+        b = FaultPlan.random(2, 200, crash_rate=0.3)
+        assert a.crashes != b.crashes
+
+    def test_describe_round_trips_the_seed(self):
+        plan = FaultPlan.random(7, 10, crash_rate=0.5, delay_rate=0.2,
+                                delay=0.1)
+        desc = plan.describe()
+        assert desc["seed"] == 7
+        assert set(desc) == {
+            "seed", "crash_style", "crashes", "delays", "corrupt",
+        }
+
+
+class TestValidateRow:
+    def test_finite_served_row_passes(self):
+        validate_row(served())
+
+    def test_nan_served_row_raises(self):
+        with pytest.raises(CorruptedResult):
+            validate_row(served(float("nan")))
+
+    def test_markers_pass_through(self):
+        # markers are NaN by design — they are declared, not corrupted
+        validate_row(timeout_result(64, "binomial", "fft"))
+        validate_row(failure_result(64, "binomial", "fft", ValueError("x")))

@@ -1,0 +1,93 @@
+"""RetryPolicy: backoff schedule determinism and the generic call wrapper."""
+
+import pytest
+
+from repro.resilience import InjectedCrash, RetryPolicy
+from repro.resilience.retry import TRANSIENT
+from repro.util.validation import ValidationError
+
+
+class TestBackoffSchedule:
+    def test_deterministic_with_seed(self):
+        p = RetryPolicy(max_attempts=5, seed=123)
+        assert p.delays() == p.delays()
+
+    def test_exponential_without_jitter(self):
+        p = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, max_delay=10.0,
+            jitter=0.0,
+        )
+        assert p.delays() == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps(self):
+        p = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0, max_delay=5.0,
+            jitter=0.0,
+        )
+        assert max(p.delays()) == 5.0
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(
+            max_attempts=2, base_delay=1.0, jitter=0.5, seed=7,
+        )
+        for _ in range(50):
+            d = p.delay(0, p.rng())
+            assert 0.5 <= d <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestTransience:
+    def test_injected_faults_are_transient(self):
+        p = RetryPolicy()
+        assert p.is_transient(InjectedCrash("boom"))
+        assert p.is_transient(ConnectionError())
+
+    def test_value_errors_are_not(self):
+        # a poisoned request fails identically every attempt — retrying
+        # it would just burn the budget
+        p = RetryPolicy()
+        assert not p.is_transient(ValueError("bad spec"))
+        assert ValueError not in TRANSIENT
+
+
+class TestCallWrapper:
+    def test_retries_then_succeeds(self):
+        sleeps = []
+        p = RetryPolicy(
+            max_attempts=3, base_delay=0.01, jitter=0.0, sleep=sleeps.append
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise InjectedCrash("transient")
+            return "ok"
+
+        assert p.call(flaky) == "ok"
+        assert len(attempts) == 3
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_exhausted_raises_last_error(self):
+        p = RetryPolicy(max_attempts=2, base_delay=0.0, sleep=lambda s: None)
+        with pytest.raises(InjectedCrash):
+            p.call(lambda: (_ for _ in ()).throw(InjectedCrash("always")))
+
+    def test_non_transient_raises_immediately(self):
+        calls = []
+        p = RetryPolicy(max_attempts=5, base_delay=0.0, sleep=lambda s: None)
+
+        def poisoned():
+            calls.append(1)
+            raise ValueError("poison")
+
+        with pytest.raises(ValueError):
+            p.call(poisoned)
+        assert len(calls) == 1

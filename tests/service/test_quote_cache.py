@@ -176,3 +176,112 @@ class TestCounters:
             QuoteCache(ttl=0.0)
         with pytest.raises(ValidationError):
             QuoteCache(ttl=-1.0)
+
+
+class TestStaleGrace:
+    """Stale-while-revalidate lifecycle: fresh → stale → gone, every
+    boundary pinned on the injected clock."""
+
+    def make(self, **kw):
+        clock = FakeClock()
+        defaults = dict(maxsize=8, ttl=10.0, stale_grace=5.0, clock=clock)
+        defaults.update(kw)
+        return QuoteCache(**defaults), clock
+
+    def test_fresh_entry_serves_through_both_paths(self):
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(10.0 - 1e-9)
+        assert cache.get("a").price == 1.0
+        assert cache.get_stale("a").price == 1.0
+        assert cache.stats()["stale_served"] == 0  # fresh, not stale
+
+    def test_expiry_boundary_is_closed(self):
+        # at age exactly ttl the entry is stale: get misses, get_stale serves
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(10.0)
+        assert cache.get("a") is None
+        assert cache.get_stale("a").price == 1.0
+        stats = cache.stats()
+        assert stats["stale_served"] == 1
+        assert stats["expirations"] == 1
+
+    def test_gone_boundary_is_closed(self):
+        # at age exactly ttl + grace nothing serves it and it is dropped
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(15.0 - 1e-9)
+        assert cache.get_stale("a").price == 1.0
+        clock.advance(1e-9)
+        assert cache.get_stale("a") is None
+        assert len(cache) == 0
+
+    def test_stale_entry_is_retained_not_dropped_by_get(self):
+        # the get() miss at expiry must not destroy the stale copy the
+        # degradation path needs a moment later
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(12.0)
+        assert cache.get("a") is None
+        assert cache.get_stale("a").price == 1.0
+
+    def test_expiration_counted_once_across_paths(self):
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(12.0)
+        cache.get("a")
+        cache.get_stale("a")
+        cache.get_stale("a")
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["stale_served"] == 2
+
+    def test_stale_serves_do_not_touch_hit_miss_or_recency(self):
+        cache, clock = self.make(maxsize=2)
+        cache.put("a", result(1.0))
+        cache.put("b", result(2.0))
+        clock.advance(12.0)  # both stale
+        cache.get_stale("a")  # must NOT refresh "a"'s LRU slot
+        cache.put("c", result(3.0))  # evicts "a" (still the oldest)
+        assert cache.get_stale("a") is None is not cache.get_stale("b")
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_refresh_put_restores_freshness(self):
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(12.0)
+        assert cache.get("a") is None  # stale
+        cache.put("a", result(1.5))  # the revalidate
+        assert cache.get("a").price == 1.5
+        # a full new lifecycle: counted again at its next expiry
+        clock.advance(10.0)
+        assert cache.get("a") is None
+        assert cache.stats()["expirations"] == 2
+
+    def test_purge_keeps_graced_entries_drops_gone_ones(self):
+        cache, clock = self.make()
+        cache.put("old", result(1.0))
+        clock.advance(8.0)
+        cache.put("mid", result(2.0))
+        clock.advance(8.0)  # old at 16 (gone), mid at 8 (fresh)
+        cache.put("young", result(3.0))
+        assert cache.purge_expired() == 1  # only "old"
+        assert len(cache) == 2
+        clock.advance(3.0)  # mid at 11: stale, inside the grace
+        assert cache.purge_expired() == 0
+        assert cache.get_stale("mid").price == 2.0
+
+    def test_zero_grace_is_exactly_drop_at_expiry(self):
+        cache, clock = self.make(stale_grace=0.0)
+        cache.put("a", result(1.0))
+        clock.advance(10.0)
+        assert cache.get_stale("a") is None
+        assert len(cache) == 0
+
+    def test_grace_validation(self):
+        with pytest.raises(ValidationError):
+            QuoteCache(stale_grace=-1.0)
+        with pytest.raises(ValidationError):
+            QuoteCache(stale_grace=float("nan"))

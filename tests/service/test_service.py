@@ -488,7 +488,7 @@ class TestStats:
         svc = QuoteService()
         svc.quote(SPEC, 64)
         stats = svc.stats()
-        assert set(stats) == {"cache", "service"}
+        assert set(stats) == {"cache", "service", "resilience"}
         assert stats["cache"]["stores"] == 1
         for key in (
             "quotes", "solves", "batches", "batched_requests", "max_batch",
