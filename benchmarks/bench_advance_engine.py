@@ -22,7 +22,6 @@ Run ``python benchmarks/bench_advance_engine.py`` for the full sweep or
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -32,7 +31,9 @@ import numpy as np
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from conftest import bench_report, write_bench_report  # noqa: E402
 from repro.core.fftstencil import AdvanceEngine  # noqa: E402
 from repro.core.tree_solver import solve_tree_fft  # noqa: E402
 from repro.options.contract import paper_benchmark_spec  # noqa: E402
@@ -154,14 +155,15 @@ def main() -> int:
         sizes = [2**k for k in range(10, 18)]
         repeats, inner = 3, 8
 
-    report = {
-        "benchmark": "advance_engine",
-        "quick": args.quick,
-        "sizes": sizes,
-        "repeated_advance": [],
-        "full_solve": [],
-        "batched": [],
-    }
+    report = bench_report(
+        "advance_engine",
+        smoke=args.quick,
+        quick=args.quick,
+        sizes=sizes,
+        repeated_advance=[],
+        full_solve=[],
+        batched=[],
+    )
     for T in sizes:
         row = bench_repeated_advance(T, inner, repeats)
         report["repeated_advance"].append(row)
@@ -195,9 +197,12 @@ def main() -> int:
             r["price_rel_err"] for r in report["full_solve"]
         ),
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"wrote {args.out}")
+    write_bench_report(
+        args.out,
+        report,
+        speedup=report["summary"]["max_solve_speedup"],
+        drift=report["summary"]["max_price_rel_err"],
+    )
     return 0
 
 

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import math
 import os
 import sys
@@ -37,8 +36,11 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import numpy as np  # noqa: E402
+
+from conftest import bench_report, write_bench_report  # noqa: E402
 
 from repro.core.api import price_american, price_european, price_many  # noqa: E402
 from repro.core.fftstencil import AdvanceEngine  # noqa: E402
@@ -78,6 +80,23 @@ def _best_of(repeats, fn):
     return best, out
 
 
+def _best_of_interleaved(repeats, *fns):
+    """Best-of timings with the contenders alternated round-robin.
+
+    Timing all of A's repeats before any of B's hands B the hotter,
+    throttled core on small hosts; alternating A,B,A,B gives every
+    contender the same thermal conditions.
+    """
+    bests = [math.inf] * len(fns)
+    outs = [None] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            outs[i] = fn()
+            bests[i] = min(bests[i], time.perf_counter() - t0)
+    return [(b, o) for b, o in zip(bests, outs)]
+
+
 def bench_american_grid(n_cells: int, steps: int, repeats: int) -> dict:
     specs = build_grid(n_cells, Style.AMERICAN)
 
@@ -91,8 +110,9 @@ def bench_american_grid(n_cells: int, steps: int, repeats: int) -> dict:
         )
         return scenario.price_grid(specs, steps)
 
-    serial_wall, serial_results = _best_of(repeats, run_serial)
-    batch_wall, batch_result = _best_of(repeats, run_batch)
+    (serial_wall, serial_results), (batch_wall, batch_result) = (
+        _best_of_interleaved(repeats, run_serial, run_batch)
+    )
 
     max_rel = max(
         abs(a.price - b.price) / s.strike
@@ -120,6 +140,17 @@ def bench_american_grid(n_cells: int, steps: int, repeats: int) -> dict:
             if info["advances"]
             else 1.0
         ),
+        # naive base-case rows: serial runs one Python-level row per cell
+        # per step; lockstep serves every live solver's row from one
+        # base_rows_batch call per round (DESIGN.md §7.6)
+        "base_rows_total": info["base_batch_rows"],
+        "base_row_batched_calls": info["base_batch_calls"],
+        "base_row_consolidation": (
+            info["base_batch_rows"] / info["base_batch_calls"]
+            if info["base_batch_calls"]
+            else 1.0
+        ),
+        "base_block_hits": info["base_block_hits"],
     }
 
 
@@ -135,8 +166,9 @@ def bench_european_grid(n_cells: int, steps: int, repeats: int) -> dict:
         results = price_many(specs, steps, engine=engine)
         return results, engine.cache_info()
 
-    serial_wall, serial_results = _best_of(repeats, run_serial)
-    batch_wall, (batch_results, info) = _best_of(repeats, run_batch)
+    (serial_wall, serial_results), (batch_wall, (batch_results, info)) = (
+        _best_of_interleaved(repeats, run_serial, run_batch)
+    )
     max_rel = max(
         abs(a.price - b.price) / s.strike
         for a, b, s in zip(serial_results, batch_results, specs)
@@ -190,9 +222,11 @@ def bench_ladder(n_quotes: int, steps: int, repeats: int) -> dict:
         )
         return report, engine.cache_info()
 
-    serial_wall, serial_results = _best_of(repeats, run_serial)
-    warm_wall, warm_report = _best_of(repeats, run_warm)
-    lockstep_wall, (lockstep_report, info) = _best_of(repeats, run_lockstep)
+    (
+        (serial_wall, serial_results),
+        (warm_wall, warm_report),
+        (lockstep_wall, (lockstep_report, info)),
+    ) = _best_of_interleaved(repeats, run_serial, run_warm, run_lockstep)
 
     max_vol_diff = max(
         abs(a.vol - b.vol)
@@ -234,12 +268,7 @@ def main() -> int:
     n_cells = 64 if args.smoke else 1024
     n_quotes = 12 if args.smoke else 64
     repeats = 1 if args.smoke else 2
-    report = {
-        "benchmark": "batch_solver",
-        "smoke": args.smoke,
-        "steps": steps,
-        "host_cpus": os.cpu_count(),
-    }
+    report = bench_report("batch_solver", smoke=args.smoke, steps=steps)
 
     am = bench_american_grid(n_cells, steps, repeats)
     report["american_grid"] = am
@@ -247,12 +276,23 @@ def main() -> int:
         f"american grid ({am['n_cells']} cells, {am['steps']} steps): "
         f"{am['batch_speedup']:.2f}x wall, "
         f"{am['call_consolidation']:.1f}x fewer transform calls, "
+        f"{am['base_row_consolidation']:.1f}x fewer base-row calls, "
         f"max rel diff {am['max_rel_diff']:.1e}"
     )
     assert am["max_rel_diff"] <= 1e-12, "batched grid drifted past 1e-12"
     assert am["batch_rounds"] > 0, "grid did not route through advance_batch"
     assert am["call_consolidation"] > 4.0, (
         "lockstep rounds did not consolidate the per-cell advance calls"
+    )
+    # Machine-independent half of the base-row tentpole: every naive row
+    # still runs, but B-wide rounds shrink the Python-level call count by
+    # the live batch width.  Asserted at every size (counters, not walls).
+    assert am["base_row_batched_calls"] > 0, (
+        "grid did not route through base_rows_batch"
+    )
+    assert am["base_row_consolidation"] >= 10.0, (
+        f"base rows under-consolidated: {am['base_row_consolidation']:.1f} "
+        "rows/call (expect >= 10x fewer Python-level base-row calls)"
     )
 
     eu = bench_european_grid(n_cells, steps, repeats)
@@ -284,12 +324,13 @@ def main() -> int:
 
     if not args.smoke:
         # Wall gates only at full size on a quiet host; the counter gates
-        # above are the machine-independent half of the speedup.  The
-        # American grid is naive-base-case-bound (DESIGN.md §7.5), so its
-        # wall gate is a no-regression guard with noise headroom — the
-        # consolidation gate above is the real batching evidence.
-        assert am["batch_speedup"] >= 0.9, (
-            f"American grid batching regressed: {am['batch_speedup']:.2f}x"
+        # above are the machine-independent half of the speedup.  With
+        # base rows batched (DESIGN.md §7.6) the American grid lands at
+        # ~1.4-1.6x serial wall on one quiet core; the gate sits below
+        # that with headroom for host noise.
+        assert am["batch_speedup"] >= 1.2, (
+            f"American grid batching regressed: {am['batch_speedup']:.2f}x "
+            "(expected ~1.4-1.6x on a quiet host)"
         )
         assert eu["batch_speedup"] >= 1.3, (
             f"European grid batching under 1.3x: {eu['batch_speedup']:.2f}x"
@@ -306,15 +347,22 @@ def main() -> int:
     report["summary"] = {
         "american_grid_speedup": am["batch_speedup"],
         "american_grid_call_consolidation": am["call_consolidation"],
+        "american_grid_base_row_consolidation": am["base_row_consolidation"],
         "european_grid_speedup": eu["batch_speedup"],
         "ladder_lockstep_speedup_vs_serial": lad["lockstep_speedup_vs_serial"],
         "ladder_lockstep_rounds": lad["lockstep_rounds"],
         "bit_agreement_within_1e12": True,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_bench_report(
+        args.out,
+        report,
+        speedup=am["batch_speedup"],
+        drift=max(
+            am["max_rel_diff"],
+            eu["max_rel_diff"],
+            lad["max_abs_vol_diff_vs_serial"],
+        ),
+    )
     return 0
 
 

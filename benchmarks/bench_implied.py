@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import math
 import os
 import sys
@@ -34,7 +33,9 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from conftest import bench_report, write_bench_report  # noqa: E402
 from repro.core.api import price_american, price_many  # noqa: E402
 from repro.core.fftstencil import AdvanceEngine  # noqa: E402
 from repro.market.calibrate import MarketQuote, calibrate_surface  # noqa: E402
@@ -223,12 +224,7 @@ def main() -> int:
     steps = args.steps or (64 if args.smoke else 256)
     n = 12 if args.smoke else 64
     repeats = 1 if args.smoke else 3
-    report = {
-        "benchmark": "implied_vol",
-        "smoke": args.smoke,
-        "steps": steps,
-        "host_cpus": os.cpu_count(),
-    }
+    report = bench_report("implied_vol", smoke=args.smoke, steps=steps)
 
     bn = bench_batch_vs_naive(n, steps, repeats)
     report["batch_vs_naive"] = bn
@@ -287,10 +283,12 @@ def main() -> int:
         "service_warm_engine_solves": sc["engine_solves_warm_delta"],
         "calibration_solves_per_quote": cal["solves_per_quote"],
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_bench_report(
+        args.out,
+        report,
+        speedup=bn["batch_speedup"],
+        drift=bn["max_abs_vol_diff_batch_vs_naive"],
+    )
     return 0
 
 

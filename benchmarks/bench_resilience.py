@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import math
 import os
 import sys
@@ -42,8 +41,11 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import numpy as np  # noqa: E402
+
+from conftest import bench_report, write_bench_report  # noqa: E402
 
 from repro.options.contract import OptionSpec, Right, Style  # noqa: E402
 from repro.resilience import (  # noqa: E402
@@ -212,12 +214,7 @@ def main() -> int:
     n_cells = 16 if args.smoke else 128
     repeats = 2 if args.smoke else 3
 
-    report = {
-        "benchmark": "resilience",
-        "smoke": args.smoke,
-        "steps": steps,
-        "host_cpus": os.cpu_count(),
-    }
+    report = bench_report("resilience", smoke=args.smoke, steps=steps)
 
     ov = bench_dispatch_overhead(n_cells, steps, repeats)
     report["dispatch_overhead"] = ov
@@ -264,9 +261,12 @@ def main() -> int:
         "bit_identical_after_recovery": fr["max_abs_diff_vs_clean"] == 0.0,
         "stale_speedup_vs_cold": dg["stale_speedup_vs_cold"],
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"wrote {args.out}")
+    write_bench_report(
+        args.out,
+        report,
+        speedup=dg["stale_speedup_vs_cold"],
+        drift=max(ov["max_abs_diff"], fr["max_abs_diff_vs_clean"]),
+    )
     return 0
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import os
 import sys
 
@@ -35,7 +34,9 @@ import numpy as np
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from conftest import bench_report, write_bench_report  # noqa: E402
 from repro.core.api import price_american  # noqa: E402
 from repro.options.contract import Right, paper_benchmark_spec  # noqa: E402
 from repro.options.greeks import american_greeks  # noqa: E402
@@ -153,15 +154,15 @@ def main() -> int:
         else [("serial", 1), ("process", 2), ("process", 4), ("thread", 4)]
     )
 
-    report = {
-        "benchmark": "scenario_engine",
-        "quick": args.quick,
-        "steps": steps,
-        "n_cells": len(grid),
-        "grid_shape": list(grid.shape),
-        "host_cpus": os.cpu_count(),
-        "backends": [],
-    }
+    report = bench_report(
+        "scenario_engine",
+        smoke=args.quick,
+        quick=args.quick,
+        steps=steps,
+        n_cells=len(grid),
+        grid_shape=list(grid.shape),
+        backends=[],
+    )
     serial_prices = None
     serial_wall = None
     for backend, workers in runs:
@@ -217,9 +218,15 @@ def main() -> int:
             "predicted_speedup records what the work-span model expects "
             "given real cores"
         )
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"wrote {args.out}")
+    write_bench_report(
+        args.out,
+        report,
+        speedup=report["summary"]["best_speedup_vs_serial"],
+        drift=max(
+            report["summary"]["max_backend_rel_diff"],
+            report["summary"]["greeks_max_rel_diff"],
+        ),
+    )
     return 0
 
 

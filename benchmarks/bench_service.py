@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import os
 import sys
 import time
@@ -36,7 +35,9 @@ import numpy as np
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from conftest import bench_report, write_bench_report  # noqa: E402
 from repro.core.api import price_many  # noqa: E402
 from repro.options.contract import Right, paper_benchmark_spec  # noqa: E402
 from repro.service import QuoteService  # noqa: E402
@@ -182,12 +183,7 @@ def main() -> int:
     book = build_book(6 if args.smoke else 24)
     repeats = 2 if args.smoke else 5
 
-    report = {
-        "benchmark": "quote_service",
-        "smoke": args.smoke,
-        "steps": steps,
-        "host_cpus": os.cpu_count(),
-    }
+    report = bench_report("quote_service", smoke=args.smoke, steps=steps)
 
     cw = bench_cold_warm(book, steps, repeats)
     report["cold_vs_warm"] = cw
@@ -252,9 +248,12 @@ def main() -> int:
         "zipf_hit_ratio": zipf["hit_ratio"],
         "zipf_speedup_vs_uncached": zipf["speedup_vs_uncached_estimate"],
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"wrote {args.out}")
+    write_bench_report(
+        args.out,
+        report,
+        speedup=cw["warm_speedup_vs_cold"],
+        drift=cw["warm_max_abs_diff_vs_cold"],
+    )
     return 0
 
 

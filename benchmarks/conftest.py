@@ -10,12 +10,61 @@ Environment knobs (see ``repro.experiments.sweeps``):
 sweeps toward paper scale.
 """
 
+import json
 import os
 
 import pytest
 
 # Keep benchmark collection deterministic and the tables readable.
 collect_ignore_glob: list[str] = []
+
+#: Version of the shared BENCH_*.json layout below.  Bump when the
+#: required header/summary keys change so dashboards can dispatch.
+BENCH_SCHEMA = 1
+
+#: Keys every BENCH_*.json must carry at the top level.
+_REQUIRED_HEADER = ("benchmark", "schema", "smoke", "host_cpus")
+
+
+def bench_report(name: str, *, smoke: bool = False, **header) -> dict:
+    """The standard ``BENCH_*.json`` skeleton.
+
+    Every standalone ``bench_*`` script builds its report through this
+    helper so the artifacts share one queryable header: ``benchmark``
+    (the script's name), ``schema`` (layout version), ``smoke`` (CI smoke
+    sizes vs the full run) and ``host_cpus`` (wall-clock context — a
+    speedup means nothing without knowing the host).  Extra keyword
+    arguments land as additional top-level keys.
+    """
+    report: dict = {
+        "benchmark": name,
+        "schema": BENCH_SCHEMA,
+        "smoke": bool(smoke),
+        "host_cpus": os.cpu_count(),
+    }
+    report.update(header)
+    return report
+
+
+def write_bench_report(path: str, report: dict, *, speedup, drift) -> None:
+    """Attach the canonical summary keys, validate, and write ``path``.
+
+    ``speedup`` is the run's headline ratio (the one number a dashboard
+    plots per benchmark); ``drift`` is the worst batched-vs-reference
+    disagreement the run measured (0.0 = bit-identical).  Both land under
+    ``summary`` next to whatever benchmark-specific keys the script
+    already recorded, so existing consumers keep their fields.
+    """
+    summary = report.setdefault("summary", {})
+    summary["headline_speedup"] = float(speedup)
+    summary["max_drift"] = float(drift)
+    missing = [k for k in _REQUIRED_HEADER if k not in report]
+    if missing:
+        raise ValueError(f"bench report missing header keys: {missing}")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -13,6 +13,7 @@ from repro.core.api import (
 from repro.core.bermudan import (
     price_bsm_european_fft,
     price_tree_bermudan_fft,
+    price_tree_bermudan_fft_batch,
     price_tree_european_fft,
 )
 from repro.core.bsm_solver import BSMFFTResult, solve_bsm_fft, solve_bsm_fft_batch
@@ -42,6 +43,7 @@ __all__ = [
     "solve_batch",
     "price_bsm_european_fft",
     "price_tree_bermudan_fft",
+    "price_tree_bermudan_fft_batch",
     "price_tree_european_fft",
     "BSMFFTResult",
     "solve_bsm_fft",

@@ -22,6 +22,12 @@ from typing import Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
+from repro.core.lockstep import (
+    AdvanceRequest,
+    BaseRowRequest,
+    drive_lockstep,
+    drive_serial,
+)
 from repro.core.metrics import SolveStats
 from repro.core.tree_solver import TreeFFTResult
 from repro.options.contract import Right
@@ -42,39 +48,14 @@ def _validated_rows(steps: int, exercise_steps: Iterable[int]) -> list[int]:
     return [r for r in rows if r < steps]  # expiry is always a payoff row
 
 
-def price_tree_bermudan_fft(
-    params: TreeParams,
-    exercise_steps: Sequence[int] = (),
-    *,
-    policy: AdvancePolicy = DEFAULT_POLICY,
-    engine: Optional[AdvanceEngine] = None,
-) -> TreeFFTResult:
-    """Bermudan (or, with no exercise steps, European) tree pricing via FFT.
-
-    Works for calls and puts — without the American free boundary there is
-    no divider orientation to respect.  Pass a shared ``engine`` to reuse
-    kernel spectra across a batch of same-parameter contracts (e.g. a strip
-    of strikes); the checkpoint gap heights are known up front and are
-    prepared on entry.
-    """
-    T = params.steps
-    spec = params.spec
-    q = len(params.taps) - 1
-    rows = _validated_rows(T, exercise_steps)
-    stats = SolveStats()
-    if engine is None:
-        engine = AdvanceEngine(policy)
-
-    j = np.arange(q * T + 1, dtype=np.float64)
-    values = terminal_payoff(spec, params.asset_price(T, j))
-    ws = rows_cost(1, q * T + 1, 1)
-    stats.cells_evaluated += q * T + 1
-
-    current = T
-    exercise_rows = set(rows)
+def _checkpoints(rows: Sequence[int]) -> list[int]:
     checkpoints = list(reversed(rows))
     if not checkpoints or checkpoints[-1] != 0:
         checkpoints.append(0)  # always finish the jump chain at the root
+    return checkpoints
+
+
+def _jump_jobs(T: int, q: int, checkpoints: Sequence[int]) -> list[tuple[int, int]]:
     # Full plans are known statically: each jump advances the full row at
     # `prev` (width q*prev + 1) down by the checkpoint gap.
     jobs = []
@@ -83,12 +64,45 @@ def price_tree_bermudan_fft(
         if prev - row > 0:
             jobs.append((prev - row, q * prev + 1))
         prev = row
-    engine.prepare(params.taps, jobs)
-    for row in checkpoints:
+    return jobs
+
+
+#: Identity stencil for exercise-date max rows (no taps, pure max vs green).
+_EMPTY_TAPS = np.empty(0, dtype=np.float64)
+
+
+def _bermudan_gen(params: TreeParams, rows: list[int], batch_base: bool = False):
+    """Generator body of one Bermudan/European jump-chain solve.
+
+    Yields :class:`~repro.core.lockstep.AdvanceRequest` for the checkpoint
+    jumps; with ``batch_base=True`` the exercise-date max rows are yielded
+    as identity-stencil :class:`~repro.core.lockstep.BaseRowRequest`
+    (``keep="max"``, no divider scan) so B lockstep contracts take their
+    vectorised max in one stacked engine call per exercise round.  Serial
+    mode applies the max inline — the exact pre-generator call sequence.
+    """
+    T = params.steps
+    spec = params.spec
+    q = len(params.taps) - 1
+    stats = SolveStats()
+
+    j = np.arange(q * T + 1, dtype=np.float64)
+    values = terminal_payoff(spec, params.asset_price(T, j))
+    ws = rows_cost(1, q * T + 1, 1)
+    stats.cells_evaluated += q * T + 1
+
+    current = T
+    exercise_rows = set(rows)
+    req = (
+        BaseRowRequest(taps=_EMPTY_TAPS, keep="max", scan=False)
+        if batch_base
+        else None
+    )
+    for row in _checkpoints(rows):
         h = current - row
         if h > 0:
-            values, rec = engine.advance(
-                values, params.taps, h, scale=spec.strike
+            values, rec = yield AdvanceRequest(
+                values, params.taps, h, spec.strike
             )
             stats.note_advance(rec.method, rec.input_len, rec.spectrum_hit)
             ws = ws.then(rec.workspan)
@@ -97,7 +111,13 @@ def price_tree_bermudan_fft(
             exer = np.asarray(
                 params.exercise_value(row, np.arange(q * row + 1)), dtype=np.float64
             )
-            np.maximum(values, exer, out=values)
+            if req is not None:
+                req.values = values
+                req.green = exer
+                values, _ = yield req
+                stats.base_batch_rows += 1
+            else:
+                np.maximum(values, exer, out=values)
             ws = ws.then(rows_cost(1, q * row + 1, 1))
             stats.cells_evaluated += q * row + 1
 
@@ -114,6 +134,72 @@ def price_tree_bermudan_fft(
             "params": params,
         },
     )
+
+
+def price_tree_bermudan_fft(
+    params: TreeParams,
+    exercise_steps: Sequence[int] = (),
+    *,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+) -> TreeFFTResult:
+    """Bermudan (or, with no exercise steps, European) tree pricing via FFT.
+
+    Works for calls and puts — without the American free boundary there is
+    no divider orientation to respect.  Pass a shared ``engine`` to reuse
+    kernel spectra across a batch of same-parameter contracts (e.g. a strip
+    of strikes); the checkpoint gap heights are known up front and are
+    prepared on entry.
+    """
+    T = params.steps
+    q = len(params.taps) - 1
+    rows = _validated_rows(T, exercise_steps)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    engine.prepare(params.taps, _jump_jobs(T, q, _checkpoints(rows)))
+    return drive_serial(_bermudan_gen(params, rows), engine)
+
+
+def price_tree_bermudan_fft_batch(
+    params_list: Sequence[TreeParams],
+    exercise_steps: Union[Sequence[int], Sequence[Sequence[int]]] = (),
+    *,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+) -> list[TreeFFTResult]:
+    """Price B Bermudan/European tree contracts in lockstep.
+
+    ``exercise_steps`` is either one schedule shared by every contract or a
+    per-contract sequence of schedules (one entry per ``params_list``
+    element).  Checkpoint jumps batch through
+    :meth:`~repro.core.fftstencil.AdvanceEngine.advance_batch` and the
+    exercise-date max rows through
+    :meth:`~repro.core.fftstencil.AdvanceEngine.base_rows_batch`; every
+    result is bit-identical to its ``price_tree_bermudan_fft`` twin.
+    """
+    es = list(exercise_steps)
+    if es and not isinstance(es[0], (int, np.integer)):
+        if len(es) != len(params_list):
+            raise ValidationError(
+                "per-contract exercise_steps must match params_list length: "
+                f"{len(es)} schedules for {len(params_list)} contracts"
+            )
+        schedules = [list(s) for s in es]
+    else:
+        schedules = [es] * len(params_list)
+    if engine is None:
+        engine = AdvanceEngine(policy)
+    gens = []
+    for params, sched in zip(params_list, schedules):
+        rows = _validated_rows(params.steps, sched)
+        q = len(params.taps) - 1
+        engine.prepare(params.taps, _jump_jobs(params.steps, q, _checkpoints(rows)))
+        gens.append(_bermudan_gen(params, rows, batch_base=True))
+    results: list[TreeFFTResult] = drive_lockstep(gens, engine)
+    for result in results:
+        result.meta["batched"] = True
+        result.meta["batch_size"] = len(results)
+    return results
 
 
 def price_tree_european_fft(

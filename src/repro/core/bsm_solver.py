@@ -35,8 +35,14 @@ from repro.core.fftstencil import (
     AdvanceEngine,
     AdvancePolicy,
     engine_delta as _engine_delta,
+    row_correlate,
 )
-from repro.core.lockstep import AdvanceRequest, drive_lockstep, drive_serial
+from repro.core.lockstep import (
+    AdvanceRequest,
+    BaseRowRequest,
+    drive_lockstep,
+    drive_serial,
+)
 from repro.core.metrics import SolveStats
 from repro.options.params import BSMGridParams
 from repro.parallel.workspan import WorkSpan, rows_cost
@@ -69,6 +75,7 @@ class _BSMSolver:
         base: int,
         engine: Optional[AdvanceEngine],
         recorder: Optional[BoundaryRecorder],
+        batch_base: bool = False,
     ):
         self.p = params
         self.taps = tuple(params.taps)  # (coef_down, coef_mid, coef_up)
@@ -84,6 +91,21 @@ class _BSMSolver:
             self.p.payoff(np.arange(-T, T + 1)), dtype=np.float64
         )
         self._tab_off = T
+        self._taps_arr = np.asarray(self.taps, dtype=np.float64)
+        # Lockstep base rows (docs/DESIGN.md §7.6): the FD row keeps the
+        # full ``maximum(cont, payoff)`` update, so ``keep="max"`` with the
+        # payoff table as the green slice spec.  One reused request object.
+        self._req: Optional[BaseRowRequest] = (
+            BaseRowRequest(
+                taps=self._taps_arr,
+                table=self._pay_tab,
+                g_stride=1,
+                keep="max",
+                scan=True,
+            )
+            if batch_base
+            else None
+        )
 
     def payoff(self, lo: int, hi: int) -> np.ndarray:
         """Signed green values ``1 - e^{s_k}`` for ``k = lo..hi`` (a view)."""
@@ -96,24 +118,37 @@ class _BSMSolver:
             self.rec.record(row, f)
 
     # ------------------------------------------------------------------ #
-    def naive(
-        self, values: np.ndarray, k_lo: int, f: int, h: int, n0: int
-    ) -> tuple[np.ndarray, int, WorkSpan]:
-        """``h`` max-rule rows over the shrinking cone window (base case)."""
-        cd, cm, cu = self.taps
+    def naive(self, values: np.ndarray, k_lo: int, f: int, h: int, n0: int):
+        """``h`` max-rule rows over the shrinking cone window (base case).
+
+        A generator returning ``(values, f, workspan)`` via
+        ``StopIteration``.  Serial solvers run every row inline (no
+        yields); lockstep solvers yield each row as a
+        :class:`BaseRowRequest` so the driver batches the B live rows —
+        bit-identical either way.
+        """
         cur = values
         lo = k_lo
         ws = WorkSpan.ZERO
-        self.stats.base_cases += 1
+        req = self._req
+        stats = self.stats
+        stats.base_cases += 1
         for step in range(1, h + 1):
             lo += 1
             width = len(cur) - 2
-            cont = cd * cur[:width] + cm * cur[1 : width + 1] + cu * cur[2 : width + 2]
-            pay = self.payoff(lo, lo + width - 1)
-            f = lo + scan_prefix_boundary(pay >= cont)
-            cur = np.maximum(cont, pay)
-            self.stats.cells_evaluated += width
-            self.stats.base_rows += 1
+            if req is not None:
+                req.values = cur
+                req.g_start = lo + self._tab_off
+                cur, d = yield req
+                f = lo + d
+                stats.base_batch_rows += 1
+            else:
+                cont = row_correlate(cur, self._taps_arr)
+                pay = self.payoff(lo, lo + width - 1)
+                f = lo + scan_prefix_boundary(pay >= cont)
+                cur = np.maximum(cont, pay)
+            stats.cells_evaluated += width
+            stats.base_rows += 1
             ws = ws.then(rows_cost(1, width, 3))
             self._record(n0 + step, f, lo)
         return cur, f, ws
@@ -150,7 +185,7 @@ class _BSMSolver:
             # Base case, or the divider sits too close to the window's right
             # edge for a clean split (only reachable at tiny T or extreme
             # moneyness) — the naive sweep is exact for any configuration.
-            return self.naive(values, k_lo, f, h, n0)
+            return (yield from self.naive(values, k_lo, f, h, n0))
 
         self.stats.trapezoids += 1
         mid_lo, mid_hi = k_lo + h1, k_hi - h1
@@ -205,15 +240,18 @@ def _bsm_solve_gen(
     params: BSMGridParams,
     base: int,
     recorder: Optional[BoundaryRecorder],
+    batch_base: bool = False,
 ):
     """Generator body of one fft-bsm solve.
 
     Yields :class:`~repro.core.lockstep.AdvanceRequest` for every linear
-    jump and returns the :class:`BSMFFTResult` (without the driver-supplied
+    jump — plus, with ``batch_base=True``,
+    :class:`~repro.core.lockstep.BaseRowRequest` for every naive row — and
+    returns the :class:`BSMFFTResult` (without the driver-supplied
     ``meta["engine"]`` delta) via ``StopIteration``.
     """
     T = params.steps
-    solver = _BSMSolver(params, base, None, recorder)
+    solver = _BSMSolver(params, base, None, recorder, batch_base)
 
     pay0 = solver.payoff(-T, T)
     vals = np.maximum(pay0, 0.0)
@@ -232,7 +270,7 @@ def _bsm_solve_gen(
     remaining = T
     while remaining > 0:
         if remaining <= 2 * base:
-            vals, f, w = solver.naive(vals, k_lo, f, remaining, n0)
+            vals, f, w = yield from solver.naive(vals, k_lo, f, remaining, n0)
             ws = ws.then(w)
             k_lo += remaining
             n0 += remaining
@@ -313,7 +351,10 @@ def solve_bsm_fft_batch(
     engine_before = engine.cache_info()
     gens = [
         _bsm_solve_gen(
-            params, base, BoundaryRecorder() if record_boundary else None
+            params,
+            base,
+            BoundaryRecorder() if record_boundary else None,
+            batch_base=True,
         )
         for params in params_list
     ]

@@ -37,6 +37,7 @@ never triggers the fallback; the Y=0 all-red regime does.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Literal, Optional, Sequence, Tuple
@@ -45,6 +46,7 @@ import numpy as np
 from scipy import fft as sfft
 from scipy.signal import fftconvolve
 
+from repro.core.boundary import scan_prefix_boundary
 from repro.core.weights import hstep_weights
 from repro.parallel.workspan import WorkSpan, fft_cost
 from repro.util.validation import ValidationError, check_integer
@@ -106,6 +108,74 @@ MAX_SPECTRA_BYTES = 64 * (1 << 20)
 #: it saves.
 MAX_STACK_BYTES = 256 * (1 << 20)
 
+#: Byte budget for the flat green/payoff-table block behind
+#: :meth:`AdvanceEngine.base_rows_batch`.  Tables are per-solve (a fresh
+#: batch registers fresh tables), so the block is cleared wholesale when
+#: it outgrows the budget — registration is one memcpy per table and the
+#: next round simply re-registers whatever is still live.
+MAX_TABLE_BYTES = 64 * (1 << 20)
+
+#: Longest kernel the stacked direct path may serve with the broadcast
+#: multiply-accumulate.  ``np.correlate`` accumulates left-to-right (the
+#: MAC's order) only through numpy's ``small_correlate`` fast path, which
+#: covers kernels of up to 11 taps; above that it switches to a
+#: differently-ordered dot and the stacked result would drift by an ulp.
+#: Measured, not documented — the bit-agreement tests re-verify it.
+MAC_STACK_MAX_KERNEL = 11
+
+#: Environment flag enabling the optional Numba fast path of
+#: :meth:`AdvanceEngine.base_rows_batch` (a compiled multiply-accumulate +
+#: divider scan over the stacked rows).  Off by default; silently falls
+#: back to the vectorised NumPy kernel when Numba is not installed — the
+#: two paths accumulate in the same order and are bit-identical.
+NUMBA_ENV_FLAG = "REPRO_NUMBA"
+
+_numba_checked = False
+_numba_mac_kernel: Optional[Callable] = None
+
+#: Shared zero-length reply for degenerate (empty-window) base rows —
+#: nothing to mutate, so one instance serves every caller.
+#: dtype singleton for the advance_batch contiguity fast path
+_F64 = np.dtype(np.float64)
+
+_EMPTY_ROW = np.empty(0, dtype=np.float64)
+_EMPTY_ROW.setflags(write=False)
+
+
+def _load_numba_mac() -> Optional[Callable]:
+    """Compile (once) the Numba base-row MAC kernel; None when unavailable."""
+    global _numba_checked, _numba_mac_kernel
+    if _numba_checked:
+        return _numba_mac_kernel
+    _numba_checked = True
+    try:
+        import numba
+    except Exception:
+        return None
+
+    @numba.njit(cache=False, fastmath=False)  # fastmath off: bit-identity
+    def _mac(X, tc, out):
+        G, n = out.shape
+        nt = tc.shape[1]
+        for r in range(G):
+            for j in range(n):
+                acc = tc[r, 0] * X[r, j]
+                for k in range(1, nt):
+                    acc += tc[r, k] * X[r, j + k]
+                out[r, j] = acc
+
+    _numba_mac_kernel = _mac
+    return _mac
+
+
+@dataclass
+class BaseRowsRecord:
+    """Bookkeeping for one :meth:`AdvanceEngine.base_rows_batch` call."""
+
+    rows: int
+    groups: int
+    workspan: WorkSpan
+
 
 @dataclass
 class AdvanceRecord:
@@ -151,6 +221,16 @@ class AdvanceRecord:
 def _direct_correlate(x: np.ndarray, w: np.ndarray) -> np.ndarray:
     """Valid-mode correlation sum_k w_k x_{c+k} via np.correlate (C speed)."""
     return np.correlate(x, w, mode="valid")
+
+
+#: Public alias for the solvers' naive base rows: one ``np.correlate`` call
+#: replaces their former Python per-tap accumulation loop.  np.correlate
+#: accumulates each output cell left-to-right over the taps — the same
+#: order as the loop — so the swap is bit-identical (the bit-agreement
+#: tests pin this).  The q+1-tap kernels sit far below
+#: ``AdvancePolicy.min_fft_size``, so this mirrors exactly what
+#: ``advance_many``'s fft-vs-direct guard would choose for a 1-step row.
+row_correlate = _direct_correlate
 
 
 def _fft_correlate(x: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -222,12 +302,18 @@ class AdvanceEngine:
         max_spectra: int = 512,
         max_scratch: int = 64,
         max_blocks: int = 16,
+        max_weights: int = 4096,
+        use_numba: Optional[bool] = None,
     ):
         self.policy = policy
         self.reuse = reuse
         self.max_spectra = max_spectra
         self.max_scratch = max_scratch
         self.max_blocks = max_blocks
+        self.max_weights = max_weights
+        if use_numba is None:
+            use_numba = os.environ.get(NUMBA_ENV_FLAG, "") not in ("", "0")
+        self._numba_mac = _load_numba_mac() if use_numba else None
         #: Optional zero-arg cooperative-interrupt hook, invoked at every
         #: advance entry (see :meth:`_tick`).  The resilience tier binds a
         #: deadline here (``engine.checkpoint = deadline.checkpoint``) so a
@@ -240,7 +326,28 @@ class AdvanceEngine:
         self._stack_scratch: dict[int, np.ndarray] = {}
         self._stack_scratch_bytes = 0
         self._fast_len: dict[int, int] = {}
+        self._weights: dict[tuple, np.ndarray] = {}
         self._blocks: dict[tuple, np.ndarray] = {}
+        # Flat green/payoff-table block for base_rows_batch: per-solver
+        # tables are registered once (id-keyed; the entry holds a reference
+        # so the id stays valid) and copied into one growable buffer the
+        # stacked green gathers index.
+        self._tables: dict[int, tuple[np.ndarray, int]] = {}
+        self._table_buf: Optional[np.ndarray] = None
+        self._table_used = 0
+        # epoch token for request-side offset caching (BaseRowRequest.bkey);
+        # replaced whenever registered offsets are invalidated
+        self._ckey: object = object()
+        # shared arange scratch for the stacked green gathers (views of a
+        # growable buffer replace one np.arange per group per round)
+        self._ar: Optional[np.ndarray] = None
+        self._xscratch: Optional[np.ndarray] = None
+        # per-group stacked taps, reused across rounds: a descent serves
+        # the same solver set for ~base consecutive rounds, and taps are
+        # fixed per request, so the (G, nt) matrix recurs call after call.
+        # Validated per use by element-identity against the group's tap
+        # arrays — any membership churn rebuilds.
+        self._tc_cache: dict[int, tuple[list, np.ndarray]] = {}
         # Block keys seen exactly once: a block is only materialised (rows
         # stacked into one array) when its key *recurs* — one-shot batch
         # shapes (a heterogeneous grid priced once) never pay the copies.
@@ -253,6 +360,10 @@ class AdvanceEngine:
         self.batch_advances = 0
         self.block_hits = 0
         self.block_misses = 0
+        self.base_batch_calls = 0
+        self.base_batch_rows = 0
+        self.base_block_hits = 0
+        self.base_block_misses = 0
         self.checkpoints = 0
 
     def _tick(self) -> None:
@@ -277,6 +388,26 @@ class AdvanceEngine:
             cached = sfft.next_fast_len(n)
             self._fast_len[n] = cached
         return cached
+
+    def _hstep(self, taps_t: tuple, h: int) -> np.ndarray:
+        """Engine-local ``hstep_weights`` cache.
+
+        The module-level LRU behind :func:`hstep_weights` is sized for a
+        handful of interleaved solves; a 1024-wide lockstep batch touches
+        ~B x log T distinct ``(taps, h)`` kernels between repeats and
+        thrashes it, recomputing kernels every round on the direct paths.
+        The engine keeps its own dict (entry bound scaled with the batch
+        width alongside ``max_spectra``) and skips the wrapper's per-call
+        validation — the taps were validated on first sight.
+        """
+        key = (taps_t, h)
+        w = self._weights.get(key)
+        if w is None:
+            w = hstep_weights(taps_t, h)
+            self._weights[key] = w
+            while len(self._weights) > self.max_weights:
+                self._weights.pop(next(iter(self._weights)))
+        return w
 
     def prepare(
         self, taps: Sequence[float], jobs: Iterable[Tuple[int, int]]
@@ -312,6 +443,10 @@ class AdvanceEngine:
             "batch_advances": self.batch_advances,
             "block_hits": self.block_hits,
             "block_misses": self.block_misses,
+            "base_batch_calls": self.base_batch_calls,
+            "base_batch_rows": self.base_batch_rows,
+            "base_block_hits": self.base_block_hits,
+            "base_block_misses": self.base_block_misses,
             "checkpoints": self.checkpoints,
         }
 
@@ -454,7 +589,8 @@ class AdvanceEngine:
             return y, AdvanceRecord(
                 "fft", len(x), h, _legacy_fft_workspan(len(x), kernel_len)
             )
-        y = _direct_correlate(x, hstep_weights(taps_t, h))
+        w = self._hstep(taps_t, h) if self.reuse else hstep_weights(taps_t, h)
+        y = _direct_correlate(x, w)
         ws = WorkSpan(2.0 * len(y) * kernel_len, np.log2(kernel_len + 1.0) + 1.0)
         return y, AdvanceRecord(method, len(x), h, ws)
 
@@ -520,7 +656,7 @@ class AdvanceEngine:
             g_method = self.policy.choose(g_max, scale_val, kernel_len)
             methods.add(g_method)
             if g_method != "fft":
-                w = hstep_weights(taps_t, h)
+                w = self._hstep(taps_t, h) if self.reuse else hstep_weights(taps_t, h)
                 g_ws = WorkSpan.ZERO
                 for i in idxs:
                     y = _direct_correlate(arrs[i], w)
@@ -674,14 +810,26 @@ class AdvanceEngine:
             (``None`` entries disable that row's guard).
         """
         self._tick()
-        arrs = [np.ascontiguousarray(x, dtype=np.float64) for x in xs]
+        # lockstep rows are always contiguous float64 (solver windows and
+        # batch-output views); skip the per-row ascontiguousarray wrapper
+        arrs = [
+            x
+            if type(x) is np.ndarray
+            and x.dtype == _F64
+            and x.flags.c_contiguous
+            else np.ascontiguousarray(x, dtype=np.float64)
+            for x in xs
+        ]
         if len(arrs) != len(kernels):
             raise ValidationError(
                 f"advance_batch needs one kernel per input: got {len(arrs)} "
                 f"inputs, {len(kernels)} kernels"
             )
         kers = [
-            (tuple(float(v) for v in taps), check_integer("h", h, minimum=0))
+            (
+                taps if type(taps) is tuple else tuple(float(v) for v in taps),
+                h if type(h) is int and h >= 0 else check_integer("h", h, minimum=0),
+            )
             for taps, h in kernels
         ]
         if not arrs:
@@ -706,22 +854,56 @@ class AdvanceEngine:
             # the default spectrum bound assumes: B solves' kernels repeat
             # with a reuse distance of ~B x (distinct kernels per solve).
             # Scale the entry bound with the batch width; MAX_SPECTRA_BYTES
-            # still caps the memory.
+            # still caps the memory.  The direct-path kernel cache reuses
+            # with the same distance, so its bound scales alongside.
             self.max_spectra = max(self.max_spectra, 8 * B)
+            self.max_weights = max(self.max_weights, 32 * B)
 
         rows: list[Optional[AdvanceRecord]] = [None] * B
         outs: list[Optional[np.ndarray]] = [None] * B
         fft_groups: dict[int, list[int]] = {}
+        direct_groups: dict[int, list[int]] = {}
+        pol = self.policy
+        # The stock policy reads max|x| only for FFT-eligible kernels, so
+        # the per-row magnitude reduce (surprisingly the priciest scalar op
+        # in a trapezoid batch) is computed lazily — short-kernel rows skip
+        # it entirely.  Decisions are identical to policy.choose(); a
+        # subclassed policy falls back to the eager call.
+        inline_pol = type(pol) is AdvancePolicy and pol.mode == "auto"
+        min_fft = pol.min_fft_size
+        max_amp = pol.max_amplification
         for i, (a, (taps_t, h)) in enumerate(zip(arrs, kers)):
             q = len(taps_t) - 1
             if h == 0:
                 outs[i] = a.copy()
                 rows[i] = AdvanceRecord("copy", len(a), 0, WorkSpan(len(a), 1.0))
                 continue
-            kernel_len = self._validate(a, q, h)
-            x_max = float(np.max(np.abs(a))) if len(a) else 0.0
-            method = self.policy.choose(x_max, scale_list[i], kernel_len)
+            kernel_len = q * h + 1
+            if len(a) < kernel_len:
+                self._validate(a, q, h)  # raises the standard message
+            if inline_pol:
+                if kernel_len < min_fft:
+                    method = "direct"
+                else:
+                    sc = scale_list[i]
+                    if sc > 0.0 and len(a):
+                        mx = a.max()
+                        mn = -a.min()
+                        method = (
+                            "direct"
+                            if (mx if mx >= mn else mn) > max_amp * sc
+                            else "fft"
+                        )
+                    else:
+                        method = "fft"
+            else:
+                x_max = float(np.max(np.abs(a))) if len(a) else 0.0
+                method = pol.choose(x_max, scale_list[i], kernel_len)
             if method != "fft":
+                if self.reuse:
+                    # stacked below — direct rows dominate trapezoid batches
+                    direct_groups.setdefault(kernel_len, []).append(i)
+                    continue
                 w = hstep_weights(taps_t, h)
                 y = _direct_correlate(a, w)
                 outs[i] = y
@@ -741,6 +923,83 @@ class AdvanceEngine:
                 )
                 continue
             fft_groups.setdefault(self.fast_len(len(a)), []).append(i)
+
+        # ---- stacked direct rows: same-shape (input, kernel) rows run as
+        # one broadcast multiply-accumulate — identical accumulation order
+        # to np.correlate, so each row matches its standalone advance
+        # bit-for-bit (the bit-agreement tests pin this).  np.correlate
+        # only accumulates left-to-right for kernels up to
+        # MAC_STACK_MAX_KERNEL taps (numpy's small_correlate cutoff; it
+        # switches to a differently-ordered dot above), so longer kernels
+        # stay on the per-row path ----
+        for kl, d_idxs in direct_groups.items():
+            if len(d_idxs) == 1 or kl > MAC_STACK_MAX_KERNEL:
+                for i in d_idxs:
+                    taps_t, h = kers[i]
+                    la = arrs[i].shape[0]
+                    outs[i] = _direct_correlate(arrs[i], self._hstep(taps_t, h))
+                    rows[i] = AdvanceRecord(
+                        "direct", la, h,
+                        WorkSpan(
+                            2.0 * (la - kl + 1) * kl,
+                            np.log2(kl + 1.0) + 1.0,
+                        ),
+                    )
+                continue
+            # ragged stack: rows share the kernel length but not the input
+            # length — pad to the longest row (junk tails the per-row
+            # output slices never read), exactly like base_rows_batch
+            Gd = len(d_idxs)
+            d_arrs = [arrs[i] for i in d_idxs]
+            d_lens = [a.shape[0] for a in d_arrs]
+            la = max(d_lens)
+            n_out = la - kl + 1
+            ragged_d = min(d_lens) != la
+            if not ragged_d:
+                Xd = np.concatenate(d_arrs).reshape(Gd, la)
+            else:
+                lv = np.asarray(d_lens, dtype=np.intp)
+                vcat = np.concatenate(d_arrs)
+                tot = vcat.shape[0]
+                ar = self._arange(max(tot, Gd))
+                cum = np.cumsum(lv)
+                dst = ar[:tot] + np.repeat(ar[:Gd] * la - (cum - lv), lv)
+                Xf = self._xscratch
+                if Xf is None or Xf.shape[0] < Gd * la:
+                    self._xscratch = Xf = np.zeros(
+                        max(Gd * la,
+                            2 * (Xf.shape[0] if Xf is not None else 0)),
+                        dtype=np.float64,
+                    )
+                Xf[dst] = vcat
+                Xd = Xf[: Gd * la].reshape(Gd, la)
+            hstep = self._hstep
+            Wd = np.concatenate(
+                [hstep(kers[i][0], kers[i][1]) for i in d_idxs]
+            ).reshape(Gd, kl)
+            yd = Wd[:, 0:1] * Xd[:, :n_out]
+            for k in range(1, kl):
+                yd += Wd[:, k : k + 1] * Xd[:, k : k + n_out]
+            ylist = list(yd)  # row views in one C call
+            rcache: dict = {}
+            lg2 = np.log2(kl + 1.0) + 1.0
+            for r, i in enumerate(d_idxs):
+                h = kers[i][1]
+                lr = d_lens[r]
+                if ragged_d:
+                    outs[i] = ylist[r][: lr - kl + 1]
+                else:
+                    outs[i] = ylist[r]
+                rkey = (h, lr)
+                rec_d = rcache.get(rkey)
+                if rec_d is None:
+                    # records are immutable once built, so equal-shape
+                    # rows of one group share a single instance
+                    rcache[rkey] = rec_d = AdvanceRecord(
+                        "direct", lr, h,
+                        WorkSpan(2.0 * (lr - kl + 1) * kl, lg2),
+                    )
+                rows[i] = rec_d
 
         hits = misses = block_hits = block_misses = 0
         for n, idxs in fft_groups.items():
@@ -767,23 +1026,36 @@ class AdvanceEngine:
             block, row_specs, block_hit, consults = self._spectrum_block(keys)
             block_hits += int(block_hit)
             block_misses += int(not block_hit)
-            stack = self._padded_stack(len(idxs), n)
-            for r, i in enumerate(idxs):
-                a = arrs[i]
-                row = stack[r]
-                row[: len(a)] = a
-                row[len(a):] = 0.0
-            X = sfft.rfft(stack[: len(idxs)], axis=-1)
+            # one fancy-index scatter into a fresh zero block instead of
+            # 2G per-row slice assignments — the pad tails must be exact
+            # zeros (the FFT reads them), which np.zeros provides
+            Gf = len(idxs)
+            f_arrs = [arrs[i] for i in idxs]
+            lv = np.asarray([a.shape[0] for a in f_arrs], dtype=np.intp)
+            vcat = np.concatenate(f_arrs)
+            tot = vcat.shape[0]
+            ar = self._arange(max(tot, Gf))
+            dst = ar[:tot] + np.repeat(
+                ar[:Gf] * n - (np.cumsum(lv) - lv), lv
+            )
+            flat = np.zeros(Gf * n, dtype=np.float64)
+            flat[dst] = vcat
+            X = sfft.rfft(flat.reshape(Gf, n), axis=-1)
             if block is not None:
                 X *= block
             else:
                 for r, spec in enumerate(row_specs):
                     X[r] *= spec
             Y = sfft.irfft(X, n=n, axis=-1)
+            rcache_f: dict = {}
             for r, i in enumerate(idxs):
                 taps_t, h = kers[i]
-                out_len = len(arrs[i]) - (len(taps_t) - 1) * h
-                outs[i] = Y[r, :out_len].copy()
+                la = int(lv[r])
+                out_len = la - (len(taps_t) - 1) * h
+                # a view, not a copy: Y is a fresh per-call temporary and
+                # every row belongs to a different solver, so views are
+                # disjoint and safe to hand out (and to mutate in place)
+                outs[i] = Y[r, :out_len]
                 consult = consults.get(r)
                 if consult is None:
                     # served from the block cache (or a duplicate key):
@@ -795,20 +1067,37 @@ class AdvanceEngine:
                     row_hit = consult
                     hits += int(consult)
                     misses += int(not consult)
-                rows[i] = AdvanceRecord(
-                    "fft", len(arrs[i]), h,
-                    WorkSpan(t * one_fft.work + 2.0 * n, t * one_fft.span + 1.0),
-                    spectrum_hit=row_hit,
-                    spectrum_hits=int(row_hit is True),
-                    spectrum_misses=int(row_hit is False),
-                )
+                rkey = (la, h, row_hit)
+                rec_f = rcache_f.get(rkey)
+                if rec_f is None:
+                    # immutable once built: same-shape rows with the same
+                    # consult outcome share one record instance
+                    rcache_f[rkey] = rec_f = AdvanceRecord(
+                        "fft", la, h,
+                        WorkSpan(
+                            t * one_fft.work + 2.0 * n,
+                            t * one_fft.span + 1.0,
+                        ),
+                        spectrum_hit=row_hit,
+                        spectrum_hits=int(row_hit is True),
+                        spectrum_misses=int(row_hit is False),
+                    )
+                rows[i] = rec_f
 
         total = sum(len(a) for a in arrs)
-        ws = WorkSpan.ZERO
+        # scalar-accumulated ``beside`` fold: same additions in the same
+        # order as repeated WorkSpan.beside, without B frozen-dataclass
+        # intermediates
+        wk = 0.0
+        sp = 0.0
         methods: set[str] = set()
         for rec in rows:
-            ws = ws.beside(rec.workspan)  # type: ignore[union-attr]
+            rw = rec.workspan  # type: ignore[union-attr]
+            wk += rw.work
+            if rw.span > sp:
+                sp = rw.span
             methods.add(rec.method)  # type: ignore[union-attr]
+        ws = WorkSpan(wk, sp)
         consulted = hits + misses > 0
         return list(outs), AdvanceRecord(  # type: ignore[arg-type]
             methods.pop() if len(methods) == 1 else "mixed",
@@ -823,6 +1112,375 @@ class AdvanceEngine:
             block_misses=block_misses,
             rows=rows,  # type: ignore[arg-type]
         )
+
+
+    # ------------------------------------------------------------------ #
+    # Batched naive base rows (docs/DESIGN.md §7.6)
+    # ------------------------------------------------------------------ #
+    def _table_offset(self, table: np.ndarray) -> int:
+        """Offset of ``table`` inside the flat green-table block.
+
+        Registers the table on first sight: one memcpy into a growable
+        flat buffer.  Keyed by ``id`` — the entry keeps a reference, so
+        the id cannot be recycled while the entry lives.
+        """
+        key = id(table)
+        ent = self._tables.get(key)
+        if ent is not None:
+            return ent[1]
+        self.base_block_misses += 1
+        ln = table.shape[0]
+        used = self._table_used
+        buf = self._table_buf
+        if buf is None or used + ln > buf.shape[0]:
+            cap = max(
+                2 * (buf.shape[0] if buf is not None else 0), used + ln, 8192
+            )
+            grown = np.empty(cap, dtype=np.float64)
+            if used:
+                grown[:used] = buf[:used]
+            self._table_buf = buf = grown
+        buf[used : used + ln] = table
+        self._tables[key] = (table, used)
+        self._table_used = used + ln
+        return used
+
+    def _arange(self, n: int) -> np.ndarray:
+        """A ``>= n``-long cached ``arange`` (callers slice what they need)."""
+        ar = self._ar
+        if ar is None or ar.shape[0] < n:
+            self._ar = ar = np.arange(max(2 * n, 256), dtype=np.intp)
+        return ar
+
+    def _base_row_one(
+        self, req, nt: int, n: int, keep: str, scan: bool
+    ) -> tuple[np.ndarray, int]:
+        """Serve one base row alone — the same ops a serial row performs."""
+        v = req.values
+        el = req.e_len
+        if el:
+            off = self._table_offset(req.table)
+            s = off + req.e_start
+            ext = self._table_buf[s : s + req.g_stride * el : req.g_stride]
+            x = np.concatenate([v, ext])
+        else:
+            x = v
+        cont = np.correlate(x, req.taps, mode="valid") if nt else x
+        if req.table is not None:
+            off = self._table_offset(req.table)
+            s = off + req.g_start
+            grn = self._table_buf[s : s + req.g_stride * n : req.g_stride]
+        else:
+            grn = req.green
+        if keep == "prefix":
+            d = scan_prefix_boundary(cont >= grn)
+            return cont[: d + 1].copy(), d
+        d = scan_prefix_boundary(grn >= cont) if scan else -1
+        return np.maximum(cont, grn), d
+
+    def base_rows_batch(
+        self, reqs: Sequence
+    ) -> tuple[list[np.ndarray], list[int], BaseRowsRecord]:
+        """Serve B naive base-case rows (one per live solver) in one call.
+
+        The nonlinear sibling of :meth:`advance_batch` and the other half
+        of the lockstep protocol (docs/DESIGN.md §7.6).  ``reqs`` are
+        :class:`~repro.core.lockstep.BaseRowRequest`-shaped objects; rows
+        group by ``(tap count, row length, keep-mode)``, each group is
+        stacked into a ``(G, n+q)`` array, the direct convolutions run as
+        one vectorised multiply-accumulate per tap (left-to-right, the
+        same accumulation order as a serial ``np.correlate`` row — the
+        bit-agreement tests pin the equivalence), the green comparison
+        rows are gathered from the registered per-solver tables in one
+        fancy index, and the max rule + divider scan
+        (:func:`~repro.core.boundary.scan_prefix_boundary`, vectorised as
+        a row-wise ``argmin``) run per group.  Returns ``(values,
+        dividers, record)`` with per-row outputs in input order.
+
+        ``base_block_misses`` counts green tables copied into the flat
+        block (once per solver table); ``base_block_hits`` counts stacked
+        gathers served entirely from already-registered tables — a warm
+        batch round touches no table memory beyond the gather itself.
+        """
+        self._tick()
+        B = len(reqs)
+        self.base_batch_calls += 1
+        self.base_batch_rows += B
+        outs: list[Optional[np.ndarray]] = [None] * B
+        divs: list[int] = [-1] * B
+        if not B:
+            return [], [], BaseRowsRecord(0, 0, WorkSpan.ZERO)
+        if self._table_used * 8 > MAX_TABLE_BYTES:
+            # tables are per-solve; drop the block wholesale and let live
+            # solvers re-register (offsets are never held across calls)
+            self._tables.clear()
+            self._table_used = 0
+            self._ckey = object()
+
+        # ---- one fused sweep: group rows and collect their metadata ----
+        # Rows group by the request's precomputed ``kcode`` (tap count,
+        # keep, scan — fixed per request, so derived once in its
+        # constructor) plus the row length's *bit length*.  Exact lengths
+        # deliberately do not key the grouping: a heterogeneous round
+        # scatters its rows across dozens of lengths, and per-length
+        # groups would each pay the full set of numpy fixed costs.  The
+        # geometric bucket instead stacks near-length rows into one
+        # ragged super-group padded to the bucket's longest row (≤ 2x
+        # pad waste) and masks the tails in the divider scan — the pad
+        # columns are junk that no output ever reads.
+        # Group layout: [idxs, values, lengths, first request,
+        # plain-green count, cold-table count, taps, e_len, e_off,
+        # g_off] — parallel per-field lists, so the group body reads
+        # columns directly instead of transposing B row tuples.  The
+        # green stride needs no per-row column: it is baked into
+        # ``kcode``, so every group is stride-uniform by construction.
+        groups: dict[int, list] = {}
+        gget = groups.get
+        toff = self._table_offset
+        ck = self._ckey
+        for i, r in enumerate(reqs):
+            v = r.values
+            el = r.e_len
+            n = v.shape[0] + el + r.noff
+            key = (n.bit_length() << 28) | r.kcode
+            g = gget(key)
+            if g is None:
+                groups[key] = g = [[], [], [], r, 0, 0, [], [], [], []]
+            tab = r.table
+            if tab is not None:
+                if r.bkey is ck:
+                    off = r.boff
+                else:
+                    mb = self.base_block_misses
+                    off = toff(tab)
+                    if self.base_block_misses != mb:
+                        g[5] += 1
+                    r.boff = off
+                    r.bkey = ck
+                if n <= 0:
+                    outs[i] = _EMPTY_ROW
+                    continue
+                g[0].append(i)
+                g[1].append(v)
+                g[2].append(n)
+                g[6].append(r.taps)
+                g[7].append(el)
+                g[8].append(off + r.e_start if el else 0)
+                g[9].append(off + r.g_start)
+            else:
+                if n <= 0:
+                    outs[i] = _EMPTY_ROW
+                    continue
+                g[0].append(i)
+                g[1].append(v)
+                g[2].append(n)
+                g[4] += 1
+                g[6].append(r.taps)
+                g[7].append(0)
+                g[8].append(0)
+                g[9].append(0)
+
+        total_cells = 0
+        numba_mac = self._numba_mac
+        for key, g in groups.items():
+            idxs = g[0]
+            G = len(idxs)
+            if G == 0:
+                continue
+            r0 = g[3]
+            nt = (r0.kcode >> 3) & 0x1FFFF
+            lens = g[2]
+            keep = r0.keep
+            scan = r0.scan
+            total_cells += sum(lens)
+            if G == 1:
+                i = idxs[0]
+                outs[i], divs[i] = self._base_row_one(
+                    reqs[i], nt, lens[0], keep, scan
+                )
+                continue
+            if g[5] == 0:
+                self.base_block_hits += 1
+            plain_green = g[4] > 0
+            q = nt - 1 if nt else 0
+            n = max(lens)
+            ragged = min(lens) != n
+            m = n + q
+            vlist = g[1]
+            tlist = g[6]
+            el_l = g[7]
+            eo_l = g[8]
+            go_l = g[9]
+            buf = self._table_buf
+            # stride-uniform by construction (stride is part of kcode), so
+            # gather indices build from the cached arange with one
+            # broadcast add instead of a per-row multiply
+            st0 = r0.g_stride
+            # ---- stack the windows into a (G, m) pad, m = n_max + q.
+            # Uniform rounds stack with one concatenate; ragged rounds
+            # scatter the concatenated values through one fancy index
+            # (dst = row*m + column, all intp arithmetic).  Pad columns
+            # beyond a row's own window hold zeros/stale cells — the MAC
+            # runs over them, but every output slice stops at the row's
+            # own length, so the junk is never read. ----
+            if not ragged:
+                ar = self._arange(n + 1)
+                if q == 0 or not any(el_l):
+                    # no extension columns anywhere: every row is already
+                    # m cells, one concatenate is the whole stack
+                    X = np.concatenate(vlist).reshape(G, m)
+                else:
+                    X = np.empty((G, m), dtype=np.float64)
+                    els = np.asarray(el_l, dtype=np.intp)
+                    e_offs = np.asarray(eo_l, dtype=np.intp)
+                    for e in range(q + 1):
+                        rows_e = np.nonzero(els == e)[0]
+                        ge = rows_e.shape[0]
+                        if ge == 0:
+                            continue
+                        if ge == G:
+                            sub = np.concatenate(vlist)
+                        else:
+                            sub = np.concatenate([vlist[r] for r in rows_e])
+                        X[rows_e, : m - e] = sub.reshape(ge, m - e)
+                        for k in range(e):
+                            X[rows_e, m - e + k] = buf[
+                                e_offs[rows_e] + k * st0
+                            ]
+                lens_np = None
+            else:
+                lens_np = np.asarray(lens, dtype=np.intp)
+                els = (
+                    np.asarray(el_l, dtype=np.intp)
+                    if q and any(el_l) else None
+                )
+                lens_v = lens_np + q - els if els is not None else (
+                    lens_np + q if q else lens_np
+                )
+                vcat = np.concatenate(vlist)
+                tot = vcat.shape[0]
+                ar = self._arange(max(tot, n + 1, G))
+                cum = np.cumsum(lens_v)
+                starts = cum - lens_v
+                dst = ar[:tot] + np.repeat(ar[:G] * m - starts, lens_v)
+                Xf = self._xscratch
+                if Xf is None or Xf.shape[0] < G * m:
+                    # fresh scratch starts zeroed; on reuse the pad cells
+                    # hold stale finite values from earlier rounds — junk
+                    # the output slices never read, so no re-zeroing
+                    self._xscratch = Xf = np.zeros(
+                        max(G * m, 2 * (Xf.shape[0] if Xf is not None else 0)),
+                        dtype=np.float64,
+                    )
+                Xf[dst] = vcat
+                X = Xf[: G * m].reshape(G, m)
+                if els is not None:
+                    e_offs = np.asarray(eo_l, dtype=np.intp)
+                    for k in range(q):
+                        rk = np.nonzero(els > k)[0]
+                        if rk.size:
+                            X[rk, lens_v[rk] + k] = buf[
+                                e_offs[rk] + k * st0
+                            ]
+            g_offs = np.asarray(go_l, dtype=np.intp)
+            if not plain_green:
+                row_idx = ar[:n] if st0 == 1 else st0 * ar[:n]
+                idx = g_offs[:, None] + row_idx
+                reach = int(g_offs.max()) + st0 * (n - 1)
+                if reach >= buf.shape[0]:
+                    # ragged pads may reach past the last registered
+                    # table; clamp — the overhang cells are junk that the
+                    # per-row output slices never read
+                    np.minimum(idx, buf.shape[0] - 1, out=idx)
+                Gm = buf[idx]
+            else:
+                Gm = np.zeros((G, n), dtype=np.float64)
+                for r, i in enumerate(idxs):
+                    req = reqs[i]
+                    nr = lens[r]
+                    if req.table is None:
+                        Gm[r, :nr] = req.green
+                    else:
+                        s = g_offs[r]
+                        Gm[r, :nr] = buf[s : s + st0 * nr : st0]
+            if nt == 0:
+                cont = X[:, :n]
+            else:
+                cached = self._tc_cache.get(key)
+                if (
+                    cached is not None
+                    and len(cached[0]) == G
+                    and all(a is b for a, b in zip(cached[0], tlist))
+                ):
+                    tc = cached[1]
+                else:
+                    tc = np.concatenate(tlist).reshape(G, nt)
+                    self._tc_cache[key] = (tlist, tc)
+                if numba_mac is not None:
+                    cont = np.empty((G, n), dtype=np.float64)
+                    numba_mac(X, tc, cont)
+                else:
+                    cont = tc[:, 0:1] * X[:, :n]
+                    for k in range(1, nt):
+                        cont += tc[:, k : k + 1] * X[:, k : k + n]
+            # replies are views of the group matrices — each lives only until
+            # its solver's next request replaces it, so no per-row copies.
+            # The divider scan appends a False sentinel column before the
+            # row-wise argmin: the argmin then *is* divider+1 directly
+            # (all-red rows hit the sentinel at their own length), replacing
+            # the fancy-index fixup pass of the per-row scan with plain
+            # arithmetic.  Ragged rounds force every column at or past a
+            # row's own length to False in one vectorised logical-and, which
+            # both plants the sentinel and kills the junk-pad comparisons.
+            if keep == "prefix":
+                pad = np.empty((G, n + 1), dtype=np.bool_)
+                np.greater_equal(cont, Gm, out=pad[:, :n])
+                if lens_np is None:
+                    pad[:, n] = False
+                else:
+                    np.logical_and(
+                        pad, ar[: n + 1] < lens_np[:, None], out=pad
+                    )
+                fl = pad.argmin(axis=1).tolist()
+                crows = list(cont)  # row views in one C call
+                if G == B:
+                    # the whole call is one group: idxs is 0..B-1 in
+                    # input order, so build the reply lists outright
+                    divs = [f - 1 for f in fl]
+                    outs = [cr[:f] for cr, f in zip(crows, fl)]
+                else:
+                    for i, cr, f in zip(idxs, crows, fl):
+                        divs[i] = f - 1
+                        outs[i] = cr[:f]
+            else:  # "max"
+                M = np.maximum(cont, Gm)
+                mrows = list(M)
+                if scan:
+                    pad = np.empty((G, n + 1), dtype=np.bool_)
+                    np.greater_equal(Gm, cont, out=pad[:, :n])
+                    if lens_np is None:
+                        pad[:, n] = False
+                    else:
+                        np.logical_and(
+                            pad, ar[: n + 1] < lens_np[:, None], out=pad
+                        )
+                    fl = pad.argmin(axis=1).tolist()
+                    if lens_np is None:
+                        for i, mr, f in zip(idxs, mrows, fl):
+                            divs[i] = f - 1
+                            outs[i] = mr
+                    else:
+                        for i, mr, f, nr in zip(idxs, mrows, fl, lens):
+                            divs[i] = f - 1
+                            outs[i] = mr[:nr]
+                elif lens_np is None:
+                    for i, mr in zip(idxs, mrows):
+                        outs[i] = mr
+                else:
+                    for i, mr, nr in zip(idxs, mrows, lens):
+                        outs[i] = mr[:nr]
+        ws = WorkSpan(2.0 * total_cells, np.log2(total_cells + 2.0) + 1.0)
+        return outs, divs, BaseRowsRecord(B, len(groups), ws)  # type: ignore[arg-type]
 
 
 def engine_delta(before: dict, after: dict) -> dict:
@@ -841,6 +1499,10 @@ def engine_delta(before: dict, after: dict) -> dict:
         "batch_advances",
         "block_hits",
         "block_misses",
+        "base_batch_calls",
+        "base_batch_rows",
+        "base_block_hits",
+        "base_block_misses",
         "checkpoints",
     ):
         out[key] = after[key] - before[key]

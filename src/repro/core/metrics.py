@@ -25,6 +25,7 @@ class SolveStats:
     trapezoids: int = 0
     base_cases: int = 0
     base_rows: int = 0
+    base_batch_rows: int = 0  # base rows served via engine.base_rows_batch
     cells_evaluated: int = 0
     max_depth: int = 0
 
@@ -59,6 +60,7 @@ class SolveStats:
             "trapezoids": self.trapezoids,
             "base_cases": self.base_cases,
             "base_rows": self.base_rows,
+            "base_batch_rows": self.base_batch_rows,
             "cells_evaluated": self.cells_evaluated,
             "max_depth": self.max_depth,
         }

@@ -50,8 +50,14 @@ from repro.core.fftstencil import (
     AdvanceEngine,
     AdvancePolicy,
     engine_delta as _engine_delta,
+    row_correlate,
 )
-from repro.core.lockstep import AdvanceRequest, drive_lockstep, drive_serial
+from repro.core.lockstep import (
+    AdvanceRequest,
+    BaseRowRequest,
+    drive_lockstep,
+    drive_serial,
+)
 from repro.core.metrics import SolveStats
 from repro.options.contract import Right, Style
 from repro.options.params import BinomialParams, TrinomialParams
@@ -94,6 +100,7 @@ class _TreeSolver:
         base: int,
         engine: Optional[AdvanceEngine],
         recorder: Optional[BoundaryRecorder],
+        batch_base: bool = False,
     ):
         self.p = params
         self.taps = tuple(params.taps)
@@ -121,6 +128,21 @@ class _TreeSolver:
         self._green_tab = self._spot * np.exp(e * self._log_u) - self._strike
         self._tab_off = T
         self._alpha_i = 2 if self.q == 1 else 1
+        self._taps_arr = np.asarray(self.taps, dtype=np.float64)
+        # Lockstep base rows (docs/DESIGN.md §7.6): one reused request
+        # object — requests are consumed within the round they are
+        # yielded, so only the window fields change row to row.
+        self._req: Optional[BaseRowRequest] = (
+            BaseRowRequest(
+                taps=self._taps_arr,
+                table=self._green_tab,
+                g_stride=self._alpha_i,
+                keep="prefix",
+                scan=True,
+            )
+            if batch_base
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Grid helpers
@@ -151,45 +173,85 @@ class _TreeSolver:
     # ------------------------------------------------------------------ #
     def naive_descend(
         self, i_top: int, c0: int, vals: np.ndarray, j_top: int, ell: int
-    ) -> tuple[np.ndarray, int, WorkSpan]:
+    ):
         """Descend ``ell`` rows with the max rule on the window ``[c0..j]``.
 
-        Returns the red values on ``[c0..j_bot]`` of row ``i_top - ell`` and
-        the divider ``j_bot`` (``c0 - 1`` when no red cell remains at or
-        right of ``c0``).
+        A generator returning (via ``StopIteration``) the red values on
+        ``[c0..j_bot]`` of row ``i_top - ell`` and the divider ``j_bot``
+        (``c0 - 1`` when no red cell remains at or right of ``c0``).
+
+        Serial solvers (``batch_base=False``) run every row inline —
+        the generator yields nothing and the ``yield from`` call sites
+        behave exactly like the pre-generator plain calls.  Lockstep
+        solvers yield each row as a :class:`BaseRowRequest` (window +
+        green slice spec into the per-solve table) so the driver can
+        stack the B live rows into one
+        :meth:`~repro.core.fftstencil.AdvanceEngine.base_rows_batch`
+        call per round — bit-identical either way.
         """
         q = self.q
+        a = self._alpha_i
+        off = self._tab_off
+        rec = self.rec
         cur = vals
         jb = j_top
         work = 0.0
         span = 0.0
-        self.stats.base_cases += 1
+        base_rows = 0
+        batch_rows = 0
+        cells = 0
+        req = self._req
+        stats = self.stats
+        stats.base_cases += 1
+        log2 = _math.log2
+        row_w = 2.0 * (q + 1)
+        g0 = a * c0 + off  # green slice start is g0 - i_new, row by row
+        e0 = a + off - 1  # extension start is a*jb + e0 - i_new
         for step in range(1, ell + 1):
             i_new = i_top - step
-            hi_cand = min(jb, self.row_end(i_new))
+            re_new = q * i_new  # row_end inlined: ~ell attribute+call pairs saved
+            hi_cand = jb if jb < re_new else re_new
             if hi_cand < c0:
                 # divider left the window; every lower row is green in [c0..]
-                self.stats.base_rows += ell - step + 1
+                stats.base_rows += base_rows + ell - step + 1
+                stats.base_batch_rows += batch_rows
+                stats.cells_evaluated += cells
                 return np.empty(0, dtype=np.float64), c0 - 1, WorkSpan(work, span)
-            i_old = i_new + 1
-            ext_hi = hi_cand + q  # <= row_end(i_old) always
+            ext_hi = hi_cand + q  # <= row_end(i_new + 1) always
             n_cand = hi_cand - c0 + 1
-            if ext_hi > jb:
-                x = np.concatenate([cur, self.green(i_old, jb + 1, ext_hi)])
+            if req is not None:
+                if ext_hi > jb:
+                    req.values = cur
+                    req.e_start = a * jb + e0 - i_new
+                    req.e_len = ext_hi - jb
+                else:
+                    req.values = cur[: ext_hi - c0 + 1]
+                    req.e_len = 0
+                req.g_start = g0 - i_new
+                cur, d = yield req
+                jb = c0 + d
+                batch_rows += 1
             else:
-                x = cur[: ext_hi - c0 + 1]
-            cont = self.taps[0] * x[:n_cand]
-            for k in range(1, q + 1):
-                cont = cont + self.taps[k] * x[k : k + n_cand]
-            grn = self.green(i_new, c0, hi_cand)
-            jb = c0 + scan_prefix_boundary(cont >= grn)
-            cur = cont[: jb - c0 + 1]
-            self.stats.cells_evaluated += n_cand
-            self.stats.base_rows += 1
+                if ext_hi > jb:
+                    x = np.concatenate(
+                        [cur, self.green(i_new + 1, jb + 1, ext_hi)]
+                    )
+                else:
+                    x = cur[: ext_hi - c0 + 1]
+                cont = row_correlate(x, self._taps_arr)
+                grn = self.green(i_new, c0, hi_cand)
+                jb = c0 + scan_prefix_boundary(cont >= grn)
+                cur = cont[: jb - c0 + 1]
+            cells += n_cand
+            base_rows += 1
             # inline rows_cost(1, n_cand, q+1): work n*(2 taps+2), span log2(n)+1
-            work += n_cand * (2.0 * (q + 1))
-            span += _math.log2(n_cand + 2.0) + 1.0
-            self._record(i_new, jb, c0)
+            work += n_cand * row_w
+            span += log2(n_cand + 2.0) + 1.0
+            if rec is not None and jb >= c0:
+                rec.record(i_new, jb)
+        stats.base_rows += base_rows
+        stats.base_batch_rows += batch_rows
+        stats.cells_evaluated += cells
         return cur, jb, WorkSpan(work, span)
 
     # ------------------------------------------------------------------ #
@@ -222,7 +284,7 @@ class _TreeSolver:
             # Second condition is defensive: float noise at the divider could
             # in principle hand us one red cell fewer than the theory
             # guarantees; the naive sweep is exact for any configuration.
-            return self.naive_descend(i_top, c0, vals, j_top, ell)
+            return (yield from self.naive_descend(i_top, c0, vals, j_top, ell))
         h = ell // 2
         i_mid = i_top - h
 
@@ -289,14 +351,17 @@ def _tree_solve_gen(
     base: int,
     tail: int,
     recorder: Optional[BoundaryRecorder],
+    batch_base: bool = False,
 ):
     """Generator body of one fft-bopm/fft-topm solve.
 
     Yields :class:`~repro.core.lockstep.AdvanceRequest` for every linear
-    advance and returns the :class:`TreeFFTResult` (without the
+    advance — plus, with ``batch_base=True``,
+    :class:`~repro.core.lockstep.BaseRowRequest` for every naive base-case
+    row — and returns the :class:`TreeFFTResult` (without the
     driver-supplied ``meta["engine"]`` delta) via ``StopIteration``.
     """
-    solver = _TreeSolver(params, base, None, recorder)
+    solver = _TreeSolver(params, base, None, recorder, batch_base)
     q = solver.q
     T = params.steps
 
@@ -319,12 +384,18 @@ def _tree_solve_gen(
     full_t = np.maximum(greens_T, 0.0)
     i = T - 1
     width = solver.row_end(i) + 1
-    cont = solver.taps[0] * full_t[:width]
-    for k in range(1, q + 1):
-        cont = cont + solver.taps[k] * full_t[k : k + width]
-    grn = solver.green(i, 0, solver.row_end(i))
-    jb = scan_prefix_boundary(cont >= grn)
-    vals = cont[: jb + 1]
+    if batch_base:
+        req = solver._req
+        req.values = full_t
+        req.e_len = 0
+        req.g_start = solver._tab_off - i
+        vals, jb = yield req
+        solver.stats.base_batch_rows += 1
+    else:
+        cont = row_correlate(full_t, solver._taps_arr)
+        grn = solver.green(i, 0, solver.row_end(i))
+        jb = scan_prefix_boundary(cont >= grn)
+        vals = cont[: jb + 1]
     ws = ws.then(rows_cost(1, width, q + 1))
     solver.stats.cells_evaluated += width
     if recorder is not None:
@@ -339,7 +410,7 @@ def _tree_solve_gen(
         ell = min(red_count // q, i)
         if i <= tail or ell <= base:
             step_rows = i if i <= tail else min(base, i)
-            vals, jb, w = solver.naive_descend(i, 0, vals, jb, step_rows)
+            vals, jb, w = yield from solver.naive_descend(i, 0, vals, jb, step_rows)
             i -= step_rows
         else:
             vals, jb, w = yield from solver.solve_trapezoid(i, 0, vals, jb, ell)
@@ -459,6 +530,7 @@ def solve_tree_fft_batch(
             base,
             tail if tail is not None else max(base, isqrt(params.steps)),
             BoundaryRecorder() if record_boundary else None,
+            batch_base=True,
         )
         for params in params_list
     ]

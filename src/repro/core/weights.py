@@ -96,10 +96,12 @@ def convolution_power_weights(taps: Sequence[float], h: int) -> np.ndarray:
     return w
 
 
-#: Sized for lockstep batches: B interleaved solves touch ~B x log T
-#: distinct kernels between repeats, so a few thousand entries keep the
-#: per-solve repeats warm where 256 thrashed (kernels are ~qh floats each).
-@lru_cache(maxsize=4096)
+#: Sized for lockstep batches: a heterogeneous B-solve grid touches
+#: ~B x log T *distinct* (taps, h) keys — ~12k for a 1024-cell grid at
+#: T=256 — and the round-robin access pattern is LRU's worst case, so a
+#: bound below the working set degrades to ~0% hits.  Entries are tiny
+#: (a kernel is q*h+1 floats, ~2 KB at T=256), so hold the whole set.
+@lru_cache(maxsize=32768)
 def _cached_weights(taps: tuple[float, ...], h: int) -> np.ndarray:
     if len(taps) == 2 and taps[0] > 0.0 and taps[1] > 0.0:
         w = binomial_weights(taps[0], taps[1], h)

@@ -21,7 +21,7 @@ w contributes ``log2(w)`` to span.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from typing import NamedTuple
 
 #: flops per point-log-point of a (real) FFT — the classical 5 N log2 N.
 FFT_FLOP_FACTOR = 5.0
@@ -31,18 +31,21 @@ def stencil_cell_flops(num_taps: int) -> float:
     return 2.0 * num_taps
 
 
-@dataclass(frozen=True)
-class WorkSpan:
+class WorkSpan(NamedTuple):
     """An immutable (work, span) pair with composition operators.
 
     ``a.then(b)``   — run a, then b (serial): work adds, span adds.
     ``a.beside(b)`` — run a and b in parallel: work adds, span maxes.
+
+    A named tuple rather than a frozen dataclass: solvers compose one
+    instance per recursion node and per advance record, and tuple
+    construction skips the ``object.__setattr__`` per field that frozen
+    dataclasses pay — measurable on 100k+ compositions per batch solve.
+    ``WorkSpan.ZERO`` (set below) is the shared additive identity.
     """
 
     work: float = 0.0
     span: float = 0.0
-
-    ZERO: "WorkSpan" = None  # type: ignore[assignment]  # set below
 
     def then(self, other: "WorkSpan") -> "WorkSpan":
         """Serial composition."""
@@ -52,7 +55,7 @@ class WorkSpan:
         """Parallel composition."""
         return WorkSpan(self.work + other.work, max(self.span, other.span))
 
-    def __add__(self, other: "WorkSpan") -> "WorkSpan":
+    def __add__(self, other: "WorkSpan") -> "WorkSpan":  # type: ignore[override]
         return self.then(other)
 
     def __or__(self, other: "WorkSpan") -> "WorkSpan":
