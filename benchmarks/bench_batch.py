@@ -40,7 +40,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import numpy as np  # noqa: E402
 
-from conftest import bench_report, write_bench_report  # noqa: E402
+from conftest import bench_report, telemetry_section, write_bench_report  # noqa: E402
 
 from repro.core.api import price_american, price_european, price_many  # noqa: E402
 from repro.core.fftstencil import AdvanceEngine  # noqa: E402
@@ -353,6 +353,9 @@ def main() -> int:
         "ladder_lockstep_rounds": lad["lockstep_rounds"],
         "bit_agreement_within_1e12": True,
     }
+    report["telemetry"] = telemetry_section(
+        cells_per_sec=am["n_cells"] / am["batch_wall_s"],
+    )
     write_bench_report(
         args.out,
         report,

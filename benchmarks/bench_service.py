@@ -37,7 +37,7 @@ sys.path.insert(
 )
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from conftest import bench_report, write_bench_report  # noqa: E402
+from conftest import bench_report, telemetry_section, write_bench_report  # noqa: E402
 from repro.core.api import price_many  # noqa: E402
 from repro.options.contract import Right, paper_benchmark_spec  # noqa: E402
 from repro.service import QuoteService  # noqa: E402
@@ -248,6 +248,10 @@ def main() -> int:
         "zipf_hit_ratio": zipf["hit_ratio"],
         "zipf_speedup_vs_uncached": zipf["speedup_vs_uncached_estimate"],
     }
+    report["telemetry"] = telemetry_section(
+        quotes_per_sec=zipf["qps"],
+        hit_rate=zipf["hit_ratio"],
+    )
     write_bench_report(
         args.out,
         report,

@@ -20,10 +20,34 @@ collect_ignore_glob: list[str] = []
 
 #: Version of the shared BENCH_*.json layout below.  Bump when the
 #: required header/summary keys change so dashboards can dispatch.
-BENCH_SCHEMA = 1
+#: v2: every report carries a ``telemetry`` section (throughput rates).
+BENCH_SCHEMA = 2
 
 #: Keys every BENCH_*.json must carry at the top level.
-_REQUIRED_HEADER = ("benchmark", "schema", "smoke", "host_cpus")
+_REQUIRED_HEADER = ("benchmark", "schema", "smoke", "host_cpus", "telemetry")
+
+#: Keys the ``telemetry`` section always carries; ``None`` marks a rate
+#: the benchmark does not measure (a grid bench has no quote stream).
+_TELEMETRY_KEYS = ("cells_per_sec", "quotes_per_sec", "hit_rate")
+
+
+def telemetry_section(
+    *, cells_per_sec=None, quotes_per_sec=None, hit_rate=None
+) -> dict:
+    """The throughput block every BENCH_*.json carries under ``telemetry``.
+
+    One queryable shape across all benchmarks: ``cells_per_sec`` (solve
+    throughput of the headline grid/batch run), ``quotes_per_sec``
+    (service-tier quote throughput) and ``hit_rate`` (cache hit ratio over
+    the measured stream).  A benchmark fills what it measures and leaves
+    the rest ``None`` — consumers test for ``None`` rather than key
+    absence.
+    """
+    return {
+        "cells_per_sec": None if cells_per_sec is None else float(cells_per_sec),
+        "quotes_per_sec": None if quotes_per_sec is None else float(quotes_per_sec),
+        "hit_rate": None if hit_rate is None else float(hit_rate),
+    }
 
 
 def bench_report(name: str, *, smoke: bool = False, **header) -> dict:
@@ -58,9 +82,13 @@ def write_bench_report(path: str, report: dict, *, speedup, drift) -> None:
     summary = report.setdefault("summary", {})
     summary["headline_speedup"] = float(speedup)
     summary["max_drift"] = float(drift)
+    report.setdefault("telemetry", telemetry_section())
     missing = [k for k in _REQUIRED_HEADER if k not in report]
     if missing:
         raise ValueError(f"bench report missing header keys: {missing}")
+    bad = [k for k in _TELEMETRY_KEYS if k not in report["telemetry"]]
+    if bad:
+        raise ValueError(f"bench telemetry section missing keys: {bad}")
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

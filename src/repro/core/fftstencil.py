@@ -365,6 +365,46 @@ class AdvanceEngine:
         self.base_block_hits = 0
         self.base_block_misses = 0
         self.checkpoints = 0
+        #: Normalised telemetry handle (``None`` when disabled) — see
+        #: :meth:`set_telemetry`.  Hot paths guard on ``is not None`` so
+        #: the disabled engine pays one attribute test per *batch* call.
+        self.telemetry = None
+        self._h_batch_rows = None
+        self._h_base_rows = None
+
+    def set_telemetry(self, telemetry, *, register: bool = True) -> None:
+        """Attach (or detach, with ``None``) a telemetry handle.
+
+        The engine's existing counters re-register into the registry as
+        an ``engine_*`` collector — the registry reads :meth:`cache_info`
+        live at export time, so there is no second set of books — and the
+        two batch entry points gain batch-width histograms.  The lockstep
+        driver reads ``engine.telemetry`` to place its round spans, so
+        attaching here instruments every solve run through this engine.
+
+        ``register=False`` skips the collector: the registry keeps a
+        strong reference to each collector, so *per-call* engines (one
+        grid, one coalesced bucket) must not register — their owner folds
+        the counter delta into plain counters instead — while still
+        getting spans and batch-width histograms.
+        """
+        from .. import obs
+
+        tel = obs.active(telemetry)
+        self.telemetry = tel
+        if tel is None:
+            self._h_batch_rows = None
+            self._h_base_rows = None
+            return
+        if register:
+            tel.registry.register_collector("engine", self.cache_info)
+        self._h_batch_rows = tel.histogram(
+            "engine_advance_batch_rows", help="rows per advance_batch call"
+        )
+        self._h_base_rows = tel.histogram(
+            "engine_base_rows_batch_rows",
+            help="rows per base_rows_batch call",
+        )
 
     def _tick(self) -> None:
         """Run the cooperative-interrupt hook (if any) and count it.
@@ -849,6 +889,8 @@ class AdvanceEngine:
         self.advances += 1
         self.batched_inputs += B
         self.batch_advances += 1
+        if self.telemetry is not None:
+            self._h_batch_rows.observe(B)
         if self.reuse:
             # Lockstep interleaving destroys the per-solve temporal locality
             # the default spectrum bound assumes: B solves' kernels repeat
@@ -1206,6 +1248,8 @@ class AdvanceEngine:
         B = len(reqs)
         self.base_batch_calls += 1
         self.base_batch_rows += B
+        if self.telemetry is not None:
+            self._h_base_rows.observe(B)
         outs: list[Optional[np.ndarray]] = [None] * B
         divs: list[int] = [-1] * B
         if not B:

@@ -184,6 +184,15 @@ def drive_lockstep(gens: Sequence[SolverGen], engine: AdvanceEngine) -> list:
     differ with the divider data); the batches simply narrow as they do.
     Results come back in input order.
     """
+    # Telemetry rides on the engine (one handle instruments every solve);
+    # disabled mode costs this single attribute read, and the enabled-mode
+    # spans are per *round*, never per row, so tracing a B-wide solve adds
+    # a constant handful of allocations per batched transform.
+    tel = engine.telemetry
+    if tel is not None:
+        with tel.span("solve", solvers=len(gens)) as sp:
+            results = _drive_lockstep_traced(gens, engine, tel, sp)
+        return results
     results: list = [None] * len(gens)
     sends = [gen.send for gen in gens]  # bound once: ~rows x sends later
     live: dict[int, SolverRequest] = {}
@@ -226,4 +235,67 @@ def drive_lockstep(gens: Sequence[SolverGen], engine: AdvanceEngine) -> list:
                 except StopIteration as stop:
                     results[i] = stop.value
                     del live[i]
+    return results
+
+
+def _drive_lockstep_traced(gens, engine, tel, solve_span) -> list:
+    """The traced twin of :func:`drive_lockstep`'s round loop.
+
+    Identical engine call sequence (so results stay bit-identical with
+    telemetry on — the integration tests pin this); each round opens a
+    ``lockstep_round`` span with ``advance_batch`` / ``base_rows_batch``
+    children recording batch widths.
+    """
+    results: list = [None] * len(gens)
+    sends = [gen.send for gen in gens]
+    live: dict[int, SolverRequest] = {}
+    for i, gen in enumerate(gens):
+        try:
+            live[i] = next(gen)
+        except StopIteration as stop:
+            results[i] = stop.value
+    rounds = 0
+    h_round = tel.histogram(
+        "lockstep_round_width", help="live solvers per lockstep round"
+    )
+    while live:
+        rounds += 1
+        h_round.observe(len(live))
+        with tel.span("lockstep_round", live=len(live)):
+            base_is: list[int] = []
+            base_reqs: list[BaseRowRequest] = []
+            adv_is: list[int] = []
+            adv_xs: list[np.ndarray] = []
+            adv_kers: list[Tuple[Tuple[float, ...], int]] = []
+            adv_scales: list[Optional[float]] = []
+            for i, req in live.items():
+                if type(req) is BaseRowRequest:
+                    base_is.append(i)
+                    base_reqs.append(req)
+                else:
+                    adv_is.append(i)
+                    adv_xs.append(req.x)
+                    adv_kers.append((req.taps, req.h))
+                    adv_scales.append(req.scale)
+            if base_is:
+                with tel.span("base_rows_batch", rows=len(base_is)):
+                    outs, divs, _ = engine.base_rows_batch(base_reqs)
+                for i, y, d in zip(base_is, outs, divs):
+                    try:
+                        live[i] = sends[i]((y, d))
+                    except StopIteration as stop:
+                        results[i] = stop.value
+                        del live[i]
+            if adv_is:
+                with tel.span("advance_batch", rows=len(adv_is)):
+                    a_outs, rec = engine.advance_batch(
+                        adv_xs, adv_kers, scales=adv_scales
+                    )
+                for i, y, row_rec in zip(adv_is, a_outs, rec.rows):
+                    try:
+                        live[i] = sends[i]((y, row_rec))
+                    except StopIteration as stop:
+                        results[i] = stop.value
+                        del live[i]
+    solve_span.set(rounds=rounds)
     return results

@@ -9,7 +9,7 @@ the Table 2 scaling fits and the cache/energy models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -50,20 +50,11 @@ class SolveStats:
             self.max_depth = depth
 
     def as_dict(self) -> dict:
-        return {
-            "fft_calls": self.fft_calls,
-            "fft_points": self.fft_points,
-            "direct_calls": self.direct_calls,
-            "direct_points": self.direct_points,
-            "spectrum_hits": self.spectrum_hits,
-            "spectrum_misses": self.spectrum_misses,
-            "trapezoids": self.trapezoids,
-            "base_cases": self.base_cases,
-            "base_rows": self.base_rows,
-            "base_batch_rows": self.base_batch_rows,
-            "cells_evaluated": self.cells_evaluated,
-            "max_depth": self.max_depth,
-        }
+        # Derived from the dataclass fields so a newly added counter can
+        # never be silently missing from reports (PR 7's base_batch_rows
+        # initially was) — field order is declaration order, so the dict
+        # layout matches the class.
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass

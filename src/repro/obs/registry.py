@@ -1,0 +1,524 @@
+"""Metrics registry: named counters, gauges and log-bucketed histograms.
+
+One :class:`MetricsRegistry` is the instrument panel for a whole serving
+stack (docs/DESIGN.md §9): the engine, risk, service and resilience tiers
+all register their instruments here, and two exporters read it —
+:meth:`MetricsRegistry.snapshot` (a stable JSON-able dict, the payload of
+``QuoteService.stats()["telemetry"]`` and of cross-process shipping) and
+:meth:`MetricsRegistry.to_prometheus` (the text exposition format).
+
+Design constraints, in order:
+
+* **Cheap when off.**  :data:`NULL_REGISTRY` hands out one shared
+  do-nothing instrument; a component holding it pays a no-op method call
+  at most, and components normalise a disabled telemetry handle to plain
+  ``None`` so hot paths skip even that (see :class:`repro.obs.Telemetry`).
+* **Mergeable.**  Histograms are fixed log₂ buckets, so merging two
+  snapshots is element-wise addition — associative and commutative — and
+  a :class:`~repro.risk.engine.ScenarioEngine` worker pool can ship child
+  snapshots back with its results and fold them into the parent registry
+  (:meth:`MetricsRegistry.merge_snapshot`).
+* **No second set of books.**  Components that already keep counters
+  (``QuoteCache.stats()``, ``AdvanceEngine.cache_info()``,
+  :class:`~repro.core.metrics.SolveStats`) *re-register* them as
+  collectors (:meth:`MetricsRegistry.register_collector`): the registry
+  reads the live counters at export time instead of duplicating the
+  counting at call time.
+
+Thread safety: every mutation takes the registry's single lock; the
+counters in one snapshot are a consistent cut.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+Clock = Callable[[], float]
+
+#: Histogram bucket layout: bucket ``i`` (0 <= i < NUM_FINITE) holds values
+#: ``v`` with ``2**(LO_EXP+i-1) < v <= 2**(LO_EXP+i)`` (bucket 0 also takes
+#: everything smaller); index ``NUM_FINITE`` is the +Inf overflow bucket.
+#: The range spans ~1 µs to ~10⁶ s — wide enough for latencies *and* for
+#: dimensionless sizes (batch widths, queue depths) without configuration.
+LO_EXP = -20
+HI_EXP = 20
+NUM_FINITE = HI_EXP - LO_EXP + 1  # 41 finite buckets
+NUM_BUCKETS = NUM_FINITE + 1  # + overflow
+
+#: Upper bounds of the finite buckets (the Prometheus ``le`` labels).
+BUCKET_BOUNDS = tuple(2.0 ** (LO_EXP + i) for i in range(NUM_FINITE))
+
+
+def bucket_index(v: float) -> int:
+    """The fixed-layout bucket for ``v`` (O(1), no search).
+
+    ``frexp`` gives ``v = m * 2**e`` with ``0.5 <= m < 1``, i.e.
+    ``2**(e-1) <= v < 2**e`` — so ``e`` maps straight onto the bucket whose
+    upper bound is ``2**e``.  Exact powers of two land in the bucket they
+    bound (closed upper bound), matching Prometheus ``le`` semantics.
+    """
+    if v <= 0.0:
+        return 0
+    m, e = math.frexp(v)
+    if m == 0.5:  # exact power of two: closed upper bound of bucket e-1
+        e -= 1
+    i = e - LO_EXP
+    if i < 0:
+        return 0
+    if i >= NUM_FINITE:
+        return NUM_FINITE  # overflow bucket
+    return i
+
+
+def _label_key(labels: Optional[dict]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(label_key: Tuple[Tuple[str, str], ...]) -> str:
+    if not label_key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in label_key) + "}"
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "label_key", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, label_key, lock: threading.Lock):
+        self.name = name
+        self.label_key = label_key
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _merge_value(self, value) -> None:
+        with self._lock:
+            self._value += value
+
+    def _snap(self):
+        return self._value
+
+
+class Gauge:
+    """Point-in-time level (queue depth, breaker state, …)."""
+
+    __slots__ = ("name", "label_key", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, label_key, lock: threading.Lock):
+        self.name = name
+        self.label_key = label_key
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self._value = v
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _merge_value(self, value) -> None:
+        # A gauge is a level, not an event count: the parent's own level
+        # wins; a child value only lands when the parent never set one.
+        pass
+
+    def _snap(self):
+        return self._value
+
+
+class Histogram:
+    """Log₂-bucketed distribution with exact min/max and bucket quantiles.
+
+    Quantiles are estimated from the bucket counts: the reported pXX is the
+    geometric midpoint of the bucket containing that rank, clamped to the
+    observed ``[min, max]`` — a ≤ √2 relative error, plenty for latency
+    panels, and the price of snapshots that merge associatively.
+    """
+
+    __slots__ = (
+        "name", "label_key", "_lock", "counts", "_sum", "_count",
+        "_min", "_max",
+    )
+
+    kind = "histogram"
+
+    def __init__(self, name: str, label_key, lock: threading.Lock):
+        self.name = name
+        self.label_key = label_key
+        self._lock = lock
+        self.counts = [0] * NUM_BUCKETS
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        i = bucket_index(v)
+        with self._lock:
+            self.counts[i] += 1
+            self._sum += v
+            self._count += 1
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) from the bucket counts."""
+        with self._lock:
+            total = self._count
+            if not total:
+                return math.nan
+            if q >= 1.0:
+                return self._max
+            target = q * total
+            cum = 0
+            for i, c in enumerate(self.counts):
+                cum += c
+                if cum >= target:
+                    if i >= NUM_FINITE:
+                        est = self._max
+                    else:
+                        hi = BUCKET_BOUNDS[i]
+                        est = hi / math.sqrt(2.0) if i > 0 else hi
+                    return min(max(est, self._min), self._max)
+            return self._max  # pragma: no cover — cum always reaches total
+
+    def _merge_value(self, value: dict) -> None:
+        with self._lock:
+            for i, c in enumerate(value["counts"]):
+                self.counts[i] += c
+            self._sum += value["sum"]
+            self._count += value["count"]
+            if value["count"]:
+                self._min = min(self._min, value["min"])
+                self._max = max(self._max, value["max"])
+
+    def _snap(self) -> dict:
+        snap = {
+            "counts": list(self.counts),
+            "sum": self._sum,
+            "count": self._count,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+        }
+        # derived, ignored by merge (recomputed from counts there)
+        if self._count:
+            snap["p50"] = self.quantile(0.50)
+            snap["p90"] = self.quantile(0.90)
+            snap["p99"] = self.quantile(0.99)
+        return snap
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named instruments plus collector callbacks; two exporters.
+
+    ``counter``/``gauge``/``histogram`` get-or-create an instrument for
+    ``(name, labels)`` — calling twice returns the same object, so
+    components may resolve instruments lazily without bookkeeping.  A name
+    registered as one kind cannot be re-registered as another.
+    """
+
+    def __init__(self, clock: Clock = time.perf_counter):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._metrics: Dict[tuple, object] = {}  # (name, label_key) -> inst
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self._collectors: list[tuple[str, Callable[[], dict]]] = []
+
+    # ------------------------------------------------------------------ #
+    # Instrument factories
+    # ------------------------------------------------------------------ #
+    def _get(self, kind: str, name: str, labels, help):
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._metrics.get(key)
+            if inst is None:
+                known = self._kinds.get(name)
+                if known is not None and known != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {known}, "
+                        f"cannot re-register as {kind}"
+                    )
+                inst = _KINDS[kind](name, key[1], self._lock)
+                self._metrics[key] = inst
+                self._kinds[name] = kind
+                if help:
+                    self._help[name] = help
+            elif inst.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {inst.kind}, "
+                    f"cannot re-register as {kind}"
+                )
+        return inst
+
+    def counter(self, name: str, labels: Optional[dict] = None,
+                help: Optional[str] = None) -> Counter:
+        return self._get("counter", name, labels, help)
+
+    def gauge(self, name: str, labels: Optional[dict] = None,
+              help: Optional[str] = None) -> Gauge:
+        return self._get("gauge", name, labels, help)
+
+    def histogram(self, name: str, labels: Optional[dict] = None,
+                  help: Optional[str] = None) -> Histogram:
+        return self._get("histogram", name, labels, help)
+
+    # ------------------------------------------------------------------ #
+    # Re-registration of existing counter dialects
+    # ------------------------------------------------------------------ #
+    def register_collector(
+        self, prefix: str, fn: Callable[[], dict]
+    ) -> None:
+        """Adopt an existing counter dict into the registry.
+
+        ``fn`` is called at export time and must return a flat mapping of
+        counter/level names to numbers (non-numeric values are skipped, so
+        ``QuoteCache.stats()``-style dicts work as-is); each key is
+        exported as ``{prefix}_{key}``.  When several collectors share a
+        prefix (e.g. one engine per worker), colliding keys are *summed* —
+        the right semantics for the counters these dicts carry.
+
+        The registry holds a strong reference to ``fn``; register only
+        long-lived components (per-call objects should fold their deltas
+        into plain counters via :meth:`count_dict` instead).
+        """
+        with self._lock:
+            self._collectors.append((prefix, fn))
+
+    def count_dict(self, prefix: str, values: dict) -> None:
+        """Fold a one-shot counter-delta dict into plain counters.
+
+        The ephemeral twin of :meth:`register_collector` — per-solve
+        ``engine_delta`` dicts and per-grid resilience counters come and
+        go with their call, so their deltas accumulate into registry
+        counters named ``{prefix}_{key}``.
+        """
+        for k, v in values.items():
+            if type(v) is bool or not isinstance(v, (int, float)):
+                continue
+            self.counter(f"{prefix}_{k}").inc(v)
+
+    def _collected(self) -> dict:
+        with self._lock:
+            collectors = list(self._collectors)
+        out: dict = {}
+        for prefix, fn in collectors:
+            for k, v in fn().items():
+                if type(v) is bool:
+                    v = int(v)
+                elif not isinstance(v, (int, float)):
+                    continue
+                name = f"{prefix}_{k}"
+                out[name] = out.get(name, 0) + v
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Exporters
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Stable JSON-able state: every instrument plus collected values.
+
+        The ``metrics`` list is sorted by ``(name, labels)`` so two
+        snapshots of identical state are byte-identical once serialised;
+        each entry carries enough (`name`, `labels`, `kind`, `value`) for
+        :meth:`merge_snapshot` to replay it into another registry.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        metrics = [
+            {
+                "name": name,
+                "labels": {k: v for k, v in label_key},
+                "kind": inst.kind,
+                "value": inst._snap(),
+            }
+            for (name, label_key), inst in items
+        ]
+        return {"metrics": metrics, "collected": self._collected()}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets add (associative, so worker
+        snapshots may be merged in any order); gauges keep the parent's
+        level unless the parent never registered them; ``collected``
+        values fold into plain counters (the child's collectors are not
+        callable here).
+        """
+        for m in snap.get("metrics", []):
+            kind = m["kind"]
+            inst = self._get(kind, m["name"], m["labels"] or None, None)
+            if kind == "gauge":
+                key = (m["name"], _label_key(m["labels"] or None))
+                # only adopt a child gauge the parent never touched
+                with self._lock:
+                    fresh = self._metrics[key]._value == 0.0
+                if fresh:
+                    inst.set(m["value"])
+            else:
+                inst._merge_value(m["value"])
+        for k, v in (snap.get("collected") or {}).items():
+            self.counter(k).inc(v)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+            helps = dict(self._help)
+        lines: list[str] = []
+        seen_type: set[str] = set()
+
+        def _header(name: str, kind: str) -> None:
+            if name not in seen_type:
+                seen_type.add(name)
+                if name in helps:
+                    lines.append(f"# HELP {name} {helps[name]}")
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, label_key), inst in items:
+            _header(name, inst.kind)
+            if inst.kind == "histogram":
+                cum = 0
+                for i, c in enumerate(inst.counts):
+                    cum += c
+                    le = (
+                        f"{BUCKET_BOUNDS[i]:.10g}"
+                        if i < NUM_FINITE
+                        else "+Inf"
+                    )
+                    lk = label_key + (("le", le),)
+                    lines.append(
+                        f"{name}_bucket{_label_text(lk)} {cum}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_text(label_key)} {inst._sum:.10g}"
+                )
+                lines.append(
+                    f"{name}_count{_label_text(label_key)} {inst._count}"
+                )
+            else:
+                v = inst._snap()
+                text = f"{v:.10g}" if isinstance(v, float) else str(v)
+                lines.append(f"{name}{_label_text(label_key)} {text}")
+        for name, v in sorted(self._collected().items()):
+            _header(name, "gauge")
+            text = f"{v:.10g}" if isinstance(v, float) else str(v)
+            lines.append(f"{name} {text}")
+        return "\n".join(lines) + "\n"
+
+
+class NullRegistry:
+    """Do-nothing registry: every factory returns the shared null
+    instrument, every exporter returns an empty payload."""
+
+    clock = staticmethod(time.perf_counter)
+
+    def counter(self, name, labels=None, help=None):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None, help=None):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, help=None):
+        return NULL_INSTRUMENT
+
+    def register_collector(self, prefix, fn):
+        pass
+
+    def count_dict(self, prefix, values):
+        pass
+
+    def snapshot(self) -> dict:
+        return {"metrics": [], "collected": {}}
+
+    def merge_snapshot(self, snap) -> None:
+        pass
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()

@@ -79,7 +79,18 @@ class BreakerPolicy:
 class CircuitBreaker:
     """One closed → open → half-open state machine on an injectable clock."""
 
-    def __init__(self, policy: BreakerPolicy, clock: Clock = time.monotonic):
+    def __init__(
+        self,
+        policy: BreakerPolicy,
+        clock: Clock = time.monotonic,
+        listener: Optional[Callable[[str, str], None]] = None,
+    ):
+        #: Optional transition callback ``listener(old_state, new_state)``,
+        #: invoked on every state change (trip, probe window, close).  It
+        #: runs with the breaker lock held so transitions report in order —
+        #: keep it cheap and never call back into this breaker from it.
+        #: The telemetry layer binds a gauge+counter recorder here.
+        self.listener = listener
         self.policy = policy
         self._clock = clock
         self._lock = threading.Lock()
@@ -95,18 +106,25 @@ class CircuitBreaker:
         self._opens = 0
 
     # ------------------------------------------------------------------ #
+    def _transition(self, new_state: str) -> None:
+        """Change state and notify the listener (lock held)."""
+        old = self._state
+        self._state = new_state
+        if self.listener is not None and old != new_state:
+            self.listener(old, new_state)
+
     def _advance(self, now: float) -> None:
         """Open → half-open once the reset timeout has elapsed (lock held)."""
         if (
             self._state == OPEN
             and now - self._opened_at >= self.policy.reset_timeout
         ):
-            self._state = HALF_OPEN
+            self._transition(HALF_OPEN)
             self._probes_in_flight = 0
             self._probe_successes = 0
 
     def _trip(self, now: float) -> None:
-        self._state = OPEN
+        self._transition(OPEN)
         self._opened_at = now
         self._opens += 1
         self._consecutive_failures = 0
@@ -163,7 +181,7 @@ class CircuitBreaker:
             if self._state == HALF_OPEN:
                 self._probe_successes += 1
                 if self._probe_successes >= self.policy.success_threshold:
-                    self._state = CLOSED
+                    self._transition(CLOSED)
                     self._consecutive_failures = 0
             else:
                 self._consecutive_failures = 0

@@ -56,7 +56,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.api import PricingResult, price_many
-from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
+from repro.core.fftstencil import (
+    DEFAULT_POLICY,
+    AdvanceEngine,
+    AdvancePolicy,
+    engine_delta,
+)
+from repro.obs import active as _tel_active
 from repro.options.contract import OptionSpec
 from repro.parallel.workspan import WorkSpan
 from repro.resilience.deadline import Deadline, DeadlineExceeded
@@ -160,6 +166,26 @@ def _rebase_dedup_indices(
                 r.meta["deduplicated_of"] += lo
 
 
+def _merge_engine_deltas(deltas: Sequence[dict]) -> Optional[dict]:
+    """Fold per-chunk worker engine deltas into one grid-wide view.
+
+    Counter deltas add; the ``cached_*`` keys are absolute descriptions
+    of each worker's engine, so the merged view keeps the max (the
+    biggest plan cache any worker grew), mirroring what a single shared
+    engine would report.
+    """
+    if not deltas:
+        return None
+    merged = dict(deltas[0])
+    for d in deltas[1:]:
+        for k, v in d.items():
+            if k.startswith("cached_"):
+                merged[k] = max(merged.get(k, 0), v)
+            else:
+                merged[k] = merged.get(k, 0) + v
+    return merged
+
+
 def _run_chunk(
     engine: AdvanceEngine,
     specs: Sequence[OptionSpec],
@@ -174,11 +200,21 @@ def _run_chunk(
 
 def _price_chunk(
     payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy],
-) -> tuple[int, list[PricingResult], float]:
-    """Executor task: price one chunk on this worker's persistent engine."""
+) -> tuple[int, list[PricingResult], float, dict]:
+    """Executor task: price one chunk on this worker's persistent engine.
+
+    Ships the chunk's engine-counter *delta* back alongside the results —
+    the worker's engine is long-lived, so the parent cannot read its
+    cumulative :meth:`~repro.core.fftstencil.AdvanceEngine.cache_info`
+    directly; per-chunk deltas add associatively in any completion order,
+    which is what lets the parent merge pooled-run engine telemetry
+    exactly as the serial path reports its own.
+    """
     start, specs, steps, kwargs, policy = payload
-    results, seconds = _run_chunk(_worker_engine(policy), specs, steps, kwargs)
-    return start, results, seconds
+    engine = _worker_engine(policy)
+    before = engine.cache_info()
+    results, seconds = _run_chunk(engine, specs, steps, kwargs)
+    return start, results, seconds, engine_delta(before, engine.cache_info())
 
 
 def _price_cells(
@@ -294,6 +330,13 @@ class ScenarioEngine:
         a :class:`~repro.resilience.retry.RetryPolicy` for transient
         worker failures, and a :class:`~repro.resilience.faults.FaultPlan`
         for deterministic fault injection (tests/benchmarks only).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  Grids record
+        ``grid → dispatch → chunk`` spans, cell/grid counters, a per-chunk
+        wall-seconds histogram, and the engine-counter deltas each worker
+        ships back (folded as ``risk_engine_*``); resilience recoveries
+        (retries, pool rebuilds, isolations, timeouts) land as ``risk_*``
+        counters.
 
     The engine itself holds no mutable pricing state — pools are created
     per :meth:`price_grid` call and per-worker ``AdvanceEngine`` instances
@@ -327,6 +370,7 @@ class ScenarioEngine:
         policy: AdvancePolicy = DEFAULT_POLICY,
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry=None,
     ):
         if backend not in BACKENDS:
             raise ValidationError(
@@ -348,6 +392,10 @@ class ScenarioEngine:
         self.policy = policy
         self.retry = retry
         self.fault_plan = fault_plan
+        # Normalised handle (None when disabled); the pool workers never
+        # see it — they ship engine-counter deltas back instead, and the
+        # parent folds those into the registry here.
+        self.telemetry = _tel_active(telemetry)
 
     # ------------------------------------------------------------------ #
     def _chunks(self, n: int) -> list[tuple[int, int]]:
@@ -508,43 +556,116 @@ class ScenarioEngine:
                 )
                 _warn_pool_fallback(fallback_reason)
 
-        t0 = time.perf_counter()
-        cells_wall = 0.0
-        engine_info: Optional[dict] = None
-        rmeta: Optional[dict] = None
-        if serial:
-            if resilient:
-                cells_wall, rmeta, engine_info = self._solve_serial_resilient(
-                    results, specs, steps, kwargs, deadline, retry, fault_plan
-                )
-            else:
-                engine = AdvanceEngine(self.policy)
-                for lo, hi in chunks:
-                    chunk_results, seconds = _run_chunk(
-                        engine, specs[lo:hi], steps, kwargs
-                    )
-                    _rebase_dedup_indices(chunk_results, lo)
-                    results[lo:hi] = chunk_results
-                    cells_wall += seconds
-                engine_info = engine.cache_info()
-        elif resilient:
-            cells_wall, rmeta = self._solve_pooled_resilient(
-                pool, results, specs, steps, kwargs, chunks,
-                deadline, retry, fault_plan,
+        tel = self.telemetry
+        h_chunk = (
+            tel.histogram(
+                "risk_chunk_seconds", help="in-worker wall seconds per chunk"
             )
-        else:
-            with pool:
-                payloads = [
-                    (lo, specs[lo:hi], steps, kwargs, self.policy)
-                    for lo, hi in chunks
-                ]
-                for lo, chunk_results, seconds in pool.map(
-                    _price_chunk, payloads
-                ):
-                    _rebase_dedup_indices(chunk_results, lo)
-                    results[lo : lo + len(chunk_results)] = chunk_results
-                    cells_wall += seconds
-        wall = time.perf_counter() - t0
+            if tel is not None
+            else None
+        )
+        grid_span = (
+            tel.span(
+                "grid",
+                cells=len(specs),
+                backend="serial" if serial else self.backend,
+            )
+            if tel is not None
+            else None
+        )
+        if grid_span is not None:
+            grid_span.__enter__()
+        try:
+            t0 = time.perf_counter()
+            cells_wall = 0.0
+            engine_info: Optional[dict] = None
+            rmeta: Optional[dict] = None
+            dispatch_span = (
+                tel.span("dispatch", chunks=len(chunks), resilient=resilient)
+                if tel is not None
+                else None
+            )
+            if dispatch_span is not None:
+                dispatch_span.__enter__()
+            try:
+                if serial:
+                    if resilient:
+                        cells_wall, rmeta, engine_info = (
+                            self._solve_serial_resilient(
+                                results, specs, steps, kwargs,
+                                deadline, retry, fault_plan,
+                            )
+                        )
+                    else:
+                        engine = AdvanceEngine(self.policy)
+                        if tel is not None:
+                            engine.set_telemetry(tel, register=False)
+                        for lo, hi in chunks:
+                            if tel is not None:
+                                with tel.span("chunk", lo=lo, hi=hi):
+                                    chunk_results, seconds = _run_chunk(
+                                        engine, specs[lo:hi], steps, kwargs
+                                    )
+                                h_chunk.observe(seconds)
+                            else:
+                                chunk_results, seconds = _run_chunk(
+                                    engine, specs[lo:hi], steps, kwargs
+                                )
+                            _rebase_dedup_indices(chunk_results, lo)
+                            results[lo:hi] = chunk_results
+                            cells_wall += seconds
+                        engine_info = engine.cache_info()
+                elif resilient:
+                    cells_wall, rmeta = self._solve_pooled_resilient(
+                        pool, results, specs, steps, kwargs, chunks,
+                        deadline, retry, fault_plan,
+                    )
+                else:
+                    with pool:
+                        payloads = [
+                            (lo, specs[lo:hi], steps, kwargs, self.policy)
+                            for lo, hi in chunks
+                        ]
+                        deltas: list[dict] = []
+                        for lo, chunk_results, seconds, delta in pool.map(
+                            _price_chunk, payloads
+                        ):
+                            _rebase_dedup_indices(chunk_results, lo)
+                            results[lo : lo + len(chunk_results)] = (
+                                chunk_results
+                            )
+                            cells_wall += seconds
+                            deltas.append(delta)
+                            if h_chunk is not None:
+                                h_chunk.observe(seconds)
+                        engine_info = _merge_engine_deltas(deltas)
+            finally:
+                if dispatch_span is not None:
+                    dispatch_span.__exit__(None, None, None)
+            wall = time.perf_counter() - t0
+        finally:
+            if grid_span is not None:
+                grid_span.__exit__(None, None, None)
+        if tel is not None:
+            reg = tel.registry
+            reg.counter("risk_grids_total", help="grids priced").inc()
+            reg.counter("risk_cells_total", help="cells priced").inc(
+                len(specs)
+            )
+            if engine_info is not None:
+                reg.count_dict("risk_engine", engine_info)
+            if rmeta is not None:
+                reg.count_dict(
+                    "risk",
+                    {
+                        "retries": rmeta.get("retries", 0),
+                        "pool_rebuilds": rmeta.get("pool_rebuilds", 0),
+                        "isolated": rmeta.get("isolated", 0),
+                        "corrupt_detected": rmeta.get("corrupt_detected", 0),
+                        "timeouts": len(rmeta.get("timeouts", ())),
+                        "failed": len(rmeta.get("failed", ())),
+                    },
+                )
 
         workspan = WorkSpan.ZERO
         for r in results:
@@ -572,8 +693,9 @@ class ScenarioEngine:
         if rmeta is not None:
             meta["resilience"] = rmeta
         if engine_info is not None:
-            # serial runs share one engine: surface its counters so callers
-            # can verify the grid rode the batched advance path
+            # serial runs share one engine; pooled runs merge the per-chunk
+            # deltas the workers ship back — either way callers can verify
+            # the grid rode the batched advance path
             meta["engine"] = engine_info
         return ScenarioResult(
             grid=grid,

@@ -86,6 +86,7 @@ class QuoteCache:
         self._expirations = 0
         self._stores = 0
         self._stale_served = 0
+        self._stale_refreshes = 0
 
     # ------------------------------------------------------------------ #
     def _expired(self, entry: CacheEntry, now: float) -> bool:
@@ -184,12 +185,18 @@ class QuoteCache:
         still exact; only the TTL restarts).
         """
         with self._lock:
+            now = self._clock()
             old = self._entries.pop(key, None)
-            if (
+            if old is not None and self._expired(old, now):
+                # a re-solve landing on a stale-but-graced entry is the
+                # revalidate half of stale-while-revalidate — count it so
+                # the degradation loop is visible end to end
+                if not self._gone(old, now):
+                    self._stale_refreshes += 1
+            elif (
                 old is not None
                 and result.boundary is None
                 and old.result.boundary is not None
-                and not self._expired(old, self._clock())
             ):
                 result = old.result
             self._entries[key] = CacheEntry(result, self._clock())
@@ -248,6 +255,12 @@ class QuoteCache:
                 "expirations": self._expirations,
                 "stores": self._stores,
                 "stale_served": self._stale_served,
+                # stale-while-revalidate pair: serves of expired-but-graced
+                # entries, and the re-solves that landed on one.
+                # ``stale_hits`` aliases ``stale_served`` under the
+                # dashboard-facing name; both stay for compatibility.
+                "stale_hits": self._stale_served,
+                "stale_refreshes": self._stale_refreshes,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "ttl": self.ttl,

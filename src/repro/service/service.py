@@ -56,8 +56,10 @@ from repro.core.api import (
     price_many,
 )
 from repro.core.fftstencil import DEFAULT_POLICY, AdvanceEngine, AdvancePolicy
+from repro.obs import active as _tel_active
 from repro.options.contract import OptionSpec, Style
 from repro.resilience.breaker import (
+    CLOSED,
     OPEN,
     BreakerPolicy,
     CircuitBreaker,
@@ -231,6 +233,15 @@ class QuoteService:
         ``meta["stale"]`` — for this long under breaker-open or deadline
         pressure, with a refresh enqueued in the background.  Ignored when
         ``cache`` is injected (configure the injected cache directly).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When enabled, the service
+        records quote latency histograms per serve outcome
+        (hit/miss/merged/stale), breaker state transitions, and
+        ``quote → canonicalize / cache_lookup / bucket_solve`` spans; the
+        cache, service and engine counter dicts re-register into the
+        registry as collectors, and :meth:`stats` gains a ``telemetry``
+        section.  ``None`` (or a disabled handle) costs the hot path one
+        attribute test.
     """
 
     def __init__(
@@ -256,6 +267,7 @@ class QuoteService:
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         stale_grace: float = 0.0,
+        telemetry=None,
     ):
         check_model_method(model, method)
         if backend not in BACKENDS:
@@ -295,6 +307,7 @@ class QuoteService:
         self.fault_plan = fault_plan
         self._clock = clock
 
+        self.telemetry = tel = _tel_active(telemetry)
         self._engine = AdvanceEngine(policy)
         # A retry/fault configuration needs the scenario engine's resilient
         # dispatch even on one worker — a serial-backend engine gives the
@@ -306,6 +319,7 @@ class QuoteService:
                 backend=backend if self.workers > 1 else "serial",
                 model=model, method=method, base=base, lam=lam,
                 policy=policy, retry=retry, fault_plan=fault_plan,
+                telemetry=tel,
             )
             if self.workers > 1 or resilient_solves
             else None
@@ -328,6 +342,49 @@ class QuoteService:
         self._stale_quotes = 0
         self._refreshes = 0
         self._deadline_misses = 0
+        self._h_quote_lat: dict = {}
+        if tel is not None:
+            # Re-register the existing counter dialects: the registry reads
+            # the live dicts at export time, so nothing counts twice.  The
+            # shared engine registers its own cache_info the same way.
+            self._engine.set_telemetry(tel)
+            tel.registry.register_collector("cache", self.cache.stats)
+            tel.registry.register_collector(
+                "service", self._service_counters
+            )
+
+    def _service_counters(self) -> dict:
+        """Flat counter view for the registry collector (numbers only —
+        the richer :meth:`stats` nesting stays the human surface)."""
+        with self._lock:
+            return {
+                "quotes": self._quotes,
+                "solves": self._solves,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "max_batch": self._max_batch,
+                "merged_requests": self._merged,
+                "boundary_upgrades": self._boundary_upgrades,
+                "overloads": self._overloads,
+                "queue_depth": len(self._queue),
+                "inflight": len(self._inflight),
+                "stale_quotes": self._stale_quotes,
+                "refreshes": self._refreshes,
+                "deadline_misses": self._deadline_misses,
+            }
+
+    def _quote_hist(self, outcome: str):
+        """Latency histogram for one serve outcome (hit/miss/merged/stale),
+        resolved once per outcome label."""
+        h = self._h_quote_lat.get(outcome)
+        if h is None:
+            h = self.telemetry.histogram(
+                "service_quote_seconds",
+                labels={"outcome": outcome},
+                help="quote() wall seconds by serve outcome",
+            )
+            self._h_quote_lat[outcome] = h
+        return h
 
     # ------------------------------------------------------------------ #
     # Canonicalization / solving
@@ -380,6 +437,17 @@ class QuoteService:
         through its ``checkpoint`` hook, raising
         :class:`~repro.resilience.deadline.DeadlineExceeded` mid-solve.
         """
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span("bucket_solve", size=len(reqs), steps=reqs[0].steps):
+                return self._solve_requests_inner(reqs, deadline)
+        return self._solve_requests_inner(reqs, deadline)
+
+    def _solve_requests_inner(
+        self,
+        reqs: Sequence[CanonicalRequest],
+        deadline: Optional[Deadline] = None,
+    ) -> list[PricingResult]:
         r0 = reqs[0]
         specs = [r.spec for r in reqs]
         resilient_solves = self.retry is not None or self.fault_plan is not None
@@ -430,8 +498,35 @@ class QuoteService:
             breaker = self._breakers.get(key)
             if breaker is None:
                 breaker = CircuitBreaker(self.breaker_policy, clock=self._clock)
+                if self.telemetry is not None:
+                    breaker.listener = self._breaker_recorder(key)
                 self._breakers[key] = breaker
             return breaker
+
+    #: Numeric breaker-state encoding for the state gauge (ordered by
+    #: severity so dashboards can alert on ``> 0``).
+    _BREAKER_LEVEL = {CLOSED: 0, "half_open": 1, OPEN: 2}
+
+    def _breaker_recorder(self, key: tuple):
+        """Telemetry listener for one bucket's breaker: state as a gauge,
+        every transition as a labelled event counter."""
+        bucket = "/".join(map(str, key))
+        gauge = self.telemetry.gauge(
+            "breaker_state",
+            labels={"bucket": bucket},
+            help="0=closed 1=half_open 2=open",
+        )
+        registry = self.telemetry.registry
+
+        def record(old: str, new: str) -> None:
+            gauge.set(self._BREAKER_LEVEL.get(new, -1))
+            registry.counter(
+                "breaker_transitions_total",
+                labels={"bucket": bucket, "from": old, "to": new},
+                help="breaker state transitions",
+            ).inc()
+
+        return record
 
     def _stale_canonical(self, req: CanonicalRequest) -> Optional[PricingResult]:
         """Degradation fetch: the key's stale-but-graced canonical result
@@ -537,12 +632,27 @@ class QuoteService:
         open.  Warm keys are always served; a deadline never costs a cache
         hit anything.
         """
-        req = self._canonicalize(spec, steps, model, method, base, lam)
-        # European contracts have no divider to record — never re-solve a
-        # warm European entry chasing one.
-        wants_boundary = (
-            return_boundary and req.spec.style is not Style.EUROPEAN
+        tel = self.telemetry
+        if tel is None:
+            return self._quote_impl(
+                spec, steps, model, method, base, lam,
+                return_boundary, deadline,
+            )
+        t0 = tel.clock()
+        with tel.span("quote"):
+            result = self._quote_impl(
+                spec, steps, model, method, base, lam,
+                return_boundary, deadline,
+            )
+        # outcome label comes from the serve tag quote already records
+        self._quote_hist(result.meta.get("cache", "miss")).observe(
+            tel.clock() - t0
         )
+        return result
+
+    def _lookup_cached(
+        self, req: CanonicalRequest, wants_boundary: bool
+    ) -> Optional[PricingResult]:
         if wants_boundary:
             # Peek first: an entry without a divider gets re-solved below,
             # and that probe must not count as a cache hit (or refresh
@@ -551,8 +661,38 @@ class QuoteService:
             cached = self.cache.peek(req.key)
             if cached is None or cached.boundary is not None:
                 cached = self.cache.get(req.key)
+            return cached
+        return self.cache.get(req.key)
+
+    def _quote_impl(
+        self,
+        spec: OptionSpec,
+        steps: Optional[int],
+        model: Optional[str],
+        method: Optional[str],
+        base: Optional[int],
+        lam: Optional[float],
+        return_boundary: bool,
+        deadline: Optional[Deadline],
+    ) -> PricingResult:
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span("canonicalize"):
+                req = self._canonicalize(
+                    spec, steps, model, method, base, lam
+                )
         else:
-            cached = self.cache.get(req.key)
+            req = self._canonicalize(spec, steps, model, method, base, lam)
+        # European contracts have no divider to record — never re-solve a
+        # warm European entry chasing one.
+        wants_boundary = (
+            return_boundary and req.spec.style is not Style.EUROPEAN
+        )
+        if tel is not None:
+            with tel.span("cache_lookup"):
+                cached = self._lookup_cached(req, wants_boundary)
+        else:
+            cached = self._lookup_cached(req, wants_boundary)
         if cached is not None and (
             not wants_boundary or cached.boundary is not None
         ):
@@ -1103,13 +1243,19 @@ class QuoteService:
             return len(self._queue)
 
     def stats(self) -> dict:
-        """Snapshot: cache counters plus service-level serving counters."""
+        """Snapshot: cache counters plus service-level serving counters.
+
+        With telemetry attached the snapshot also carries a ``telemetry``
+        section — the registry's stable JSON export
+        (:meth:`repro.obs.MetricsRegistry.snapshot`), latency histograms
+        and all.
+        """
         with self._lock:
             breakers = {
                 "/".join(map(str, key)): breaker.stats()
                 for key, breaker in self._breakers.items()
             }
-            return {
+            out = {
                 "cache": self.cache.stats(),
                 "service": {
                     "quotes": self._quotes,
@@ -1133,3 +1279,44 @@ class QuoteService:
                     "deadline_misses": self._deadline_misses,
                 },
             }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.snapshot()
+        return out
+
+    def health(self) -> dict:
+        """Cheap liveness/readiness summary for probes and dashboards.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (any bucket breaker not
+        closed — requests on those buckets are being served stale or
+        rejected fast) or ``"overloaded"`` (the pending queue is full, so
+        non-blocking submits are shedding load).  The rest is the handful
+        of levels a probe acts on; :meth:`stats` remains the full
+        snapshot.
+        """
+        with self._lock:
+            breakers = list(self._breakers.items())
+            pending = len(self._queue)
+            inflight = len(self._inflight)
+        open_buckets = sorted(
+            "/".join(map(str, key))
+            for key, breaker in breakers
+            if breaker.state != CLOSED
+        )
+        if pending >= self.max_pending:
+            status = "overloaded"
+        elif open_buckets:
+            status = "degraded"
+        else:
+            status = "ok"
+        cache = self.cache.stats()
+        return {
+            "status": status,
+            "open_breakers": open_buckets,
+            "pending": pending,
+            "max_pending": self.max_pending,
+            "inflight": inflight,
+            "cache_hit_ratio": cache["hit_ratio"],
+            "cache_size": cache["size"],
+            "stale_quotes": self._stale_quotes,
+            "telemetry_enabled": self.telemetry is not None,
+        }

@@ -35,19 +35,55 @@ class Timer:
         self.elapsed += time.perf_counter() - self._start
 
 
+class Measurement(tuple):
+    """``(seconds_per_call, last_result)`` plus per-repeat spread.
+
+    A 2-tuple subclass, so every existing ``sec, result = measure(...)``
+    caller is untouched, while bench gates that need to tell noise from
+    regression on 1-CPU CI hosts read the extra attributes:
+
+    * ``min_s`` / ``max_s`` — fastest and slowest single repeat;
+    * ``repeats`` — how many timed repeats the average covers.
+
+    A tight ``min_s``-to-``max_s`` band means the average is trustworthy; a
+    wide band means the host was noisy and a wall-clock gate should compare
+    against ``min_s`` (the least-disturbed run) rather than the mean.
+    """
+
+    def __new__(cls, seconds: float, result: Any,
+                min_s: float, max_s: float, repeats: int) -> "Measurement":
+        self = super().__new__(cls, (seconds, result))
+        self.min_s = min_s
+        self.max_s = max_s
+        self.repeats = repeats
+        return self
+
+    @property
+    def seconds(self) -> float:
+        return self[0]
+
+    @property
+    def result(self) -> Any:
+        return self[1]
+
+
 def measure(
     fn: Callable[[], Any],
     *,
     min_time: float = 0.05,
     max_repeats: int = 1_000_000,
     warmup: bool = True,
-) -> tuple[float, Any]:
+) -> "Measurement":
     """Time ``fn`` adaptively; return ``(seconds_per_call, last_result)``.
 
     Repeats the call until at least ``min_time`` seconds have been spent, so
     fast calls are averaged over many repeats while slow calls run once.  The
     first (warm-up) call is excluded from timing when ``warmup`` is set and
     the call is cheap enough that a warm-up is affordable.
+
+    The return value unpacks as the historical 2-tuple and additionally
+    carries ``min_s``/``max_s``/``repeats`` (see :class:`Measurement`) so
+    callers can judge how noisy the average is.
     """
     result = None
     if warmup:
@@ -55,12 +91,23 @@ def measure(
         result = fn()
         first = time.perf_counter() - start
         if first >= min_time:  # too slow to repeat; one timed run is it
-            return first, result
+            return Measurement(first, result, first, first, 1)
     total = 0.0
+    lo = float("inf")
+    hi = 0.0
     repeats = 0
     while total < min_time and repeats < max_repeats:
         start = time.perf_counter()
         result = fn()
-        total += time.perf_counter() - start
+        dt = time.perf_counter() - start
+        total += dt
+        if dt < lo:
+            lo = dt
+        if dt > hi:
+            hi = dt
         repeats += 1
-    return total / max(repeats, 1), result
+    if not repeats:
+        lo = hi = 0.0
+    return Measurement(
+        total / max(repeats, 1), result, lo, hi, max(repeats, 1)
+    )

@@ -1,0 +1,295 @@
+"""MetricsRegistry: instrument semantics, merge algebra, exposition pins."""
+
+import json
+import math
+import sys
+
+import pytest
+
+from repro.obs import (
+    BUCKET_BOUNDS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    Telemetry,
+    active,
+    bucket_index,
+)
+from repro.obs.registry import NUM_BUCKETS, NUM_FINITE
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestCounters:
+    def test_inc_defaults_to_one_and_accepts_amounts(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        c = reg.counter("requests_total")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_same_name_and_labels_return_the_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labels={"k": "v"})
+        b = reg.counter("x", labels={"k": "v"})
+        assert a is b
+        assert reg.counter("x", labels={"k": "w"}) is not a
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labels={"a": 1, "b": 2})
+        b = reg.counter("x", labels={"b": 2, "a": 1})
+        assert a is b
+
+    def test_kind_conflicts_are_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", labels={"l": "1"})
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7
+
+
+class TestHistogramBuckets:
+    def test_bucket_index_layout(self):
+        # closed upper bounds: an exact power of two lands in the bucket
+        # it bounds, everything just above spills into the next
+        assert bucket_index(2.0**-20) == 0
+        assert bucket_index(2.0**-20 * 1.0001) == 1
+        assert bucket_index(1.0) == 20
+        assert bucket_index(1.0001) == 21
+        assert bucket_index(2.0**20) == NUM_FINITE - 1
+        assert bucket_index(2.0**20 * 1.1) == NUM_FINITE  # overflow
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-5.0) == 0
+        assert len(BUCKET_BOUNDS) == NUM_FINITE == NUM_BUCKETS - 1
+
+    def test_bucket_index_matches_linear_scan(self):
+        # the frexp fast path must agree with the definition for every
+        # bucket boundary and interior point
+        for i, hi in enumerate(BUCKET_BOUNDS):
+            assert bucket_index(hi) == i
+            # 0.75*hi sits inside bucket i's (hi/2, hi] span; for i == 0
+            # it falls below the scale and clamps into the first bucket
+            assert bucket_index(hi * 0.75) == i
+
+    def test_observe_tracks_sum_count_min_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.001, 0.004, 0.002):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.007)
+        assert h.min == 0.001
+        assert h.max == 0.004
+        assert h.mean == pytest.approx(0.007 / 3)
+
+    def test_empty_histogram_is_nan_not_crash(self):
+        h = MetricsRegistry().histogram("lat")
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.min) and math.isnan(h.max)
+
+    def test_quantiles_are_bucket_accurate_and_clamped(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for _ in range(99):
+            h.observe(0.001)
+        h.observe(1.0)
+        # p50 lives in 0.001's bucket: within sqrt(2) of the true value
+        # and never outside the observed range
+        p50 = h.quantile(0.50)
+        assert h.min <= p50 <= h.max
+        assert p50 <= 0.001 * math.sqrt(2.0) + 1e-12
+        assert h.quantile(1.0) == 1.0  # max rank clamps to observed max
+
+    def test_snapshot_carries_derived_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.1):
+            h.observe(v)
+        snap = reg.snapshot()["metrics"][0]["value"]
+        assert snap["count"] == 4
+        for k in ("p50", "p90", "p99"):
+            assert snap["min"] <= snap[k] <= snap["max"]
+
+
+class TestMerge:
+    """Cross-process shipping: snapshots must merge associatively."""
+
+    def seeded(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", labels={"outcome": "cold"})
+        for v in values:
+            h.observe(v)
+        reg.counter("n").inc(len(values))
+        return reg
+
+    @staticmethod
+    def canon(reg):
+        return json.dumps(reg.snapshot(), sort_keys=True)
+
+    def test_merge_adds_counts_sums_and_extremes(self):
+        parent = self.seeded([0.001])
+        child = self.seeded([0.5, 4.0])
+        parent.merge_snapshot(child.snapshot())
+        h = parent.histogram("lat", labels={"outcome": "cold"})
+        assert h.count == 3
+        assert h.sum == pytest.approx(4.501)
+        assert h.min == 0.001 and h.max == 4.0
+        assert parent.counter("n").value == 3
+
+    def test_merge_is_associative_and_commutative(self):
+        snaps = [
+            self.seeded(vals).snapshot()
+            for vals in ([0.001, 0.01], [0.5], [2.0, 30.0, 0.0002])
+        ]
+        ab_c = MetricsRegistry()
+        ab_c.merge_snapshot(snaps[0])
+        ab_c.merge_snapshot(snaps[1])
+        ab_c.merge_snapshot(snaps[2])
+        c_ba = MetricsRegistry()
+        c_ba.merge_snapshot(snaps[2])
+        c_ba.merge_snapshot(snaps[1])
+        c_ba.merge_snapshot(snaps[0])
+        assert self.canon(ab_c) == self.canon(c_ba)
+
+    def test_merge_roundtrips_through_json(self):
+        # exactly what a process pool does: snapshot → pickle/json → merge
+        child = self.seeded([0.003, 0.7])
+        wire = json.loads(json.dumps(child.snapshot()))
+        parent = MetricsRegistry()
+        parent.merge_snapshot(wire)
+        assert self.canon(parent) == self.canon(child)
+
+    def test_parent_gauge_level_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("depth").set(5)
+        child = MetricsRegistry()
+        child.gauge("depth").set(99)
+        parent.merge_snapshot(child.snapshot())
+        assert parent.gauge("depth").value == 5
+
+
+class TestCollectors:
+    def test_collector_dict_reexports_with_prefix(self):
+        reg = MetricsRegistry()
+        state = {"hits": 3, "misses": 1, "ttl": None, "name": "x", "ok": True}
+        reg.register_collector("cache", lambda: state)
+        collected = reg.snapshot()["collected"]
+        # numeric values only; bools coerce to ints, junk is skipped
+        assert collected == {"cache_hits": 3, "cache_misses": 1, "cache_ok": 1}
+        state["hits"] = 10  # live: read again at next export
+        assert reg.snapshot()["collected"]["cache_hits"] == 10
+
+    def test_colliding_collector_keys_sum(self):
+        reg = MetricsRegistry()
+        reg.register_collector("engine", lambda: {"advances": 2})
+        reg.register_collector("engine", lambda: {"advances": 5})
+        assert reg.snapshot()["collected"]["engine_advances"] == 7
+
+    def test_count_dict_folds_deltas_into_counters(self):
+        reg = MetricsRegistry()
+        reg.count_dict("risk", {"retries": 2, "note": "skip me"})
+        reg.count_dict("risk", {"retries": 1})
+        assert reg.counter("risk_retries").value == 3
+
+
+class TestPrometheusExposition:
+    """Format pins: cumulative le= buckets, _sum/_count, TYPE headers."""
+
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("quotes_total", help="quotes served").inc(3)
+        reg.gauge("depth").set(2.5)
+        text = reg.to_prometheus()
+        assert "# HELP quotes_total quotes served\n" in text
+        assert "# TYPE quotes_total counter\n" in text
+        assert "\nquotes_total 3\n" in text or text.startswith("quotes_total 3")
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", labels={"outcome": "cold"})
+        h.observe(0.001)
+        h.observe(0.002)
+        h.observe(1e9)  # overflow bucket
+        text = reg.to_prometheus()
+        lines = [l for l in text.splitlines() if l.startswith("lat_bucket")]
+        assert len(lines) == NUM_BUCKETS
+        assert lines[-1] == 'lat_bucket{outcome="cold",le="+Inf"} 3'
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)  # cumulative: monotone
+        assert 'lat_sum{outcome="cold"}' in text
+        assert 'lat_count{outcome="cold"} 3' in text
+
+    def test_multi_label_series_share_one_type_header(self):
+        reg = MetricsRegistry()
+        reg.counter("served", labels={"outcome": "hit"}).inc()
+        reg.counter("served", labels={"outcome": "miss"}).inc(2)
+        text = reg.to_prometheus()
+        assert text.count("# TYPE served counter") == 1
+        assert 'served{outcome="hit"} 1' in text
+        assert 'served{outcome="miss"} 2' in text
+
+
+class TestDisabledMode:
+    def test_null_registry_hands_out_one_shared_instrument(self):
+        assert NULL_REGISTRY.counter("a") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.gauge("b") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.histogram("c") is NULL_INSTRUMENT
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.observe(1.0)
+        NULL_INSTRUMENT.set(2.0)
+        assert NULL_INSTRUMENT.value == 0.0
+        assert NULL_REGISTRY.snapshot() == {"metrics": [], "collected": {}}
+        assert NULL_REGISTRY.to_prometheus() == ""
+
+    def test_active_normalises_disabled_to_none(self):
+        assert active(None) is None
+        assert active(Telemetry.disabled()) is None
+        tel = Telemetry(clock=FakeClock())
+        assert active(tel) is tel
+
+    def test_disabled_instrument_calls_do_not_allocate(self):
+        null_c = NULL_REGISTRY.counter("x")
+        # warm any lazy interpreter state, then pin allocated blocks
+        for _ in range(100):
+            null_c.inc()
+            null_c.observe(1.0)
+        before = sys.getallocatedblocks()
+        for _ in range(1000):
+            null_c.inc()
+            null_c.observe(1.0)
+        after = sys.getallocatedblocks()
+        assert after - before <= 2  # no per-call allocation survives
+
+
+class TestInjectableClock:
+    def test_registry_uses_the_injected_clock(self):
+        clock = FakeClock(5.0)
+        tel = Telemetry(clock=clock)
+        assert tel.clock() == 5.0
+        with tel.span("s") as sp:
+            clock.advance(2.0)
+        assert sp.duration == pytest.approx(2.0)

@@ -285,3 +285,69 @@ class TestStaleGrace:
             QuoteCache(stale_grace=-1.0)
         with pytest.raises(ValidationError):
             QuoteCache(stale_grace=float("nan"))
+
+
+class TestStaleCounters:
+    """The stale-while-revalidate pair in stats(): ``stale_hits`` (serves
+    of expired-but-graced entries) and ``stale_refreshes`` (re-solves that
+    landed on one) — both pinned on the injected clock."""
+
+    def make(self, **kw):
+        clock = FakeClock()
+        defaults = dict(maxsize=8, ttl=10.0, stale_grace=5.0, clock=clock)
+        defaults.update(kw)
+        return QuoteCache(**defaults), clock
+
+    def test_stale_hits_counts_stale_serves_only(self):
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        assert cache.get_stale("a").price == 1.0  # fresh serve: no count
+        assert cache.stats()["stale_hits"] == 0
+        clock.advance(12.0)  # stale
+        cache.get_stale("a")
+        cache.get_stale("a")
+        stats = cache.stats()
+        assert stats["stale_hits"] == 2
+        assert stats["stale_hits"] == stats["stale_served"]  # alias
+
+    def test_stale_refresh_counted_on_put_over_stale_entry(self):
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        assert cache.stats()["stale_refreshes"] == 0
+        clock.advance(12.0)  # inside the grace window
+        cache.put("a", result(1.5))  # the revalidate lands
+        stats = cache.stats()
+        assert stats["stale_refreshes"] == 1
+        # the refreshed entry is fresh again: another put is a plain
+        # replacement, not a stale refresh
+        cache.put("a", result(1.6))
+        assert cache.stats()["stale_refreshes"] == 1
+
+    def test_refresh_of_fresh_or_absent_key_is_not_counted(self):
+        cache, clock = self.make()
+        cache.put("a", result(1.0))  # absent -> store
+        clock.advance(5.0)
+        cache.put("a", result(1.1))  # fresh replacement
+        cache.put("b", result(2.0))
+        assert cache.stats()["stale_refreshes"] == 0
+
+    def test_refresh_of_gone_entry_is_not_counted(self):
+        # past ttl + grace the old entry could not have been served, so a
+        # put is a cold store, not a revalidate
+        cache, clock = self.make()
+        cache.put("a", result(1.0))
+        clock.advance(20.0)  # gone (ttl 10 + grace 5 < 20)
+        cache.put("a", result(1.5))
+        assert cache.stats()["stale_refreshes"] == 0
+
+    def test_stale_refresh_keeps_boundary_semantics_intact(self):
+        # the divider-keep rule applies to *fresh* replacements only; a
+        # stale refresh replaces wholesale (the re-solve is newer truth)
+        cache, clock = self.make()
+        rich = result(1.0)
+        rich.boundary = {3: 1}
+        cache.put("a", rich)
+        clock.advance(12.0)
+        cache.put("a", result(1.5))  # stale refresh, divider-less
+        assert cache.get("a").boundary is None
+        assert cache.stats()["stale_refreshes"] == 1

@@ -2,7 +2,7 @@
 
 import time
 
-from repro.util.timing import Timer, measure
+from repro.util.timing import Measurement, Timer, measure
 
 
 def test_timer_accumulates():
@@ -39,3 +39,26 @@ def test_measure_fast_call_repeats():
     calls = []
     measure(lambda: calls.append(1), min_time=0.01)
     assert len(calls) > 3
+
+
+def test_measure_is_a_plain_two_tuple_to_old_callers():
+    m = measure(lambda: 7, min_time=0.001)
+    assert isinstance(m, tuple) and len(m) == 2
+    secs, result = m  # historical unpacking still works
+    assert result == 7 and secs == m[0]
+    assert isinstance(m, Measurement)
+    assert m.seconds == m[0] and m.result == m[1]
+
+
+def test_measure_reports_per_repeat_spread():
+    m = measure(lambda: sum(range(100)), min_time=0.005)
+    assert m.repeats > 1
+    assert 0.0 <= m.min_s <= m[0] <= m.max_s
+    # the average of repeats must sit inside the observed band
+    assert m.min_s <= m.max_s
+
+
+def test_measure_slow_call_spread_degenerates_to_the_single_run():
+    m = measure(lambda: time.sleep(0.06), min_time=0.05)
+    assert m.repeats == 1
+    assert m.min_s == m.max_s == m[0]
