@@ -12,8 +12,10 @@ three telemetry configurations:
    indistinguishable from *off*; the gate pins the no-op fast path at
    <= 2% overhead.
 3. **enabled** — a live :class:`~repro.obs.Telemetry`: spans around every
-   lockstep round, batch-width histograms, chunk timings, counter folds.
-   Gate: <= 8% overhead over *off*.
+   lockstep round, batch-width histograms, chunk timings, counter folds,
+   and the flight-recorder journal armed (its emit sites are cold-path
+   only, so a clean run journals nothing — that *is* the design being
+   gated).  Gate: <= 10% overhead over *off*.
 
 Prices must be bit-identical across all three runs (telemetry observes,
 never perturbs).  Run ``python benchmarks/bench_obs.py`` for the full
@@ -37,7 +39,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from bench_batch import build_grid  # noqa: E402
 from conftest import bench_report, telemetry_section, write_bench_report  # noqa: E402
 
-from repro.obs import Telemetry  # noqa: E402
+from repro.obs import Telemetry, chrome_trace, validate_chrome_trace  # noqa: E402
 from repro.options.contract import Style  # noqa: E402
 from repro.risk.engine import ScenarioEngine  # noqa: E402
 
@@ -96,7 +98,18 @@ def bench_overhead(n_cells: int, steps: int, repeats: int) -> dict:
         "enabled_round_spans": last_tel.tracer.phase_breakdown()
         .get("lockstep_round", {})
         .get("count", 0),
+        # the journal is armed but must stay silent on a clean run —
+        # its emit sites are recovery/degradation paths only
+        "enabled_journal_events": last_tel.journal.stats()["emitted"],
+        "trace_events": _validated_trace_events(last_tel),
     }
+
+
+def _validated_trace_events(tel: Telemetry) -> int:
+    """Perfetto-export the run's trace forest through the format gate."""
+    trace = chrome_trace(tel.tracer)
+    validate_chrome_trace(trace)
+    return len(trace["traceEvents"])
 
 
 def main() -> int:
@@ -139,17 +152,25 @@ def main() -> int:
         "engine counters were not folded into the registry"
     )
     assert ov["enabled_round_spans"] > 0, "no lockstep_round spans recorded"
+    # Clean runs never touch the flight recorder's cold paths.
+    assert ov["enabled_journal_events"] == 0, (
+        "journal events emitted on a fault-free run — an emit site leaked "
+        "onto the hot path"
+    )
+    # The Perfetto export of the run's trace forest must validate.
+    assert ov["trace_events"] > 0, "trace export produced no events"
 
     if not args.smoke:
         # Wall gates only at full size on a quiet host: the disabled path
-        # must be free (<= 2%), the enabled path cheap (<= 8%).
+        # must be free (<= 2%), the enabled path — flight recorder armed —
+        # cheap (<= 10%).
         assert ov["disabled_overhead"] <= 0.02, (
             f"disabled telemetry costs {ov['disabled_overhead']*100:.1f}% "
             "(gate: 2%)"
         )
-        assert ov["enabled_overhead"] <= 0.08, (
+        assert ov["enabled_overhead"] <= 0.10, (
             f"enabled telemetry costs {ov['enabled_overhead']*100:.1f}% "
-            "(gate: 8%)"
+            "(gate: 10%)"
         )
 
     report["summary"] = {

@@ -95,6 +95,31 @@ def write_bench_report(path: str, report: dict, *, speedup, drift) -> None:
     print(f"wrote {path}")
 
 
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed
+    ``BENCH_*.json`` under the current schema — the gate
+    ``benchmarks/run_all.py`` applies to every artifact the suite
+    produced before folding it into the trajectory."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a dict")
+    missing = [k for k in _REQUIRED_HEADER if k not in report]
+    if missing:
+        raise ValueError(f"bench report missing header keys: {missing}")
+    if report["schema"] != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench report schema {report['schema']!r} != {BENCH_SCHEMA}"
+        )
+    bad = [k for k in _TELEMETRY_KEYS if k not in report["telemetry"]]
+    if bad:
+        raise ValueError(f"bench telemetry section missing keys: {bad}")
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("bench report missing 'summary' section")
+    for key in ("headline_speedup", "max_drift"):
+        if key not in summary:
+            raise ValueError(f"bench summary missing {key!r}")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _results_dir():
     os.environ.setdefault(

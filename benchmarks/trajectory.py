@@ -1,0 +1,153 @@
+"""Per-commit performance trajectory: append-only JSONL + regression gate.
+
+``benchmarks/run_all.py`` folds one suite run — every ``BENCH_*.json`` it
+produced — into a single **trajectory row** and appends it to
+``BENCH_TRAJECTORY.jsonl`` at the repo root.  Each row is one line of
+JSON: commit, timestamp, host context, the smoke flag, and per-benchmark
+headline numbers (speedup, drift, throughput rates).  The file is the
+repo's long-term performance memory — plot it, diff it, or gate on it.
+
+:func:`check_regression` is the gate: given the current row and the last
+*comparable* row (same smoke flag — smoke sizes and full sizes are not
+comparable), it flags every higher-is-better metric that fell by more
+than the threshold (default 20%).  ``run_all.py --check`` turns the
+flags into a nonzero exit; CI runs it report-only so a noisy runner
+cannot block a merge, while the row itself is still recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Optional
+
+#: Layout version of a trajectory row.
+TRAJECTORY_SCHEMA = 1
+
+#: Default trajectory file, at the repo root next to the BENCH_*.json.
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_TRAJECTORY.jsonl",
+)
+
+#: Higher-is-better metrics compared by :func:`check_regression`.
+RATE_METRICS = (
+    "headline_speedup", "cells_per_sec", "quotes_per_sec", "hit_rate",
+)
+
+
+def current_commit(cwd: Optional[str] = None) -> Optional[str]:
+    """Short hash of HEAD, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd or os.path.dirname(TRAJECTORY_PATH),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def build_row(
+    reports: dict,
+    *,
+    smoke: bool,
+    commit: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> dict:
+    """Fold one suite run's reports (``{name: BENCH dict}``) into a row.
+
+    Per benchmark the row keeps the queryable headline only — the full
+    reports stay in their own artifacts: ``headline_speedup`` /
+    ``max_drift`` from ``summary`` and the three throughput rates from
+    the shared ``telemetry`` section (``None`` where a bench does not
+    measure that rate).
+    """
+    benches = {}
+    for name, report in sorted(reports.items()):
+        summary = report.get("summary", {})
+        tele = report.get("telemetry", {})
+        benches[name] = {
+            "headline_speedup": summary.get("headline_speedup"),
+            "max_drift": summary.get("max_drift"),
+            "cells_per_sec": tele.get("cells_per_sec"),
+            "quotes_per_sec": tele.get("quotes_per_sec"),
+            "hit_rate": tele.get("hit_rate"),
+        }
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "commit": commit if commit is not None else current_commit(),
+        "smoke": bool(smoke),
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "benches": benches,
+    }
+
+
+def append_row(path: str, row: dict) -> None:
+    """Append one row as a single JSONL line (the file is append-only —
+    history is the point)."""
+    with open(path, "a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def load_rows(path: str) -> list:
+    """All rows, oldest first; a missing file is an empty history."""
+    if not os.path.exists(path):
+        return []
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def last_comparable(rows: list, row: dict) -> Optional[dict]:
+    """The most recent prior row with the same smoke flag — smoke sizes
+    and full sizes are different experiments and never compared."""
+    for prev in reversed(rows):
+        if prev.get("smoke") == row.get("smoke"):
+            return prev
+    return None
+
+
+def check_regression(
+    prev: dict, cur: dict, threshold: float = 0.20
+) -> list:
+    """Flag every per-bench rate metric that fell by more than
+    ``threshold`` (relative) since ``prev``.
+
+    Returns human-readable flag strings (empty = no regression).  Only
+    metrics present and non-``None`` in *both* rows are compared, so
+    adding a benchmark — or a bench gaining a new rate — never flags.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    flags = []
+    prev_benches = prev.get("benches", {})
+    for name, cur_b in sorted(cur.get("benches", {}).items()):
+        prev_b = prev_benches.get(name)
+        if prev_b is None:
+            continue
+        for metric in RATE_METRICS:
+            old, new = prev_b.get(metric), cur_b.get(metric)
+            if old is None or new is None or old <= 0:
+                continue
+            drop = 1.0 - new / old
+            if drop > threshold:
+                flags.append(
+                    f"{name}.{metric}: {old:.4g} -> {new:.4g} "
+                    f"({drop * 100:.1f}% drop > {threshold * 100:.0f}% "
+                    "threshold)"
+                )
+    return flags

@@ -27,6 +27,12 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
+from .events import (  # noqa: F401  (re-exported)
+    Event,
+    EventJournal,
+    NULL_JOURNAL,
+    NullJournal,
+)
 from .registry import (  # noqa: F401  (re-exported)
     BUCKET_BOUNDS,
     Counter,
@@ -45,27 +51,47 @@ from .spans import (  # noqa: F401  (re-exported)
     Span,
     Tracer,
 )
+from .traceexport import (  # noqa: F401  (re-exported)
+    chrome_trace,
+    merge_chrome_traces,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 Clock = Callable[[], float]
 
 
 class Telemetry:
-    """Registry + tracer sharing one injectable clock."""
+    """Registry + tracer + event journal sharing one injectable clock.
+
+    ``max_traces`` / ``max_children`` bound the tracer's retention
+    (:class:`~repro.obs.spans.Tracer`); ``journal_size`` bounds the
+    flight recorder's ring buffer (:class:`~repro.obs.events.EventJournal`).
+    Defaults match the pre-flight-recorder behaviour.
+    """
 
     def __init__(
         self,
         enabled: bool = True,
         clock: Clock = time.perf_counter,
         max_traces: int = 16,
+        max_children: int = 256,
+        journal_size: int = 1024,
     ):
         self.enabled = enabled
         self.clock = clock
         if enabled:
             self.registry = MetricsRegistry(clock=clock)
-            self.tracer = Tracer(clock=clock, max_traces=max_traces)
+            self.tracer = Tracer(
+                clock=clock, max_traces=max_traces, max_children=max_children
+            )
+            self.journal = EventJournal(
+                maxlen=journal_size, clock=clock, tracer=self.tracer
+            )
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            self.journal = NULL_JOURNAL
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -85,6 +111,9 @@ class Telemetry:
     def span(self, name, **attrs):
         return self.tracer.span(name, **attrs)
 
+    def emit(self, etype, **fields):
+        return self.journal.emit(etype, **fields)
+
     def snapshot(self) -> dict:
         return self.registry.snapshot()
 
@@ -103,6 +132,14 @@ def active(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
 __all__ = [
     "Telemetry",
     "active",
+    "Event",
+    "EventJournal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "chrome_trace",
+    "merge_chrome_traces",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",

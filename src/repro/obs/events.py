@@ -1,0 +1,246 @@
+"""Flight recorder: a bounded, structured event journal.
+
+Metrics (:mod:`repro.obs.registry`) answer "how much / how fast"; spans
+(:mod:`repro.obs.spans`) answer "where did the time go".  Neither answers
+"what *happened*" — which retries fired and in what order, why a breaker
+tripped, which worker pool was rebuilt, which cells timed out.  The
+:class:`EventJournal` records exactly that: a ring buffer of small
+structured events, each stamped with a monotonically increasing sequence
+number, the injectable clock's time, and the id of the span active on the
+emitting thread — so a journal line correlates 1:1 with the trace forest
+the :class:`~repro.obs.spans.Tracer` retains.
+
+Design constraints:
+
+* **Bounded.**  The buffer is a fixed-size ring (``maxlen``); overflow
+  drops the *oldest* events and counts the drops (``dropped``) instead of
+  growing without bound in a long-lived service.  Per-type counters are
+  kept outside the ring, so "how many retries ever" survives eviction of
+  the retry events themselves.
+* **Cold-path only.**  Emit sites live on recovery and degradation paths
+  (retries, rebuilds, breaker trips, stale serves, evictions) — never
+  per-row or per-advance — so an enabled journal costs the hot solve
+  path nothing (gated by ``benchmarks/bench_obs.py``).
+* **Replayable.**  :meth:`EventJournal.to_jsonl` exports one JSON object
+  per line (stable key order), the format the README's "Replaying an
+  incident" walkthrough consumes; ``seq`` gaps reveal exactly where the
+  ring dropped history.
+
+Disabled telemetry goes through :data:`NULL_JOURNAL`, whose ``emit`` is a
+no-op returning ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.util.validation import check_integer
+
+Clock = Callable[[], float]
+
+
+class Event:
+    """One journal entry.  ``fields`` carries the emit site's payload;
+    ``span_id`` is the id of the span that was active on the emitting
+    thread (``None`` when emitted outside any span)."""
+
+    __slots__ = ("seq", "ts", "type", "span_id", "fields")
+
+    def __init__(self, seq: int, ts: float, etype: str,
+                 span_id: Optional[int], fields: dict):
+        self.seq = seq
+        self.ts = ts
+        self.type = etype
+        self.span_id = span_id
+        self.fields = fields
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "type": self.type,
+            "span_id": self.span_id,
+            "fields": dict(self.fields),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"Event(seq={self.seq}, type={self.type!r}, "
+            f"span_id={self.span_id}, fields={self.fields!r})"
+        )
+
+
+class EventJournal:
+    """Thread-safe bounded ring buffer of :class:`Event`.
+
+    Parameters
+    ----------
+    maxlen:
+        Ring capacity.  The journal never holds more events than this;
+        overflow evicts the oldest entry and increments ``dropped``.
+    clock:
+        Zero-argument monotonic callable; tests inject fakes so event
+        timestamps are deterministic.
+    tracer:
+        Optional :class:`~repro.obs.spans.Tracer`.  When set, every emit
+        captures the id of the tracer's current span on the emitting
+        thread, correlating journal lines with trace trees.
+    """
+
+    def __init__(
+        self,
+        maxlen: int = 1024,
+        clock: Clock = time.perf_counter,
+        tracer=None,
+    ):
+        self.maxlen = check_integer("maxlen", maxlen, minimum=1)
+        self.clock = clock
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._events: "deque[Event]" = deque(maxlen=self.maxlen)
+        self._seq = 0
+        self._dropped = 0
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def emit(self, etype: str, **fields) -> Event:
+        """Record one event; returns it (callers normally ignore this)."""
+        span = self.tracer.current() if self.tracer is not None else None
+        span_id = span.id if span is not None else None
+        ts = self.clock()
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self._counts[etype] = self._counts.get(etype, 0) + 1
+            if len(self._events) == self.maxlen:
+                self._dropped += 1
+            event = Event(seq, ts, etype, span_id, fields)
+            self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    @property
+    def seq(self) -> int:
+        """Next sequence number (== total events ever emitted)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by ring overflow (their type counters remain)."""
+        with self._lock:
+            return self._dropped
+
+    def counts(self) -> dict:
+        """``{event type: emitted count}`` over the journal's lifetime —
+        not just the retained window."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def events(
+        self,
+        etype: Optional[str] = None,
+        since_seq: Optional[int] = None,
+    ) -> "list[Event]":
+        """Retained events, oldest first, optionally filtered by type
+        and/or ``seq >= since_seq`` (the exemplar-slice accessor)."""
+        with self._lock:
+            out = list(self._events)
+        if etype is not None:
+            out = [e for e in out if e.type == etype]
+        if since_seq is not None:
+            out = [e for e in out if e.seq >= since_seq]
+        return out
+
+    def slice(self, since_seq: int, until_seq: Optional[int] = None) -> list:
+        """Retained events with ``since_seq <= seq < until_seq`` as plain
+        dicts — what a slow-quote exemplar stores alongside its trace."""
+        with self._lock:
+            events = list(self._events)
+        return [
+            e.as_dict()
+            for e in events
+            if e.seq >= since_seq and (until_seq is None or e.seq < until_seq)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self) -> str:
+        """One JSON object per line (oldest first), sorted keys — the
+        replayable incident record."""
+        with self._lock:
+            events = list(self._events)
+        return "".join(
+            json.dumps(e.as_dict(), sort_keys=True, default=repr) + "\n"
+            for e in events
+        )
+
+    def write_jsonl(self, path: str) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w") as fh:
+            fh.write(text)
+        return text.count("\n")
+
+    def stats(self) -> dict:
+        """Counter snapshot for dashboards and ``stats()`` surfaces."""
+        with self._lock:
+            return {
+                "emitted": self._seq,
+                "retained": len(self._events),
+                "dropped": self._dropped,
+                "maxlen": self.maxlen,
+                "by_type": dict(sorted(self._counts.items())),
+            }
+
+    def clear(self) -> None:
+        """Drop every retained event and reset counters (tests)."""
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self._dropped = 0
+            self._counts.clear()
+
+
+class NullJournal:
+    """Do-nothing journal for disabled telemetry."""
+
+    maxlen = 0
+    clock = staticmethod(time.perf_counter)
+    seq = 0
+    dropped = 0
+
+    def emit(self, etype: str, **fields) -> None:
+        return None
+
+    def counts(self) -> dict:
+        return {}
+
+    def events(self, etype=None, since_seq=None) -> list:
+        return []
+
+    def slice(self, since_seq: int, until_seq=None) -> list:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w") as fh:
+            fh.write("")
+        return 0
+
+    def stats(self) -> dict:
+        return {
+            "emitted": 0, "retained": 0, "dropped": 0, "maxlen": 0,
+            "by_type": {},
+        }
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_JOURNAL = NullJournal()

@@ -22,6 +22,7 @@ allocation, no clock read.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from typing import Callable, Optional
@@ -38,15 +39,18 @@ class Span:
 
     ``set()`` adds attributes after entry; nesting happens automatically —
     a span opened while another is running on the same thread becomes its
-    child.
+    child.  ``id`` is unique within the owning tracer; the event journal
+    stamps it on every event emitted while the span is current, so journal
+    lines correlate with trace trees (docs/DESIGN.md §9).
     """
 
     __slots__ = (
-        "name", "attrs", "start", "end", "children", "dropped",
+        "id", "name", "attrs", "start", "end", "children", "dropped",
         "child_time", "_tracer",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict, id: int = 0):
+        self.id = id
         self.name = name
         self.attrs = attrs
         self.start = 0.0
@@ -82,6 +86,7 @@ class Span:
 
     def as_dict(self) -> dict:
         d = {
+            "id": self.id,
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
@@ -106,7 +111,10 @@ class Tracer:
     ``max_children`` bounds retained children per span and
     ``max_traces`` bounds retained root traces, so a long-lived service
     cannot grow an unbounded trace tree; the per-name aggregate is updated
-    for *every* span regardless of retention.
+    for *every* span regardless of retention.  Both caps are constructor
+    parameters (reachable through :class:`repro.obs.Telemetry` too) —
+    exemplar capture of deep solves (``steps=2048`` means thousands of
+    lockstep rounds) raises ``max_children`` above the service default.
     """
 
     def __init__(
@@ -121,11 +129,12 @@ class Tracer:
         self._local = _TraceLocal()
         self._lock = threading.Lock()
         self._roots: list[Span] = []
+        self._ids = itertools.count(1)
         # name -> [count, total_s, self_s]
         self._agg: dict[str, list] = {}
 
     def span(self, name: str, **attrs) -> Span:
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, id=next(self._ids))
 
     # ------------------------------------------------------------------ #
     def _push(self, span: Span) -> None:
@@ -198,6 +207,7 @@ class _NullSpan:
 
     __slots__ = ()
 
+    id = None
     name = ""
     attrs: dict = {}
     duration = 0.0

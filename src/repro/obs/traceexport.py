@@ -1,0 +1,250 @@
+"""Export span forests to Chrome trace-event JSON (Perfetto-loadable).
+
+:func:`chrome_trace` converts a :class:`~repro.obs.spans.Tracer` (or its
+``to_json()`` forest) into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``ui.perfetto.dev`` and ``chrome://tracing``:
+
+* every span becomes one *complete* event (``"ph": "X"``) with
+  microsecond ``ts``/``dur`` relative to the earliest span in the export,
+  its attributes (plus the span id the event journal correlates on) under
+  ``args``;
+* :func:`merge_chrome_traces` lays several forests side by side as
+  separate *processes* (one ``pid`` per named forest, a shared time
+  origin) — the multi-process view for pooled services that ship child
+  ``Tracer.to_json()`` payloads back to a parent;
+* ``worker_tracks`` renders :class:`~repro.risk.engine.ScenarioEngine`
+  worker chunks as separate tracks: pooled grids record each chunk's
+  worker pid/tid and in-worker wall interval in
+  ``ScenarioResult.meta["worker_tracks"]`` (telemetry enabled), and the
+  exporter turns them into per-worker ``X`` events so the pool's real
+  concurrency is visible next to the parent's dispatch span.
+
+:func:`validate_chrome_trace` is the format gate the test-suite and
+``benchmarks/run_all.py`` run before shipping a trace artifact: required
+keys per phase, non-negative monotonic timestamps, and stack-disciplined
+``B``/``E`` pairs (the exporter itself only emits ``X`` and ``M``, but
+hand-built traces merged in may use duration events).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+#: pid assigned to the first (or only) exported forest.
+MAIN_PID = 1
+
+
+def _forest(source) -> list:
+    """Normalise a Tracer | forest dict | root-list into a root-dict list."""
+    to_json = getattr(source, "to_json", None)
+    if callable(to_json):
+        source = to_json()
+    if isinstance(source, dict):
+        source = source.get("traces", [])
+    return list(source)
+
+
+def _span_bounds(roots: list) -> tuple[float, float]:
+    lo, hi = math.inf, -math.inf
+    for root in roots:
+        start = root.get("start", 0.0)
+        lo = min(lo, start)
+        hi = max(hi, start + root.get("duration", 0.0))
+    return lo, hi
+
+
+def _emit_span(events: list, span: dict, origin: float, pid: int, tid: int) -> None:
+    args = dict(span.get("attrs", {}))
+    args["span_id"] = span.get("id")
+    if span.get("dropped_children"):
+        args["dropped_children"] = span["dropped_children"]
+    events.append(
+        {
+            "name": span["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": (span["start"] - origin) * 1e6,
+            "dur": span.get("duration", 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+    )
+    for child in span.get("children", ()):
+        _emit_span(events, child, origin, pid, tid)
+
+
+def _metadata(name: str, pid: int, tid: int = 0, *, thread: Optional[str] = None):
+    """Process/thread naming events (``ph: "M"``)."""
+    out = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": name},
+        }
+    ]
+    if thread is not None:
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return out
+
+
+def merge_chrome_traces(
+    sources: dict,
+    *,
+    worker_tracks=None,
+    time_origin: Optional[float] = None,
+) -> dict:
+    """Export several named span forests into one Chrome trace.
+
+    ``sources`` maps a process label to a :class:`~repro.obs.spans.Tracer`
+    (or its ``to_json()`` payload); each label becomes its own ``pid`` so
+    Perfetto renders the forests as separate processes on one shared
+    clock.  ``worker_tracks`` (see :func:`chrome_trace`) lands under the
+    real worker pids it recorded.  All timestamps are shifted by one
+    common origin — the earliest span/chunk start across everything —
+    so ``ts`` is non-negative and directly comparable across tracks.
+    """
+    forests = {label: _forest(src) for label, src in sources.items()}
+    tracks = list(worker_tracks or ())
+
+    origin = time_origin
+    if origin is None:
+        origin = math.inf
+        for roots in forests.values():
+            origin = min(origin, _span_bounds(roots)[0])
+        for t in tracks:
+            origin = min(origin, t["t0"])
+        if not math.isfinite(origin):
+            origin = 0.0
+
+    events: list = []
+    meta: list = []
+    pid = MAIN_PID
+    for label, roots in forests.items():
+        meta.extend(_metadata(label, pid, thread="spans"))
+        for tid, root in enumerate(roots, start=1):
+            _emit_span(events, root, origin, pid, 1)
+            _ = tid  # all roots share one track; nesting is by containment
+        pid += 1
+    worker_pids: dict[tuple, int] = {}
+    for t in tracks:
+        key = (t.get("pid"), t.get("tid"))
+        if key not in worker_pids:
+            worker_pids[key] = pid
+            meta.extend(
+                _metadata(
+                    f"worker pid={t.get('pid')}", pid,
+                    tid=1, thread=f"tid={t.get('tid')}",
+                )
+            )
+            pid += 1
+        lo, hi = t.get("lo"), t.get("hi")
+        events.append(
+            {
+                "name": f"chunk[{lo}:{hi})",
+                "cat": "worker_chunk",
+                "ph": "X",
+                "ts": max(0.0, (t["t0"] - origin) * 1e6),
+                "dur": max(0.0, (t["t1"] - t["t0"]) * 1e6),
+                "pid": worker_pids[key],
+                "tid": 1,
+                "args": {"lo": lo, "hi": hi, "worker_pid": t.get("pid")},
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs.traceexport"},
+    }
+
+
+def chrome_trace(
+    source,
+    *,
+    process_name: str = "repro",
+    worker_tracks=None,
+    time_origin: Optional[float] = None,
+) -> dict:
+    """Export one span forest (a Tracer or its ``to_json()``) to Chrome
+    trace-event JSON; see the module docstring for the event mapping."""
+    return merge_chrome_traces(
+        {process_name: source},
+        worker_tracks=worker_tracks,
+        time_origin=time_origin,
+    )
+
+
+def write_chrome_trace(path: str, trace: dict) -> None:
+    """Validate and write ``trace`` as JSON loadable by Perfetto."""
+    validate_chrome_trace(trace)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1, default=repr)
+        fh.write("\n")
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Raise ``ValueError`` unless ``trace`` is well-formed trace-event
+    JSON: required keys per phase, non-negative monotonic ``ts``, and
+    matched stack-disciplined ``B``/``E`` pairs per ``(pid, tid)``."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    last_ts: dict[tuple, float] = {}
+    open_stacks: dict[tuple, list] = {}
+    for i, ev in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            raise ValueError(f"event {i} ({ph}) missing 'ts'")
+        ts = ev["ts"]
+        if not (isinstance(ts, (int, float)) and math.isfinite(ts) and ts >= 0):
+            raise ValueError(f"event {i} has invalid ts {ts!r}")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, 0.0):
+            raise ValueError(
+                f"event {i} ts {ts} goes backwards on track {track}"
+            )
+        last_ts[track] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if dur is None or not math.isfinite(dur) or dur < 0:
+                raise ValueError(f"X event {i} has invalid dur {dur!r}")
+        elif ph == "B":
+            open_stacks.setdefault(track, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_stacks.get(track)
+            if not stack:
+                raise ValueError(f"E event {i} with no open B on {track}")
+            top = stack.pop()
+            if ev["name"] not in ("", top):
+                raise ValueError(
+                    f"E event {i} name {ev['name']!r} does not match "
+                    f"open B {top!r}"
+                )
+        else:
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+    for track, stack in open_stacks.items():
+        if stack:
+            raise ValueError(
+                f"unclosed B events on track {track}: {stack!r}"
+            )

@@ -62,6 +62,7 @@ from repro.core.fftstencil import (
     AdvancePolicy,
     engine_delta,
 )
+from repro.obs import NULL_JOURNAL
 from repro.obs import active as _tel_active
 from repro.options.contract import OptionSpec
 from repro.parallel.workspan import WorkSpan
@@ -198,9 +199,25 @@ def _run_chunk(
     return results, time.perf_counter() - t0
 
 
+def _worker_track(lo: int, hi: int, t0: float, t1: float) -> dict:
+    """In-worker wall interval of one chunk, tagged with the worker's
+    identity — the raw material for the Perfetto worker tracks
+    (:func:`repro.obs.traceexport.chrome_trace`).  ``perf_counter`` is
+    CLOCK_MONOTONIC on Linux, shared across processes, so child intervals
+    are directly comparable with the parent's dispatch span."""
+    return {
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "lo": lo,
+        "hi": hi,
+        "t0": t0,
+        "t1": t1,
+    }
+
+
 def _price_chunk(
     payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy],
-) -> tuple[int, list[PricingResult], float, dict]:
+) -> tuple[int, list[PricingResult], float, dict, dict]:
     """Executor task: price one chunk on this worker's persistent engine.
 
     Ships the chunk's engine-counter *delta* back alongside the results —
@@ -208,19 +225,25 @@ def _price_chunk(
     cumulative :meth:`~repro.core.fftstencil.AdvanceEngine.cache_info`
     directly; per-chunk deltas add associatively in any completion order,
     which is what lets the parent merge pooled-run engine telemetry
-    exactly as the serial path reports its own.
+    exactly as the serial path reports its own.  The last element is the
+    chunk's :func:`_worker_track` for trace export.
     """
     start, specs, steps, kwargs, policy = payload
     engine = _worker_engine(policy)
     before = engine.cache_info()
+    t0 = time.perf_counter()
     results, seconds = _run_chunk(engine, specs, steps, kwargs)
-    return start, results, seconds, engine_delta(before, engine.cache_info())
+    t1 = time.perf_counter()
+    delta = engine_delta(before, engine.cache_info())
+    return start, results, seconds, delta, _worker_track(
+        start, start + len(specs), t0, t1
+    )
 
 
 def _price_cells(
     payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy, int,
                    Optional[FaultPlan]],
-) -> tuple[int, list[PricingResult], float]:
+) -> tuple[int, list[PricingResult], float, dict]:
     """Executor task for the *resilient* path: price a chunk cell by cell.
 
     Unlike :func:`_price_chunk` this prices one cell per ``price_many``
@@ -247,7 +270,8 @@ def _price_cells(
         if plan is not None:
             r = plan.after(cell, attempt, r)
         results.append(r)
-    return lo, results, time.perf_counter() - t0
+    t1 = time.perf_counter()
+    return lo, results, t1 - t0, _worker_track(lo, lo + len(specs), t0, t1)
 
 
 def _map_chunk(payload: tuple) -> tuple[int, list]:
@@ -576,8 +600,26 @@ class ScenarioEngine:
         if grid_span is not None:
             grid_span.__enter__()
         try:
+            if tel is not None and fallback_reason is not None:
+                # every degradation to serial — benign (workers=1, one
+                # chunk) or not (pool unavailable) — is counted by reason
+                # and journalled; only pool_unavailable also warns (once).
+                reason_label = fallback_reason.split(":", 1)[0]
+                tel.counter(
+                    "risk_pool_fallbacks_total",
+                    labels={"reason": reason_label},
+                    help="parallel grids that degraded to serial dispatch",
+                ).inc()
+                tel.emit(
+                    "pool_fallback",
+                    reason=fallback_reason,
+                    backend=self.backend,
+                    workers=self.workers,
+                    cells=len(specs),
+                )
             t0 = time.perf_counter()
             cells_wall = 0.0
+            worker_tracks: list[dict] = []
             engine_info: Optional[dict] = None
             rmeta: Optional[dict] = None
             dispatch_span = (
@@ -616,9 +658,11 @@ class ScenarioEngine:
                             cells_wall += seconds
                         engine_info = engine.cache_info()
                 elif resilient:
-                    cells_wall, rmeta = self._solve_pooled_resilient(
-                        pool, results, specs, steps, kwargs, chunks,
-                        deadline, retry, fault_plan,
+                    cells_wall, rmeta, worker_tracks = (
+                        self._solve_pooled_resilient(
+                            pool, results, specs, steps, kwargs, chunks,
+                            deadline, retry, fault_plan,
+                        )
                     )
                 else:
                     with pool:
@@ -627,8 +671,8 @@ class ScenarioEngine:
                             for lo, hi in chunks
                         ]
                         deltas: list[dict] = []
-                        for lo, chunk_results, seconds, delta in pool.map(
-                            _price_chunk, payloads
+                        for lo, chunk_results, seconds, delta, track in (
+                            pool.map(_price_chunk, payloads)
                         ):
                             _rebase_dedup_indices(chunk_results, lo)
                             results[lo : lo + len(chunk_results)] = (
@@ -636,6 +680,7 @@ class ScenarioEngine:
                             )
                             cells_wall += seconds
                             deltas.append(delta)
+                            worker_tracks.append(track)
                             if h_chunk is not None:
                                 h_chunk.observe(seconds)
                         engine_info = _merge_engine_deltas(deltas)
@@ -690,6 +735,11 @@ class ScenarioEngine:
         }
         if fallback_reason is not None:
             meta["fallback_reason"] = fallback_reason
+        if tel is not None and worker_tracks:
+            # raw material for Perfetto worker tracks (traceexport);
+            # only attached when telemetry is on so disabled-mode meta is
+            # byte-identical to the pre-flight-recorder layout
+            meta["worker_tracks"] = worker_tracks
         if rmeta is not None:
             meta["resilience"] = rmeta
         if engine_info is not None:
@@ -747,13 +797,26 @@ class ScenarioEngine:
         rmeta = self._fresh_rmeta(deadline, plan)
         rng = retry.rng() if retry is not None else None
         mm = (kwargs["model"], kwargs["method"])
+        journal = self.telemetry.journal if self.telemetry is not None \
+            else NULL_JOURNAL
         cells_wall = 0.0
+        deadline_announced = False
         for idx, spec in enumerate(specs):
             if deadline is not None and deadline.expired:
+                if not deadline_announced:
+                    deadline_announced = True
+                    journal.emit(
+                        "deadline_expired", budget_s=deadline.budget,
+                        first_cell=idx,
+                    )
                 results[idx] = timeout_result(
                     steps, *mm, detail="budget spent before solve"
                 )
                 rmeta["timeouts"].append(idx)
+                journal.emit(
+                    "timeout_marker", cell=idx,
+                    detail="budget spent before solve",
+                )
                 continue
             attempt = 0
             while True:
@@ -769,15 +832,28 @@ class ScenarioEngine:
                     # checkpoint fired mid-solve: this cell times out, the
                     # pre-loop check marks every later cell without solving
                     cells_wall += time.perf_counter() - t0
+                    if not deadline_announced:
+                        deadline_announced = True
+                        journal.emit(
+                            "deadline_expired", budget_s=deadline.budget,
+                            first_cell=idx,
+                        )
                     results[idx] = timeout_result(
                         steps, *mm, detail="preempted mid-solve"
                     )
                     rmeta["timeouts"].append(idx)
+                    journal.emit(
+                        "timeout_marker", cell=idx,
+                        detail="preempted mid-solve",
+                    )
                     break
                 except Exception as exc:
                     cells_wall += time.perf_counter() - t0
                     if isinstance(exc, CorruptedResult):
                         rmeta["corrupt_detected"] += 1
+                        journal.emit(
+                            "corrupt_detected", cell=idx, attempt=attempt,
+                        )
                     if (
                         retry is not None
                         and retry.is_transient(exc)
@@ -787,6 +863,10 @@ class ScenarioEngine:
                         delay = retry.delay(attempt, rng)
                         if deadline is not None:
                             delay = deadline.sleep_budget(delay)
+                        journal.emit(
+                            "retry", cell=idx, attempt=attempt,
+                            delay_s=delay, error=type(exc).__name__,
+                        )
                         if delay > 0.0:
                             retry.sleep(delay)
                         attempt += 1
@@ -797,6 +877,9 @@ class ScenarioEngine:
                         raise
                     results[idx] = failure_result(steps, *mm, exc)
                     rmeta["failed"][idx] = f"{type(exc).__name__}: {exc}"
+                    journal.emit(
+                        "cell_failed", cell=idx, error=type(exc).__name__,
+                    )
                     break
                 else:
                     cells_wall += time.perf_counter() - t0
@@ -816,10 +899,11 @@ class ScenarioEngine:
         deadline: Optional[Deadline],
         retry: Optional[RetryPolicy],
         plan: Optional[FaultPlan],
-    ) -> tuple[float, dict]:
+    ) -> tuple[float, dict, list]:
         """Pooled resilient loop: ``submit`` + ``wait(FIRST_COMPLETED)``.
 
-        Fills ``results`` in place; returns ``(cells_wall, rmeta)``.
+        Fills ``results`` in place; returns ``(cells_wall, rmeta,
+        worker_tracks)``.
 
         Recovery ladder, per completed-with-error chunk:
 
@@ -845,7 +929,10 @@ class ScenarioEngine:
         rmeta = self._fresh_rmeta(deadline, plan)
         rng = retry.rng() if retry is not None else None
         mm = (kwargs["model"], kwargs["method"])
+        journal = self.telemetry.journal if self.telemetry is not None \
+            else NULL_JOURNAL
         cells_wall = 0.0
+        worker_tracks: list[dict] = []
         generation = 0
         pending: dict = {}  # future -> (lo, hi, attempt, generation)
 
@@ -870,6 +957,10 @@ class ScenarioEngine:
                 delay = retry.delay(attempt, rng)
                 if deadline is not None:
                     delay = deadline.sleep_budget(delay)
+                journal.emit(
+                    "retry", lo=lo, hi=hi, attempt=attempt,
+                    delay_s=delay, error=type(exc).__name__,
+                )
                 if delay > 0.0:
                     retry.sleep(delay)
                 dispatch(lo, hi, attempt + 1)
@@ -877,6 +968,9 @@ class ScenarioEngine:
                 # a poisoned request must fail alone, not take its chunk
                 # siblings down with it
                 rmeta["isolated"] += 1
+                journal.emit(
+                    "isolate", lo=lo, hi=hi, error=type(exc).__name__,
+                )
                 for cell in range(lo, hi):
                     dispatch(cell, cell + 1, attempt)
             elif retry is None:
@@ -884,6 +978,9 @@ class ScenarioEngine:
             else:
                 results[lo] = failure_result(steps, *mm, exc)
                 rmeta["failed"][lo] = f"{type(exc).__name__}: {exc}"
+                journal.emit(
+                    "cell_failed", cell=lo, error=type(exc).__name__,
+                )
 
         try:
             for lo, hi in chunks:
@@ -896,6 +993,10 @@ class ScenarioEngine:
                 )
                 if not done:
                     # budget spent with futures outstanding: partial return
+                    journal.emit(
+                        "deadline_expired", budget_s=deadline.budget,
+                        outstanding_chunks=len(pending),
+                    )
                     for fut, (lo, hi, _a, _g) in pending.items():
                         fut.cancel()
                         for cell in range(lo, hi):
@@ -904,12 +1005,16 @@ class ScenarioEngine:
                                     steps, *mm, detail="chunk unfinished"
                                 )
                                 rmeta["timeouts"].append(cell)
+                                journal.emit(
+                                    "timeout_marker", cell=cell,
+                                    detail="chunk unfinished",
+                                )
                     pending.clear()
                     break
                 for fut in done:
                     lo, hi, attempt, fut_generation = pending.pop(fut)
                     try:
-                        _lo, chunk_results, seconds = fut.result()
+                        _lo, chunk_results, seconds, track = fut.result()
                     except BrokenExecutor as exc:
                         if fut_generation == generation:
                             # first observer of this break rebuilds; sibling
@@ -917,6 +1022,10 @@ class ScenarioEngine:
                             # to the ladder without rebuilding again
                             generation += 1
                             rmeta["pool_rebuilds"] += 1
+                            journal.emit(
+                                "pool_rebuild", generation=generation,
+                                lo=lo, hi=hi,
+                            )
                             pool.shutdown(wait=False, cancel_futures=True)
                             pool = self._make_pool()
                         handle_failure(lo, hi, attempt, exc)
@@ -925,16 +1034,21 @@ class ScenarioEngine:
                         handle_failure(lo, hi, attempt, exc)
                         continue
                     cells_wall += seconds
+                    worker_tracks.append(track)
                     for i, r in enumerate(chunk_results):
                         cell = lo + i
                         try:
                             validate_row(r)
                         except CorruptedResult as exc:
                             rmeta["corrupt_detected"] += 1
+                            journal.emit(
+                                "corrupt_detected", cell=cell,
+                                attempt=attempt,
+                            )
                             handle_failure(cell, cell + 1, attempt, exc)
                         else:
                             results[cell] = r
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         rmeta["timeouts"].sort()
-        return cells_wall, rmeta
+        return cells_wall, rmeta, worker_tracks

@@ -47,6 +47,12 @@ from repro.util.validation import ValidationError, check_integer
 Clock = Callable[[], float]
 
 
+def _key_repr(key: Hashable) -> str:
+    """Compact journal-safe rendering of a canonical key."""
+    text = repr(key)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
 @dataclass
 class CacheEntry:
     """One cached canonical result plus its bookkeeping."""
@@ -87,6 +93,15 @@ class QuoteCache:
         self._stores = 0
         self._stale_served = 0
         self._stale_refreshes = 0
+        self._journal = None
+
+    def bind_journal(self, journal) -> None:
+        """Attach an :class:`~repro.obs.events.EventJournal`: entry
+        lifecycle transitions — LRU evictions and TTL expirations, both
+        cold paths — then land in the flight recorder as ``cache_evict``
+        / ``cache_expire`` events.  The service binds its telemetry's
+        journal here; an unbound cache journals nothing."""
+        self._journal = journal
 
     # ------------------------------------------------------------------ #
     def _expired(self, entry: CacheEntry, now: float) -> bool:
@@ -107,6 +122,11 @@ class QuoteCache:
         if not entry.expired_counted:
             entry.expired_counted = True
             self._expirations += 1
+            if self._journal is not None:
+                self._journal.emit(
+                    "cache_expire", key=_key_repr(key),
+                    age_s=now - entry.created_at,
+                )
         if self._gone(entry, now):
             del self._entries[key]
 
@@ -202,8 +222,13 @@ class QuoteCache:
             self._entries[key] = CacheEntry(result, self._clock())
             self._stores += 1
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self._evictions += 1
+                if self._journal is not None:
+                    self._journal.emit(
+                        "cache_evict", key=_key_repr(evicted_key),
+                        size=len(self._entries),
+                    )
 
     def purge_expired(self) -> int:
         """Drop every no-longer-servable entry now; returns how many went.
@@ -223,6 +248,11 @@ class QuoteCache:
                 if not e.expired_counted:
                     e.expired_counted = True
                     self._expirations += 1
+                    if self._journal is not None:
+                        self._journal.emit(
+                            "cache_expire", key=_key_repr(k),
+                            age_s=now - e.created_at,
+                        )
                 if self._gone(e, now):
                     del self._entries[k]
                     dropped += 1

@@ -242,6 +242,13 @@ class QuoteService:
         registry as collectors, and :meth:`stats` gains a ``telemetry``
         section.  ``None`` (or a disabled handle) costs the hot path one
         attribute test.
+    exemplars:
+        With telemetry enabled, retain this many *slowest* quotes per
+        serve outcome (hit/miss/merged/stale) as exemplars: the quote's
+        span tree plus the slice of flight-recorder events emitted while
+        it ran.  ``stats()["exemplars"]`` exposes them and
+        :meth:`explain_slowest` answers "why was the slowest quote
+        slow?" without reproducing it.  ``0`` disables capture.
     """
 
     def __init__(
@@ -268,6 +275,7 @@ class QuoteService:
         fault_plan: Optional[FaultPlan] = None,
         stale_grace: float = 0.0,
         telemetry=None,
+        exemplars: int = 4,
     ):
         check_model_method(model, method)
         if backend not in BACKENDS:
@@ -343,6 +351,9 @@ class QuoteService:
         self._refreshes = 0
         self._deadline_misses = 0
         self._h_quote_lat: dict = {}
+        self.exemplar_k = check_integer("exemplars", exemplars, minimum=0)
+        self._exemplars: dict[str, list] = {}
+        self._exemplar_lock = threading.Lock()
         if tel is not None:
             # Re-register the existing counter dialects: the registry reads
             # the live dicts at export time, so nothing counts twice.  The
@@ -352,6 +363,8 @@ class QuoteService:
             tel.registry.register_collector(
                 "service", self._service_counters
             )
+            # entry evictions/expirations land in the flight recorder
+            self.cache.bind_journal(tel.journal)
 
     def _service_counters(self) -> dict:
         """Flat counter view for the registry collector (numbers only —
@@ -518,6 +531,8 @@ class QuoteService:
         )
         registry = self.telemetry.registry
 
+        journal = self.telemetry.journal
+
         def record(old: str, new: str) -> None:
             gauge.set(self._BREAKER_LEVEL.get(new, -1))
             registry.counter(
@@ -525,6 +540,9 @@ class QuoteService:
                 labels={"bucket": bucket, "from": old, "to": new},
                 help="breaker state transitions",
             ).inc()
+            journal.emit(
+                "breaker_transition", bucket=bucket, old=old, new=new,
+            )
 
         return record
 
@@ -558,10 +576,11 @@ class QuoteService:
             self._refreshes += 1
             return True
 
-    @staticmethod
-    def _mark_stale(out: PricingResult, reason: str) -> PricingResult:
+    def _mark_stale(self, out: PricingResult, reason: str) -> PricingResult:
         out.meta[STALE_KEY] = True
         out.meta["stale_reason"] = reason
+        if self.telemetry is not None:
+            self.telemetry.emit("stale_serve", reason=reason)
         return out
 
     def _gate_or_degrade(
@@ -639,16 +658,76 @@ class QuoteService:
                 return_boundary, deadline,
             )
         t0 = tel.clock()
-        with tel.span("quote"):
+        seq0 = tel.journal.seq
+        sp = tel.span("quote")
+        with sp:
             result = self._quote_impl(
                 spec, steps, model, method, base, lam,
                 return_boundary, deadline,
             )
+        dur = tel.clock() - t0
         # outcome label comes from the serve tag quote already records
-        self._quote_hist(result.meta.get("cache", "miss")).observe(
-            tel.clock() - t0
-        )
+        outcome = result.meta.get("cache", "miss")
+        self._quote_hist(outcome).observe(dur)
+        self._record_exemplar(outcome, dur, sp, seq0)
         return result
+
+    def _record_exemplar(
+        self, outcome: str, dur: float, span, seq0: int
+    ) -> None:
+        """Keep this quote if it ranks among the K slowest of its outcome.
+
+        Top-K check first — the span tree is serialised and the journal
+        sliced only for quotes that actually qualify, so steady-state
+        traffic pays one lock + one float compare per quote.
+        """
+        k = self.exemplar_k
+        if k == 0:
+            return
+        with self._exemplar_lock:
+            bucket = self._exemplars.setdefault(outcome, [])
+            if len(bucket) >= k and dur <= bucket[-1]["duration_s"]:
+                return
+            seq1 = self.telemetry.journal.seq
+            bucket.append(
+                {
+                    "outcome": outcome,
+                    "duration_s": dur,
+                    "trace": span.as_dict(),
+                    "seq_range": [seq0, seq1],
+                    "journal": self.telemetry.journal.slice(seq0, seq1),
+                }
+            )
+            bucket.sort(key=lambda e: e["duration_s"], reverse=True)
+            del bucket[k:]
+
+    def explain_slowest(
+        self, outcome: Optional[str] = None, n: int = 1
+    ) -> list:
+        """The ``n`` slowest retained quote exemplars, slowest first.
+
+        Each exemplar carries the quote's full span tree (``trace``) and
+        the flight-recorder events emitted while it ran (``journal``,
+        sliced by sequence number and correlated by span id) — enough to
+        answer "why was the slowest quote slow?" from a live service,
+        without reproducing the traffic.  ``outcome`` restricts to one
+        serve label (hit/miss/merged/stale); default ranks across all.
+        Returns ``[]`` when telemetry is disabled or nothing is retained.
+        """
+        with self._exemplar_lock:
+            if outcome is not None:
+                pool = list(self._exemplars.get(outcome, ()))
+            else:
+                pool = [e for b in self._exemplars.values() for e in b]
+        pool.sort(key=lambda e: e["duration_s"], reverse=True)
+        return pool[: check_integer("n", n, minimum=1)]
+
+    def _exemplar_snapshot(self) -> dict:
+        with self._exemplar_lock:
+            return {
+                outcome: list(bucket)
+                for outcome, bucket in sorted(self._exemplars.items())
+            }
 
     def _lookup_cached(
         self, req: CanonicalRequest, wants_boundary: bool
@@ -1281,6 +1360,7 @@ class QuoteService:
             }
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.snapshot()
+            out["exemplars"] = self._exemplar_snapshot()
         return out
 
     def health(self) -> dict:

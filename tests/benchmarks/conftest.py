@@ -1,0 +1,44 @@
+"""Load the ``benchmarks/`` modules by path for the suite tests.
+
+``benchmarks/`` is not a package and its ``conftest.py`` shares a bare
+module name with pytest's own conftests, so the modules are imported
+under prefixed names via the same loader ``run_all.py`` uses.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+
+
+def _load(name: str, filename: str):
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(BENCH_DIR, filename)
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="session")
+def bench_conftest():
+    return _load("bench_conftest", "conftest.py")
+
+
+@pytest.fixture(scope="session")
+def trajectory():
+    return _load("bench_trajectory", "trajectory.py")
+
+
+@pytest.fixture(scope="session")
+def run_all():
+    return _load("bench_run_all", "run_all.py")

@@ -1,0 +1,181 @@
+"""Flight recorder: ring bounds, seq numbers, span correlation, JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_JOURNAL,
+    EventJournal,
+    Telemetry,
+    Tracer,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestEmit:
+    def test_events_carry_seq_ts_type_and_fields(self):
+        clock = FakeClock(10.0)
+        j = EventJournal(clock=clock)
+        j.emit("retry", cell=3, attempt=0)
+        clock.advance(1.5)
+        j.emit("pool_rebuild", generation=1)
+        events = j.events()
+        assert [(e.seq, e.ts, e.type) for e in events] == [
+            (0, 10.0, "retry"),
+            (1, 11.5, "pool_rebuild"),
+        ]
+        assert events[0].fields == {"cell": 3, "attempt": 0}
+
+    def test_seq_property_is_the_next_number(self):
+        j = EventJournal(clock=FakeClock())
+        assert j.seq == 0
+        j.emit("a")
+        j.emit("b")
+        assert j.seq == 2
+
+    def test_span_id_of_the_active_span_is_stamped(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        j = EventJournal(clock=clock, tracer=tr)
+        j.emit("outside")
+        with tr.span("grid"):
+            with tr.span("dispatch") as sp:
+                j.emit("inside")
+                inner_id = sp.id
+        events = j.events()
+        assert events[0].span_id is None
+        assert events[1].span_id == inner_id
+
+    def test_emit_without_tracer_has_none_span_id(self):
+        j = EventJournal(clock=FakeClock())
+        assert j.emit("x").span_id is None
+
+
+class TestRingBounds:
+    def test_overflow_drops_oldest_and_counts(self):
+        j = EventJournal(maxlen=3, clock=FakeClock())
+        for i in range(5):
+            j.emit("e", i=i)
+        assert j.dropped == 2
+        assert [e.fields["i"] for e in j.events()] == [2, 3, 4]
+        # seq gaps reveal exactly where history went
+        assert [e.seq for e in j.events()] == [2, 3, 4]
+
+    def test_type_counters_survive_eviction(self):
+        j = EventJournal(maxlen=2, clock=FakeClock())
+        for _ in range(4):
+            j.emit("retry")
+        j.emit("isolate")
+        assert j.counts() == {"isolate": 1, "retry": 4}
+        assert j.stats() == {
+            "emitted": 5,
+            "retained": 2,
+            "dropped": 3,
+            "maxlen": 2,
+            "by_type": {"isolate": 1, "retry": 4},
+        }
+
+    def test_maxlen_validated(self):
+        with pytest.raises(Exception):
+            EventJournal(maxlen=0)
+
+
+class TestAccessors:
+    def test_filter_by_type_and_since_seq(self):
+        j = EventJournal(clock=FakeClock())
+        j.emit("retry", cell=0)
+        j.emit("isolate")
+        j.emit("retry", cell=1)
+        assert [e.fields["cell"] for e in j.events("retry")] == [0, 1]
+        assert [e.type for e in j.events(since_seq=1)] == ["isolate", "retry"]
+
+    def test_slice_is_half_open_on_seq(self):
+        j = EventJournal(clock=FakeClock())
+        for i in range(5):
+            j.emit("e", i=i)
+        sliced = j.slice(1, 4)
+        assert [d["seq"] for d in sliced] == [1, 2, 3]
+        assert sliced[0] == {
+            "seq": 1, "ts": 0.0, "type": "e", "span_id": None,
+            "fields": {"i": 1},
+        }
+
+    def test_clear_resets_everything(self):
+        j = EventJournal(maxlen=1, clock=FakeClock())
+        j.emit("a")
+        j.emit("a")
+        j.clear()
+        assert j.seq == 0 and j.dropped == 0
+        assert j.events() == [] and j.counts() == {}
+
+
+class TestJsonl:
+    def test_one_sorted_json_object_per_line(self, tmp_path):
+        clock = FakeClock(1.0)
+        j = EventJournal(clock=clock)
+        j.emit("retry", cell=2, error="Crash")
+        j.emit("cell_failed", cell=2)
+        text = j.to_jsonl()
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "seq": 0, "ts": 1.0, "type": "retry", "span_id": None,
+            "fields": {"cell": 2, "error": "Crash"},
+        }
+        # keys are sorted for byte-stable replay artifacts
+        assert lines[0].index('"fields"') < lines[0].index('"seq"')
+        path = tmp_path / "journal.jsonl"
+        assert j.write_jsonl(str(path)) == 2
+        assert path.read_text() == text
+
+    def test_unjsonable_fields_fall_back_to_repr(self):
+        j = EventJournal(clock=FakeClock())
+        j.emit("odd", payload=object())
+        line = json.loads(j.to_jsonl().strip())
+        assert line["fields"]["payload"].startswith("<object object")
+
+
+class TestNullJournal:
+    def test_emit_is_a_noop(self):
+        assert NULL_JOURNAL.emit("x", a=1) is None
+        assert NULL_JOURNAL.seq == 0
+        assert NULL_JOURNAL.events() == []
+        assert NULL_JOURNAL.slice(0) == []
+        assert NULL_JOURNAL.counts() == {}
+        assert NULL_JOURNAL.to_jsonl() == ""
+        assert NULL_JOURNAL.stats()["emitted"] == 0
+
+    def test_write_jsonl_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert NULL_JOURNAL.write_jsonl(str(path)) == 0
+        assert path.read_text() == ""
+
+
+class TestTelemetryIntegration:
+    def test_enabled_telemetry_builds_a_wired_journal(self):
+        clock = FakeClock()
+        tel = Telemetry(clock=clock, journal_size=7)
+        assert isinstance(tel.journal, EventJournal)
+        assert tel.journal.maxlen == 7
+        with tel.span("grid") as sp:
+            tel.emit("pool_fallback", reason="workers=1")
+        ev = tel.journal.events()[0]
+        assert ev.span_id == sp.id
+        assert ev.ts == clock.now
+
+    def test_disabled_telemetry_gets_the_null_journal(self):
+        tel = Telemetry.disabled()
+        assert tel.journal is NULL_JOURNAL
+        assert tel.emit("x") is None

@@ -293,3 +293,37 @@ class TestInjectableClock:
         with tel.span("s") as sp:
             clock.advance(2.0)
         assert sp.duration == pytest.approx(2.0)
+
+
+class TestHelpLines:
+    """# HELP format pins: before # TYPE, once per name across label sets."""
+
+    def test_help_precedes_type_for_every_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("quotes_total", help="quotes served").inc()
+        reg.gauge("depth", help="queue depth").set(1)
+        reg.histogram("lat", help="latency seconds").observe(0.1)
+        text = reg.to_prometheus()
+        for name in ("quotes_total", "depth", "lat"):
+            assert text.index(f"# HELP {name} ") < text.index(
+                f"# TYPE {name} "
+            )
+
+    def test_help_emitted_once_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "served", labels={"outcome": "hit"}, help="serves by outcome"
+        ).inc()
+        reg.counter(
+            "served", labels={"outcome": "miss"}, help="serves by outcome"
+        ).inc(2)
+        text = reg.to_prometheus()
+        assert text.count("# HELP served serves by outcome\n") == 1
+        assert text.count("# TYPE served counter\n") == 1
+
+    def test_no_help_string_means_no_help_line(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc()
+        text = reg.to_prometheus()
+        assert "# HELP" not in text
+        assert "# TYPE plain counter" in text

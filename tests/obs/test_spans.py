@@ -4,7 +4,7 @@ import sys
 
 import pytest
 
-from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+from repro.obs import NULL_SPAN, NULL_TRACER, Telemetry, Tracer
 
 
 class FakeClock:
@@ -129,3 +129,46 @@ class TestNullTracer:
                 span.set(a=1)
         after = sys.getallocatedblocks()
         assert after - before <= 2
+
+
+class TestSpanIds:
+    def test_ids_are_unique_and_stable_in_as_dict(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("grid") as g:
+            with tr.span("dispatch") as d:
+                pass
+        assert g.id != d.id
+        root = tr.last_trace()
+        assert root["id"] == g.id
+        assert root["children"][0]["id"] == d.id
+
+    def test_ids_count_per_tracer(self):
+        a, b = Tracer(clock=FakeClock()), Tracer(clock=FakeClock())
+        assert a.span("x").id == 1
+        assert a.span("y").id == 2
+        assert b.span("z").id == 1  # independent sequence per tracer
+
+    def test_null_span_id_is_none(self):
+        assert NULL_SPAN.id is None
+
+
+class TestTelemetryCaps:
+    """Retention caps are reachable through the Telemetry facade."""
+
+    def test_constructor_caps_reach_the_tracer(self):
+        tel = Telemetry(clock=FakeClock(), max_traces=3, max_children=2)
+        assert tel.tracer.max_traces == 3
+        assert tel.tracer.max_children == 2
+        for i in range(5):
+            with tel.span(f"r{i}"):
+                for child in ("a", "b", "c"):
+                    with tel.span(child):
+                        pass
+        forest = tel.tracer.to_json()["traces"]
+        assert [t["name"] for t in forest] == ["r2", "r3", "r4"]
+        assert all(t["dropped_children"] == 1 for t in forest)
+
+    def test_defaults_match_the_pre_parameterised_behaviour(self):
+        tel = Telemetry(clock=FakeClock())
+        assert tel.tracer.max_traces == 16
+        assert tel.tracer.max_children == 256

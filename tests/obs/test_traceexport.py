@@ -1,0 +1,211 @@
+"""Chrome trace export: event mapping, merging, worker tracks, validator."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    Tracer,
+    chrome_trace,
+    merge_chrome_traces,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _x_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] == "X"]
+
+
+def _make_forest():
+    clock = FakeClock(100.0)
+    tr = Tracer(clock=clock)
+    with tr.span("grid", cells=8):
+        clock.advance(0.5)
+        with tr.span("dispatch"):
+            clock.advance(1.0)
+    return tr
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events_in_microseconds(self):
+        trace = chrome_trace(_make_forest())
+        validate_chrome_trace(trace)
+        xs = _x_events(trace)
+        assert [e["name"] for e in xs] == ["grid", "dispatch"]
+        grid, dispatch = xs
+        # relative to the earliest start, scaled to µs
+        assert grid["ts"] == 0.0
+        assert grid["dur"] == pytest.approx(1.5e6)
+        assert dispatch["ts"] == pytest.approx(0.5e6)
+        assert dispatch["dur"] == pytest.approx(1.0e6)
+        assert grid["args"]["cells"] == 8
+        # span ids ride along for journal correlation
+        assert grid["args"]["span_id"] != dispatch["args"]["span_id"]
+
+    def test_accepts_tracer_forest_dict_or_root_list(self):
+        tr = _make_forest()
+        forest = tr.to_json()
+        for source in (tr, forest, forest["traces"]):
+            names = [e["name"] for e in _x_events(chrome_trace(source))]
+            assert names == ["grid", "dispatch"]
+
+    def test_metadata_names_the_process(self):
+        trace = chrome_trace(_make_forest(), process_name="svc")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {"name": "svc"} in [m["args"] for m in meta]
+
+    def test_required_top_level_keys(self):
+        trace = chrome_trace(_make_forest())
+        assert "traceEvents" in trace
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_empty_forest_exports_and_validates(self):
+        trace = chrome_trace(Tracer(clock=FakeClock()))
+        validate_chrome_trace(trace)
+        assert _x_events(trace) == []
+
+
+class TestMergedForests:
+    def test_each_forest_gets_its_own_pid_on_a_shared_origin(self):
+        clock = FakeClock(50.0)
+        a, b = Tracer(clock=clock), Tracer(clock=clock)
+        with a.span("quote"):
+            clock.advance(1.0)
+        with b.span("quote"):
+            clock.advance(2.0)
+        trace = merge_chrome_traces({"svc-a": a, "svc-b": b})
+        validate_chrome_trace(trace)
+        xs = _x_events(trace)
+        assert len({e["pid"] for e in xs}) == 2
+        # b started 1 s after a on the shared clock
+        by_pid = sorted(xs, key=lambda e: e["pid"])
+        assert by_pid[0]["ts"] == 0.0
+        assert by_pid[1]["ts"] == pytest.approx(1.0e6)
+
+
+class TestWorkerTracks:
+    def test_chunks_land_on_separate_worker_pids(self):
+        tracks = [
+            {"pid": 901, "tid": 1, "lo": 0, "hi": 4, "t0": 10.0, "t1": 11.0},
+            {"pid": 902, "tid": 1, "lo": 4, "hi": 8, "t0": 10.2, "t1": 11.5},
+        ]
+        trace = chrome_trace(
+            Tracer(clock=FakeClock()), worker_tracks=tracks
+        )
+        validate_chrome_trace(trace)
+        xs = _x_events(trace)
+        assert [e["name"] for e in xs] == ["chunk[0:4)", "chunk[4:8)"]
+        assert len({e["pid"] for e in xs}) == 2
+        assert xs[0]["ts"] == 0.0
+        assert xs[1]["ts"] == pytest.approx(0.2e6)
+        assert xs[1]["dur"] == pytest.approx(1.3e6)
+        assert xs[0]["args"] == {"lo": 0, "hi": 4, "worker_pid": 901}
+
+    def test_worker_names_appear_in_metadata(self):
+        tracks = [
+            {"pid": 77, "tid": 5, "lo": 0, "hi": 2, "t0": 0.0, "t1": 1.0},
+        ]
+        trace = chrome_trace(Tracer(clock=FakeClock()), worker_tracks=tracks)
+        names = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert "worker pid=77" in names
+
+
+class TestWriteChromeTrace:
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), chrome_trace(_make_forest()))
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+        assert [e["name"] for e in _x_events(loaded)] == ["grid", "dispatch"]
+
+    def test_invalid_trace_is_rejected_before_writing(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with pytest.raises(ValueError):
+            write_chrome_trace(str(path), {"traceEvents": [{"ph": "X"}]})
+        assert not path.exists()
+
+
+class TestValidator:
+    def _base(self, **over):
+        ev = {"ph": "X", "name": "s", "ts": 0.0, "dur": 1.0,
+              "pid": 1, "tid": 1}
+        ev.update(over)
+        return ev
+
+    def test_accepts_well_formed_x_events(self):
+        validate_chrome_trace({"traceEvents": [self._base()]})
+
+    def test_missing_required_key_raises(self):
+        for key in ("ph", "pid", "tid", "name"):
+            ev = self._base()
+            del ev[key]
+            with pytest.raises(ValueError, match=key):
+                validate_chrome_trace({"traceEvents": [ev]})
+
+    def test_negative_ts_or_dur_raises(self):
+        with pytest.raises(ValueError, match="invalid ts"):
+            validate_chrome_trace({"traceEvents": [self._base(ts=-1.0)]})
+        with pytest.raises(ValueError, match="invalid dur"):
+            validate_chrome_trace({"traceEvents": [self._base(dur=-1.0)]})
+
+    def test_backwards_ts_on_one_track_raises(self):
+        events = [self._base(ts=5.0), self._base(ts=1.0)]
+        with pytest.raises(ValueError, match="backwards"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_separate_tracks_keep_independent_clocks(self):
+        events = [self._base(ts=5.0), self._base(ts=1.0, tid=2)]
+        validate_chrome_trace({"traceEvents": events})
+
+    def test_b_e_pairs_must_match_and_close(self):
+        b = {"ph": "B", "name": "s", "ts": 0.0, "pid": 1, "tid": 1}
+        e = {"ph": "E", "name": "s", "ts": 1.0, "pid": 1, "tid": 1}
+        validate_chrome_trace({"traceEvents": [b, e]})
+        with pytest.raises(ValueError, match="no open B"):
+            validate_chrome_trace({"traceEvents": [e]})
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_chrome_trace({"traceEvents": [b]})
+        wrong = dict(e, name="other")
+        with pytest.raises(ValueError, match="does not match"):
+            validate_chrome_trace({"traceEvents": [b, wrong]})
+
+    def test_unknown_phase_and_shape_rejected(self):
+        with pytest.raises(ValueError, match="unsupported phase"):
+            validate_chrome_trace({"traceEvents": [self._base(ph="Q")]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+
+class TestEndToEnd:
+    def test_telemetry_run_round_trips_through_the_exporter(self):
+        clock = FakeClock()
+        tel = Telemetry(clock=clock)
+        with tel.span("quote"):
+            with tel.span("canonicalize"):
+                clock.advance(0.1)
+            with tel.span("cache_lookup"):
+                clock.advance(0.2)
+        trace = chrome_trace(tel.tracer, process_name="quote-service")
+        validate_chrome_trace(trace)
+        assert [e["name"] for e in _x_events(trace)] == [
+            "quote", "canonicalize", "cache_lookup",
+        ]

@@ -1,0 +1,143 @@
+"""Slow-quote exemplars: top-K per outcome, trace + journal slice."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.options.contract import paper_benchmark_spec
+from repro.resilience import Deadline
+from repro.service import QuoteService
+
+SPEC = paper_benchmark_spec()
+
+
+def strikes(n, lo=100.0, hi=160.0):
+    step = (hi - lo) / max(n - 1, 1)
+    return [
+        dataclasses.replace(SPEC, strike=lo + i * step) for i in range(n)
+    ]
+
+
+class TestCapture:
+    def test_exemplars_grouped_by_outcome(self):
+        tel = Telemetry()
+        svc = QuoteService(telemetry=tel)
+        svc.quote(SPEC, 96)  # miss
+        svc.quote(SPEC, 96)  # hit
+        ex = svc.stats()["exemplars"]
+        assert set(ex) == {"hit", "miss"}
+        assert [e["outcome"] for e in ex["miss"]] == ["miss"]
+
+    def test_exemplar_carries_trace_and_duration(self):
+        svc = QuoteService(telemetry=Telemetry())
+        svc.quote(SPEC, 96)
+        (ex,) = svc.stats()["exemplars"]["miss"]
+        assert ex["duration_s"] > 0.0
+        assert ex["trace"]["name"] == "quote"
+        children = [c["name"] for c in ex["trace"]["children"]]
+        assert children[:2] == ["canonicalize", "cache_lookup"]
+        lo, hi = ex["seq_range"]
+        assert lo <= hi
+
+    def test_top_k_slowest_retained_per_outcome(self):
+        svc = QuoteService(telemetry=Telemetry(), exemplars=2)
+        for spec in strikes(5):
+            svc.quote(spec, 96)  # five cold misses
+        bucket = svc.stats()["exemplars"]["miss"]
+        assert len(bucket) == 2
+        durs = [e["duration_s"] for e in bucket]
+        assert durs == sorted(durs, reverse=True)
+
+    def test_zero_k_disables_capture(self):
+        svc = QuoteService(telemetry=Telemetry(), exemplars=0)
+        svc.quote(SPEC, 96)
+        assert svc.stats()["exemplars"] == {}
+        assert svc.explain_slowest() == []
+
+    def test_disabled_telemetry_captures_nothing(self):
+        svc = QuoteService(telemetry=Telemetry.disabled())
+        svc.quote(SPEC, 96)
+        assert "exemplars" not in svc.stats()
+        assert svc.explain_slowest() == []
+
+
+class TestJournalCorrelation:
+    def test_stale_exemplar_includes_the_stale_serve_event(self):
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        tel = Telemetry()
+        svc = QuoteService(
+            telemetry=tel, ttl=10.0, stale_grace=60.0, clock=clock,
+        )
+        svc.quote(SPEC, 96)
+        clock.now = 20.0  # expired, inside the grace
+        r = svc.quote(SPEC, 96, deadline=Deadline(0.0, clock=clock))
+        assert r.meta["cache"] == "stale"
+        (ex,) = svc.stats()["exemplars"]["stale"]
+        types = [e["type"] for e in ex["journal"]]
+        assert "stale_serve" in types
+        stale_events = [
+            e for e in ex["journal"] if e["type"] == "stale_serve"
+        ]
+        # the event was emitted inside this quote's span tree
+        assert stale_events[0]["span_id"] == ex["trace"]["id"]
+        assert stale_events[0]["fields"]["reason"] == "deadline"
+
+    def test_journal_slice_excludes_earlier_traffic(self):
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        tel = Telemetry()
+        svc = QuoteService(
+            telemetry=tel, ttl=10.0, stale_grace=60.0, clock=clock,
+            exemplars=1,
+        )
+        a, b = strikes(2)
+        svc.quote(a, 96)
+        svc.quote(b, 96)
+        clock.now = 20.0
+        svc.quote(a, 96, deadline=Deadline(0.0, clock=clock))
+        svc.quote(b, 96, deadline=Deadline(0.0, clock=clock))
+        (ex,) = svc.stats()["exemplars"]["stale"]
+        lo, hi = ex["seq_range"]
+        assert all(lo <= e["seq"] < hi for e in ex["journal"])
+        # only this quote's events, not the other stale serve's
+        assert (
+            len([e for e in ex["journal"] if e["type"] == "stale_serve"])
+            == 1
+        )
+
+
+class TestExplainSlowest:
+    def test_ranks_across_outcomes_slowest_first(self):
+        svc = QuoteService(telemetry=Telemetry())
+        svc.quote(SPEC, 96)
+        svc.quote(SPEC, 96)
+        top = svc.explain_slowest(n=2)
+        assert len(top) == 2
+        assert top[0]["duration_s"] >= top[1]["duration_s"]
+        # a cold solve dwarfs a warm lookup
+        assert top[0]["outcome"] == "miss"
+
+    def test_outcome_filter(self):
+        svc = QuoteService(telemetry=Telemetry())
+        svc.quote(SPEC, 96)
+        svc.quote(SPEC, 96)
+        hits = svc.explain_slowest(outcome="hit", n=5)
+        assert [e["outcome"] for e in hits] == ["hit"]
+        assert svc.explain_slowest(outcome="stale") == []
+
+    def test_n_validated(self):
+        svc = QuoteService(telemetry=Telemetry())
+        with pytest.raises(Exception):
+            svc.explain_slowest(n=0)

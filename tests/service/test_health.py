@@ -1,0 +1,144 @@
+"""QuoteService.health(): status boundary transitions on a fake clock.
+
+``status`` ladder: ``ok`` → ``degraded`` (any bucket breaker not closed)
+→ ``overloaded`` (pending queue full), and back to ``ok`` when the
+breaker closes / the queue drains.  Each boundary is pinned from both
+sides so a probe can rely on the exact transition points.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.options.contract import Right, paper_benchmark_spec
+from repro.resilience import BreakerPolicy
+from repro.service import QuoteService
+
+SPEC = paper_benchmark_spec()
+PUT = SPEC.with_right(Right.PUT)
+# passes canonicalization, dies in the FD solver (Theorem 4.3 violation)
+BAD_BSM_PUT = dataclasses.replace(PUT, dividend_yield=0.0, rate=0.9)
+GOOD_BSM_PUT = dataclasses.replace(PUT, dividend_yield=0.0)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+def strikes(n, lo=100.0, hi=160.0):
+    return [
+        dataclasses.replace(SPEC, strike=k) for k in np.linspace(lo, hi, n)
+    ]
+
+
+def make_service(fake_clock, **kw):
+    defaults = dict(
+        model="bsm-fd",
+        breaker=BreakerPolicy(failure_threshold=2, reset_timeout=30.0),
+        clock=fake_clock,
+    )
+    defaults.update(kw)
+    return QuoteService(**defaults)
+
+
+def trip(svc, n=2):
+    for _ in range(n):
+        with pytest.raises(Exception):
+            svc.quote(BAD_BSM_PUT, 8)
+
+
+class TestOkToDegraded:
+    def test_fresh_service_is_ok(self, fake_clock):
+        h = make_service(fake_clock).health()
+        assert h["status"] == "ok"
+        assert h["open_breakers"] == []
+        assert h["pending"] == 0
+
+    def test_failures_below_threshold_stay_ok(self, fake_clock):
+        svc = make_service(fake_clock)
+        trip(svc, n=1)  # threshold is 2 — one failure keeps it closed
+        assert svc.health()["status"] == "ok"
+
+    def test_threshold_failure_flips_to_degraded(self, fake_clock):
+        svc = make_service(fake_clock)
+        trip(svc, n=2)
+        h = svc.health()
+        assert h["status"] == "degraded"
+        assert h["open_breakers"] == ["bsm-fd/fft/8"]
+
+    def test_half_open_is_still_degraded(self, fake_clock):
+        svc = make_service(fake_clock)
+        trip(svc)
+        fake_clock.advance(30.0)  # reset timeout elapsed, probe not yet run
+        assert svc.health()["status"] == "degraded"
+
+
+class TestDegradedRecovery:
+    def test_successful_probe_closes_and_returns_ok(self, fake_clock):
+        svc = make_service(fake_clock)
+        trip(svc)
+        assert svc.health()["status"] == "degraded"
+        fake_clock.advance(30.0)
+        svc.quote(GOOD_BSM_PUT, 8)  # half-open probe succeeds → closed
+        h = svc.health()
+        assert h["status"] == "ok"
+        assert h["open_breakers"] == []
+
+    def test_failed_probe_stays_degraded(self, fake_clock):
+        svc = make_service(fake_clock)
+        trip(svc)
+        fake_clock.advance(30.0)
+        with pytest.raises(Exception):
+            svc.quote(BAD_BSM_PUT, 8)  # probe fails → re-open
+        assert svc.health()["status"] == "degraded"
+
+
+class TestOverloaded:
+    def test_queue_below_bound_is_ok(self, fake_clock):
+        svc = QuoteService(max_pending=2, clock=fake_clock)
+        svc.submit(SPEC, 96, block=False)
+        h = svc.health()
+        assert h["status"] == "ok"
+        assert h["pending"] == 1
+
+    def test_full_queue_flips_to_overloaded(self, fake_clock):
+        svc = QuoteService(max_pending=2, clock=fake_clock)
+        for spec in strikes(2):
+            svc.submit(spec, 96, block=False)
+        h = svc.health()
+        assert h["status"] == "overloaded"
+        assert h["pending"] == 2 and h["max_pending"] == 2
+
+    def test_overloaded_outranks_degraded(self, fake_clock):
+        svc = make_service(fake_clock, max_pending=2)
+        trip(svc)
+        # bsm-fd prices American puts only — queue put contracts
+        for k in (100.0, 110.0):
+            svc.submit(
+                dataclasses.replace(GOOD_BSM_PUT, strike=k), 96,
+                block=False,
+            )
+        assert svc.health()["status"] == "overloaded"
+
+    def test_flush_drains_back_to_ok(self, fake_clock):
+        svc = QuoteService(max_pending=2, clock=fake_clock)
+        tickets = [svc.submit(s, 96, block=False) for s in strikes(2)]
+        assert svc.health()["status"] == "overloaded"
+        svc.flush()
+        h = svc.health()
+        assert h["status"] == "ok"
+        assert h["pending"] == 0
+        assert all(t.done() for t in tickets)
