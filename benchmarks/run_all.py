@@ -59,6 +59,7 @@ validate_report = _load_sibling("bench_conftest", "conftest.py").validate_report
 trajectory = _load_sibling("bench_trajectory", "trajectory.py")
 TRAJECTORY_PATH = trajectory.TRAJECTORY_PATH
 append_row = trajectory.append_row
+upsert_row = trajectory.upsert_row
 build_row = trajectory.build_row
 check_regression = trajectory.check_regression
 last_comparable = trajectory.last_comparable
@@ -75,6 +76,7 @@ BENCHES = (
     ("implied", "bench_implied.py", "--smoke"),
     ("resilience", "bench_resilience.py", "--smoke"),
     ("obs", "bench_obs.py", "--smoke"),
+    ("spectral", "bench_spectral.py", "--smoke"),
 )
 
 
@@ -183,6 +185,11 @@ def main(argv=None) -> int:
         help="with --check: report regressions but exit 0 (CI report-only)",
     )
     parser.add_argument(
+        "--force", action="store_true",
+        help="re-measuring an already-recorded commit+mode replaces its "
+        "trajectory row instead of being skipped",
+    )
+    parser.add_argument(
         "--trace-out",
         default=os.path.join(REPO_ROOT, "results", "run_all_trace.json"),
         help="Perfetto trace artifact for the suite run",
@@ -194,8 +201,21 @@ def main(argv=None) -> int:
 
     history = load_rows(args.trajectory)
     baseline = last_comparable(history, row)
-    append_row(args.trajectory, row)
-    print(f"[run_all] appended row {len(history) + 1} to {args.trajectory}")
+    outcome = upsert_row(args.trajectory, row, force=args.force)
+    if outcome == "skipped":
+        print(
+            f"[run_all] commit {row.get('commit')} (smoke={row['smoke']}) "
+            f"already recorded in {args.trajectory}; --force replaces it"
+        )
+    elif outcome == "replaced":
+        print(
+            f"[run_all] replaced trajectory row for commit "
+            f"{row.get('commit')} in {args.trajectory}"
+        )
+    else:
+        print(
+            f"[run_all] appended row {len(history) + 1} to {args.trajectory}"
+        )
 
     os.makedirs(os.path.dirname(args.trace_out), exist_ok=True)
     export_suite_trace(reports, args.trace_out)

@@ -99,6 +99,42 @@ def append_row(path: str, row: dict) -> None:
         fh.write(json.dumps(row, sort_keys=True) + "\n")
 
 
+def upsert_row(path: str, row: dict, *, force: bool = False) -> str:
+    """Record ``row``, deduplicating re-runs of the same experiment.
+
+    A row duplicates an existing one when both ``commit`` and ``smoke``
+    match — same code, same sizes — so re-running the suite on an
+    unchanged checkout would otherwise stack identical-key rows and skew
+    per-commit plots.  Duplicates are **skipped** by default;
+    ``force=True`` replaces the last matching row in place (history
+    order preserved) for deliberately re-measuring a commit, e.g. on a
+    quieter host.  Rows with no commit (outside a git checkout) are
+    always appended — there is nothing to key on.  Returns what
+    happened: ``"appended"``, ``"skipped"`` or ``"replaced"``.
+    """
+    commit = row.get("commit")
+    if commit is not None:
+        rows = load_rows(path)
+        matches = [
+            i
+            for i, prev in enumerate(rows)
+            if prev.get("commit") == commit
+            and prev.get("smoke") == row.get("smoke")
+        ]
+        if matches:
+            if not force:
+                return "skipped"
+            rows[matches[-1]] = row
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                for prev in rows:
+                    fh.write(json.dumps(prev, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+            return "replaced"
+    append_row(path, row)
+    return "appended"
+
+
 def load_rows(path: str) -> list:
     """All rows, oldest first; a missing file is an empty history."""
     if not os.path.exists(path):

@@ -1,0 +1,112 @@
+"""Tiered quotes: serve a ~1e-3 spectral answer now, lattice-exact next.
+
+Walks the full tier ladder on one American put:
+
+1. ``tier="fast"`` — the first quote pays a ~ms Chebyshev collocation
+   solve instead of a lattice sweep, is stamped ``meta["tier"]`` /
+   ``meta["tolerance"]``, and queues the exact lattice upgrade behind
+   itself on the service's pending queue.
+2. ``flush()`` drains the queue; the *same* contract now serves from the
+   exact slot — ``tier="auto"`` picks it up bit-identical to a plain
+   lattice quote, tolerance 0.
+3. Graceful degradation — with ``spectral_fallback=True`` a quote whose
+   deadline is already spent serves the marked spectral answer
+   (``meta["degraded_to"]``) instead of raising.
+4. A mixed :class:`~repro.risk.grid.ScenarioGrid`: per-cell backends
+   route the deep-OTM wing cells to the spectral pricer while the rest
+   stay on the exact lattice, each result labelled ``meta["backend"]``.
+
+Run: ``python examples/tiered_quotes.py --steps 256``
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.options.contract import OptionSpec, Right, Style
+from repro.resilience import Deadline
+from repro.risk import ScenarioEngine, ScenarioGrid
+from repro.service import QuoteService
+from repro.util.tables import format_table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=256)
+    args = parser.parse_args()
+
+    put = OptionSpec(
+        spot=100.0, strike=100.0, rate=0.04, volatility=0.25,
+        dividend_yield=0.02, expiry_days=252.0, right=Right.PUT,
+        style=Style.AMERICAN,
+    )
+
+    # -- 1 + 2: fast now, exact next ----------------------------------- #
+    svc = QuoteService(steps_default=args.steps)
+
+    t0 = time.perf_counter()
+    fast = svc.quote(put, tier="fast")
+    fast_ms = (time.perf_counter() - t0) * 1e3
+    print(
+        f"tier=fast   price {fast.price:.6f}  "
+        f"(tolerance {fast.meta['tolerance']:g}, "
+        f"backend {fast.meta['backend']}, {fast_ms:.2f} ms)"
+    )
+    print(f"pending exact upgrades queued: {svc.health()['pending']}")
+
+    svc.flush()  # drain the upgrade; the exact slot is now warm
+
+    t0 = time.perf_counter()
+    exact = svc.quote(put, tier="auto")
+    exact_ms = (time.perf_counter() - t0) * 1e3
+    print(
+        f"tier={exact.meta['tier']}  price {exact.price:.6f}  "
+        f"(tolerance {exact.meta['tolerance']:g}, cache "
+        f"{exact.meta['cache']}, {exact_ms:.3f} ms)"
+    )
+    rel = abs(fast.price - exact.price) / exact.price
+    print(f"fast vs exact relative error: {rel:.2e}\n")
+
+    # -- 3: graceful degradation --------------------------------------- #
+    degraded_svc = QuoteService(
+        steps_default=args.steps, spectral_fallback=True
+    )
+    spent = Deadline(0.0)  # budget already gone before the solve starts
+    result = degraded_svc.quote(put, deadline=spent)
+    print(
+        f"spent deadline served anyway: degraded_to="
+        f"{result.meta['degraded_to']} "
+        f"(reason {result.meta['degrade_reason']}, "
+        f"tolerance {result.meta['tolerance']:g})\n"
+    )
+
+    # -- 4: mixed per-cell backends on one scenario grid ---------------- #
+    grid = ScenarioGrid.cartesian(
+        put, spot_bumps=(-0.3, -0.15, 0.0, 0.15, 0.3)
+    ).with_backends(
+        # deep wings tolerate the ~1e-3 tier; the core stays exact
+        lambda cell: "spectral" if abs(cell.spec.spot / put.strike - 1.0) > 0.2
+        else None
+    )
+    engine = ScenarioEngine(backend="serial")
+    sweep = engine.price_grid(grid, args.steps)
+
+    print("mixed grid, per-cell backends:")
+    rows = [
+        [f"{cell.spec.spot:.2f}", f"{r.price:.6f}", r.meta["backend"]]
+        for cell, r in zip(grid.cells, sweep.results)
+    ]
+    print(format_table(["spot", "price", "backend"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,12 @@ from repro.core.api import (
     solve_batch,
     exercise_boundary,
 )
+from repro.core.backend import (
+    PricerBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.resilience import (
     BreakerPolicy,
     CircuitBreaker,
@@ -94,7 +100,11 @@ __all__ = [
     "american_greeks",
     "greeks_many",
     "AmericanGreeks",
+    "PricerBackend",
     "PricingResult",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "ScenarioEngine",
     "ScenarioGrid",
     "ScenarioResult",

@@ -2,6 +2,7 @@
 
 from repro.core.api import (
     BoundaryCurve,
+    LatticeBackend,
     PricingResult,
     exercise_boundary,
     price_american,
@@ -9,6 +10,12 @@ from repro.core.api import (
     price_european,
     price_many,
     solve_batch,
+)
+from repro.core.backend import (
+    PricerBackend,
+    backend_names,
+    get_backend,
+    register_backend,
 )
 from repro.core.bermudan import (
     price_bsm_european_fft,
@@ -34,7 +41,12 @@ from repro.core.weights import (
 
 __all__ = [
     "BoundaryCurve",
+    "LatticeBackend",
+    "PricerBackend",
     "PricingResult",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "exercise_boundary",
     "price_american",
     "price_bermudan",

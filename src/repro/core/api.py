@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.baselines.registry import BASELINES
+from repro.core.backend import get_backend, register_backend
 from repro.core.bermudan import (
     price_bsm_european_fft,
     price_tree_bermudan_fft,
@@ -133,6 +134,7 @@ def price_american(
     policy: AdvancePolicy = DEFAULT_POLICY,
     engine: Optional[AdvanceEngine] = None,
     return_boundary: bool = False,
+    backend: str = "lattice",
 ) -> PricingResult:
     """Price an American option (see module docstring for model/method).
 
@@ -147,6 +149,13 @@ def price_american(
     * ``engine`` supplies a shared plan-caching
       :class:`~repro.core.fftstencil.AdvanceEngine` for the fft methods
       (see :func:`price_many`); default is a fresh engine per solve.
+    * ``backend`` selects the registered
+      :class:`~repro.core.backend.PricerBackend`: ``"lattice"`` (default)
+      is *this* module's historical solve path — exact, bit-identical to
+      every release before the registry existed — while ``"spectral"``
+      answers from the Chebyshev-collocation fast pricer
+      (:mod:`repro.core.spectral`) within its stated tolerance.  Every
+      result records the serving backend as ``meta["backend"]``.
     * American calls on a zero-dividend underlying are never exercised
       early (Merton 1973,
       :func:`repro.options.analytic.no_early_exercise_call`), so the tree
@@ -161,6 +170,26 @@ def price_american(
       lattice-solved would divide the discretisation gap by ``h``.  The
       dividend is never a bump axis, so the call shortcut cannot mix.
     """
+    return get_backend(backend).price_spec(
+        spec, steps, model=model, method=method, base=base, lam=lam,
+        policy=policy, engine=engine, return_boundary=return_boundary,
+    )
+
+
+def _lattice_price_spec(
+    spec: OptionSpec,
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+    return_boundary: bool = False,
+) -> PricingResult:
+    """The lattice backend's single-contract solve — the historical body
+    of :func:`price_american`, byte-for-byte."""
     steps = check_integer("steps", steps, minimum=1)
     _check_model_method(model, method)
     spec = spec.with_style(Style.AMERICAN)
@@ -482,6 +511,7 @@ def solve_batch(
     lam: Optional[float] = None,
     policy: AdvancePolicy = DEFAULT_POLICY,
     engine: Optional[AdvanceEngine] = None,
+    backend: str = "lattice",
 ) -> list[PricingResult]:
     """Price a batch of contracts in lockstep; results in input order.
 
@@ -507,7 +537,31 @@ def solve_batch(
     transform exactly as their standalone advances).  Non-``fft`` methods
     have no batched kernel to share and fall back to the per-contract loop.
     Bermudan contracts need explicit dates — use :func:`price_bermudan`.
+
+    ``backend`` routes the whole batch to another registered
+    :class:`~repro.core.backend.PricerBackend` (``"spectral"`` loops the
+    fast pricer over the batch, amortising its plan cache); the default
+    ``"lattice"`` is this module's historical lockstep path, bit-identical.
     """
+    return get_backend(backend).price_batch(
+        specs, steps, model=model, method=method, base=base, lam=lam,
+        policy=policy, engine=engine,
+    )
+
+
+def _lattice_price_batch(
+    specs: Sequence[OptionSpec],
+    steps: int,
+    *,
+    model: str = "binomial",
+    method: str = "fft",
+    base: Optional[int] = None,
+    lam: Optional[float] = None,
+    policy: AdvancePolicy = DEFAULT_POLICY,
+    engine: Optional[AdvanceEngine] = None,
+) -> list[PricingResult]:
+    """The lattice backend's lockstep batch — the historical body of
+    :func:`solve_batch`, byte-for-byte."""
     steps = check_integer("steps", steps, minimum=1)
     _check_model_method(model, method)
     for spec in specs:
@@ -527,6 +581,10 @@ def solve_batch(
                     policy=policy, engine=engine,
                 )
             else:
+                # through the module-global front door (not the private
+                # lattice body): callers monkeypatch price_american to
+                # count per-contract solves, and the indirection costs one
+                # registry lookup on a path that is per-contract anyway
                 results[i] = price_american(
                     spec, steps, model=model, method=method, base=base,
                     lam=lam, policy=policy, engine=engine,
@@ -552,7 +610,8 @@ def solve_batch(
         for i in amer_idx:
             spec = specs[i].with_style(Style.AMERICAN)
             if no_early_exercise_call(spec):
-                # the closed form needs no lattice — answer it directly
+                # the closed form needs no lattice — answer it directly,
+                # via the patchable module-global front door (see above)
                 results[i] = price_american(
                     spec, steps, model=model, method=method, base=base,
                     lam=lam, policy=policy, engine=engine,
@@ -618,6 +677,7 @@ def price_many(
     engine: Optional[AdvanceEngine] = None,
     workers: Optional[int] = None,
     backend: str = "process",
+    pricer: Optional[str] = None,
 ) -> list[PricingResult]:
     """Price a portfolio of contracts, amortising FFT plans across solves.
 
@@ -641,6 +701,12 @@ def price_many(
     across a real worker pool, each worker amortising its own plan-caching
     engine.  Incompatible with a shared ``engine`` (each worker owns one).
 
+    ``pricer`` names a registered :class:`~repro.core.backend.PricerBackend`
+    for the whole portfolio (``None`` keeps the exact ``"lattice"`` path,
+    bit-identical to before the backend registry existed).  Note the
+    distinction: ``backend`` here picks the *worker pool kind*, ``pricer``
+    picks the *numerical method*.
+
     Returns results in input order.
     """
     steps = check_integer("steps", steps, minimum=1)
@@ -652,6 +718,8 @@ def price_many(
         raise ValidationError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
         )
+    if pricer is not None:
+        get_backend(pricer)  # fail fast on unknown names
     if workers is not None:
         workers = check_integer("workers", workers, minimum=1)
 
@@ -675,6 +743,7 @@ def price_many(
         primaries = price_many(
             unique, steps, model=model, method=method, base=base, lam=lam,
             policy=policy, engine=engine, workers=workers, backend=backend,
+            pricer=pricer,
         )
         fanned: list[PricingResult] = []
         seen: set[int] = set()
@@ -705,7 +774,7 @@ def price_many(
             workers=workers, backend=backend, model=model, method=method,
             base=base, lam=lam, policy=policy,
         )
-        return scenario_engine.price_specs(list(specs), steps)
+        return scenario_engine.price_specs(list(specs), steps, pricer=pricer)
     if engine is None:
         engine = AdvanceEngine(policy)
     for spec in specs:
@@ -716,7 +785,7 @@ def price_many(
             )
     return solve_batch(
         specs, steps, model=model, method=method, base=base, lam=lam,
-        policy=policy, engine=engine,
+        policy=policy, engine=engine, backend=pricer or "lattice",
     )
 
 
@@ -821,3 +890,64 @@ def exercise_boundary(
         else np.empty(0, dtype=np.float64)
     )
     return BoundaryCurve(rows, idx, times, prices, model, method)
+
+
+class LatticeBackend:
+    """The paper's solvers as a registered :class:`PricerBackend`.
+
+    ``price_spec`` / ``price_batch`` *are* the historical bodies of
+    :func:`price_american` / :func:`solve_batch` — routing through this
+    backend is bit-identical to calling them before the registry existed.
+    The only addition is the ``meta["backend"]`` provenance stamp.
+    """
+
+    name = "lattice"
+    tolerance = 0.0
+    supports_boundary = True
+    supports_divider = True
+    supports_batching = True
+
+    def price_spec(
+        self,
+        spec: OptionSpec,
+        steps: int,
+        *,
+        model: str = "binomial",
+        method: str = "fft",
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+        policy: Optional[AdvancePolicy] = None,
+        engine: Optional[AdvanceEngine] = None,
+        return_boundary: bool = False,
+    ) -> PricingResult:
+        result = _lattice_price_spec(
+            spec, steps, model=model, method=method, base=base, lam=lam,
+            policy=DEFAULT_POLICY if policy is None else policy,
+            engine=engine, return_boundary=return_boundary,
+        )
+        result.meta.setdefault("backend", self.name)
+        return result
+
+    def price_batch(
+        self,
+        specs: Sequence[OptionSpec],
+        steps: int,
+        *,
+        model: str = "binomial",
+        method: str = "fft",
+        base: Optional[int] = None,
+        lam: Optional[float] = None,
+        policy: Optional[AdvancePolicy] = None,
+        engine: Optional[AdvanceEngine] = None,
+    ) -> list[PricingResult]:
+        results = _lattice_price_batch(
+            specs, steps, model=model, method=method, base=base, lam=lam,
+            policy=DEFAULT_POLICY if policy is None else policy,
+            engine=engine,
+        )
+        for result in results:
+            result.meta.setdefault("backend", self.name)
+        return results
+
+
+register_backend(LatticeBackend())

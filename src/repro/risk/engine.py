@@ -192,10 +192,35 @@ def _run_chunk(
     specs: Sequence[OptionSpec],
     steps: int,
     kwargs: dict,
+    pricers: Optional[Sequence[Optional[str]]] = None,
 ) -> tuple[list[PricingResult], float]:
-    """Price one chunk on ``engine``; returns (results, in-worker seconds)."""
+    """Price one chunk on ``engine``; returns (results, in-worker seconds).
+
+    ``pricers`` (mixed-backend grids only) names the pricer backend per
+    cell: the chunk is split into contiguous runs of equal backend, each
+    run batch-priced on its backend, so a uniform grid — ``pricers is
+    None`` — keeps the historical single ``price_many`` call byte-for-byte
+    and full-chunk dedup.  Mixed chunks dedup within each run; run-local
+    ``deduplicated_of`` indexes are rebased to the chunk here.
+    """
     t0 = time.perf_counter()
-    results = price_many(specs, steps, engine=engine, **kwargs)
+    if pricers is None:
+        results = price_many(specs, steps, engine=engine, **kwargs)
+    else:
+        results = []
+        lo = 0
+        n = len(specs)
+        while lo < n:
+            hi = lo + 1
+            while hi < n and pricers[hi] == pricers[lo]:
+                hi += 1
+            run = price_many(
+                specs[lo:hi], steps, engine=engine,
+                pricer=pricers[lo], **kwargs,
+            )
+            _rebase_dedup_indices(run, lo)
+            results.extend(run)
+            lo = hi
     return results, time.perf_counter() - t0
 
 
@@ -216,7 +241,8 @@ def _worker_track(lo: int, hi: int, t0: float, t1: float) -> dict:
 
 
 def _price_chunk(
-    payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy],
+    payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy,
+                   Optional[list]],
 ) -> tuple[int, list[PricingResult], float, dict, dict]:
     """Executor task: price one chunk on this worker's persistent engine.
 
@@ -228,11 +254,11 @@ def _price_chunk(
     exactly as the serial path reports its own.  The last element is the
     chunk's :func:`_worker_track` for trace export.
     """
-    start, specs, steps, kwargs, policy = payload
+    start, specs, steps, kwargs, policy, pricers = payload
     engine = _worker_engine(policy)
     before = engine.cache_info()
     t0 = time.perf_counter()
-    results, seconds = _run_chunk(engine, specs, steps, kwargs)
+    results, seconds = _run_chunk(engine, specs, steps, kwargs, pricers)
     t1 = time.perf_counter()
     delta = engine_delta(before, engine.cache_info())
     return start, results, seconds, delta, _worker_track(
@@ -242,7 +268,7 @@ def _price_chunk(
 
 def _price_cells(
     payload: tuple[int, list[OptionSpec], int, dict, AdvancePolicy, int,
-                   Optional[FaultPlan]],
+                   Optional[FaultPlan], Optional[list]],
 ) -> tuple[int, list[PricingResult], float, dict]:
     """Executor task for the *resilient* path: price a chunk cell by cell.
 
@@ -258,7 +284,7 @@ def _price_cells(
     re-dispatches and the surviving cells are simply re-priced —
     deterministic solves make the recompute free of answer drift.
     """
-    lo, specs, steps, kwargs, policy, attempt, plan = payload
+    lo, specs, steps, kwargs, policy, attempt, plan, pricers = payload
     engine = _worker_engine(policy)
     t0 = time.perf_counter()
     results: list[PricingResult] = []
@@ -266,7 +292,12 @@ def _price_cells(
         cell = lo + i
         if plan is not None:
             plan.before(cell, attempt)
-        r = price_many([spec], steps, engine=engine, **kwargs)[0]
+        if pricers is None:
+            r = price_many([spec], steps, engine=engine, **kwargs)[0]
+        else:
+            r = price_many(
+                [spec], steps, engine=engine, pricer=pricers[i], **kwargs
+            )[0]
         if plan is not None:
             r = plan.after(cell, attempt, r)
         results.append(r)
@@ -455,6 +486,7 @@ class ScenarioEngine:
         deadline: Optional[Deadline] = None,
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        pricer: Optional[str] = None,
     ) -> list[PricingResult]:
         """Price a flat contract list; results in input order.
 
@@ -463,7 +495,9 @@ class ScenarioEngine:
         and the :class:`~repro.service.service.QuoteService` coalescer —
         equivalent to pricing ``ScenarioGrid.explicit(specs)`` and keeping
         only the per-cell results.  An empty list prices to an empty list,
-        matching every other batch entry point.
+        matching every other batch entry point.  ``pricer`` names one
+        :class:`~repro.core.backend.PricerBackend` for every contract
+        (``None`` keeps the exact lattice path).
         """
         if not specs:
             return []
@@ -471,6 +505,7 @@ class ScenarioEngine:
             ScenarioGrid.explicit(list(specs)), steps,
             model=model, method=method, base=base, lam=lam,
             deadline=deadline, retry=retry, fault_plan=fault_plan,
+            pricer=pricer,
         ).results
 
     def map_chunks(self, items: Sequence, task) -> list:
@@ -524,6 +559,7 @@ class ScenarioEngine:
         deadline: Optional[Deadline] = None,
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        pricer: Optional[str] = None,
     ) -> ScenarioResult:
         """Price every grid cell; results come back in flat grid order.
 
@@ -536,6 +572,12 @@ class ScenarioEngine:
         as before; with it, exhausted/non-transient failures become
         per-cell markers and ``meta["resilience"]`` reports the recovery
         counters.
+
+        ``pricer`` names the :class:`~repro.core.backend.PricerBackend` for
+        cells that do not carry their own ``ScenarioCell.backend``; a grid
+        may mix exact and approximate cells freely (each result records its
+        server as ``meta["backend"]``).  With neither set the dispatch is
+        byte-for-byte the pre-registry lattice path.
         """
         if not isinstance(grid, ScenarioGrid):
             grid = ScenarioGrid.explicit(list(grid))
@@ -547,6 +589,18 @@ class ScenarioEngine:
             "lam": self.lam if lam is None else lam,
             "policy": self.policy,
         }
+        # Per-cell pricer backends: cell override, else the call's default.
+        # A uniform assignment collapses into ``kwargs`` (whole-chunk dedup
+        # and one price_many call per chunk, exactly as before); only a
+        # genuinely mixed grid pays the contiguous-run split in _run_chunk.
+        cell_pricers = [c.backend or pricer for c in grid.cells]
+        pricers: Optional[list] = None
+        if any(p is not None for p in cell_pricers):
+            uniform = cell_pricers[0]
+            if all(p == uniform for p in cell_pricers):
+                kwargs["pricer"] = uniform
+            else:
+                pricers = cell_pricers
         if retry is None:
             retry = self.retry
         if fault_plan is None:
@@ -635,7 +689,7 @@ class ScenarioEngine:
                         cells_wall, rmeta, engine_info = (
                             self._solve_serial_resilient(
                                 results, specs, steps, kwargs,
-                                deadline, retry, fault_plan,
+                                deadline, retry, fault_plan, pricers,
                             )
                         )
                     else:
@@ -643,15 +697,20 @@ class ScenarioEngine:
                         if tel is not None:
                             engine.set_telemetry(tel, register=False)
                         for lo, hi in chunks:
+                            chunk_pricers = (
+                                None if pricers is None else pricers[lo:hi]
+                            )
                             if tel is not None:
                                 with tel.span("chunk", lo=lo, hi=hi):
                                     chunk_results, seconds = _run_chunk(
-                                        engine, specs[lo:hi], steps, kwargs
+                                        engine, specs[lo:hi], steps, kwargs,
+                                        chunk_pricers,
                                     )
                                 h_chunk.observe(seconds)
                             else:
                                 chunk_results, seconds = _run_chunk(
-                                    engine, specs[lo:hi], steps, kwargs
+                                    engine, specs[lo:hi], steps, kwargs,
+                                    chunk_pricers,
                                 )
                             _rebase_dedup_indices(chunk_results, lo)
                             results[lo:hi] = chunk_results
@@ -661,13 +720,16 @@ class ScenarioEngine:
                     cells_wall, rmeta, worker_tracks = (
                         self._solve_pooled_resilient(
                             pool, results, specs, steps, kwargs, chunks,
-                            deadline, retry, fault_plan,
+                            deadline, retry, fault_plan, pricers,
                         )
                     )
                 else:
                     with pool:
                         payloads = [
-                            (lo, specs[lo:hi], steps, kwargs, self.policy)
+                            (
+                                lo, specs[lo:hi], steps, kwargs, self.policy,
+                                None if pricers is None else pricers[lo:hi],
+                            )
                             for lo, hi in chunks
                         ]
                         deltas: list[dict] = []
@@ -784,6 +846,7 @@ class ScenarioEngine:
         deadline: Optional[Deadline],
         retry: Optional[RetryPolicy],
         plan: Optional[FaultPlan],
+        pricers: "Optional[list]" = None,
     ) -> tuple[float, dict, dict]:
         """Serial resilient loop: one engine, cell-by-cell, cooperative
         deadline preemption via the engine's ``checkpoint`` hook.
@@ -824,7 +887,15 @@ class ScenarioEngine:
                 try:
                     if plan is not None:
                         plan.before(idx, attempt)
-                    r = price_many([spec], steps, engine=engine, **kwargs)[0]
+                    if pricers is None:
+                        r = price_many(
+                            [spec], steps, engine=engine, **kwargs
+                        )[0]
+                    else:
+                        r = price_many(
+                            [spec], steps, engine=engine,
+                            pricer=pricers[idx], **kwargs,
+                        )[0]
                     if plan is not None:
                         r = plan.after(idx, attempt, r)
                     validate_row(r)
@@ -899,6 +970,7 @@ class ScenarioEngine:
         deadline: Optional[Deadline],
         retry: Optional[RetryPolicy],
         plan: Optional[FaultPlan],
+        pricers: "Optional[list]" = None,
     ) -> tuple[float, dict, list]:
         """Pooled resilient loop: ``submit`` + ``wait(FIRST_COMPLETED)``.
 
@@ -940,6 +1012,7 @@ class ScenarioEngine:
             payload = (
                 lo, list(specs[lo:hi]), steps, kwargs, self.policy,
                 attempt, plan,
+                None if pricers is None else pricers[lo:hi],
             )
             pending[pool.submit(_price_cells, payload)] = (
                 lo, hi, attempt, generation,

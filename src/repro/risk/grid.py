@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.options.contract import OptionSpec
 from repro.util.validation import ValidationError
@@ -40,11 +40,17 @@ class ScenarioCell:
     ``labels`` maps axis name -> the bump that produced this cell (e.g.
     ``{"spec": 0, "spot": -0.05, "vol": 0.0, "rate": 0.0, "expiry": 0.0}``
     for cartesian grids, ``{"spec": i}`` for explicit ones).
+
+    ``backend`` optionally names the :class:`~repro.core.backend.PricerBackend`
+    this cell should be solved on (``"lattice"``, ``"spectral"``, …), so one
+    grid can mix exact and fast-approximate cells — e.g. exact center,
+    spectral stress wings.  ``None`` defers to the engine call's default.
     """
 
     index: int
     spec: OptionSpec
     labels: Mapping[str, object] = field(default_factory=dict)
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,50 @@ class ScenarioGrid:
     def specs(self) -> list[OptionSpec]:
         """The bumped contracts in flat grid order."""
         return [c.spec for c in self.cells]
+
+    @property
+    def backends(self) -> list[Optional[str]]:
+        """Per-cell pricer-backend names in flat grid order (``None`` =
+        defer to the engine call's default)."""
+        return [c.backend for c in self.cells]
+
+    def with_backends(
+        self,
+        backends: Union[
+            Optional[str],
+            Sequence[Optional[str]],
+            Callable[[ScenarioCell], Optional[str]],
+        ],
+    ) -> "ScenarioGrid":
+        """A copy of this grid with per-cell pricer backends assigned.
+
+        ``backends`` may be one name for every cell, a per-cell sequence in
+        flat grid order, or a callable ``cell -> name`` (e.g. route far
+        out-of-the-money stress wings to ``"spectral"`` while the exact
+        ``"lattice"`` prices the center).  ``None`` entries defer to the
+        engine call's default.
+        """
+        if callable(backends):
+            assigned = [backends(c) for c in self.cells]
+        elif backends is None or isinstance(backends, str):
+            assigned = [backends] * len(self.cells)
+        else:
+            assigned = list(backends)
+            if len(assigned) != len(self.cells):
+                raise ValidationError(
+                    f"with_backends got {len(assigned)} names for "
+                    f"{len(self.cells)} cells"
+                )
+        for name in assigned:
+            if name is not None and not isinstance(name, str):
+                raise ValidationError(
+                    "per-cell backends must be registry names (str) or None"
+                )
+        cells = tuple(
+            dataclasses.replace(c, backend=b)
+            for c, b in zip(self.cells, assigned)
+        )
+        return dataclasses.replace(self, cells=cells)
 
     # ------------------------------------------------------------------ #
     # Constructors

@@ -233,6 +233,14 @@ class QuoteService:
         ``meta["stale"]`` — for this long under breaker-open or deadline
         pressure, with a refresh enqueued in the background.  Ignored when
         ``cache`` is injected (configure the injected cache directly).
+    spectral_fallback:
+        Opt-in last rung of the degradation ladder.  When a cold quote
+        finds its bucket breaker open — or its deadline already spent —
+        and no stale entry is servable, serve an approximate spectral
+        price instead of raising: explicitly marked
+        (``meta["degraded_to"] == "spectral"``), journalled, refresh
+        enqueued, and **never** written to the exact cache slot.  Default
+        ``False`` keeps the raise-on-exhaustion contract unchanged.
     telemetry:
         Optional :class:`repro.obs.Telemetry`.  When enabled, the service
         records quote latency histograms per serve outcome
@@ -274,6 +282,7 @@ class QuoteService:
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         stale_grace: float = 0.0,
+        spectral_fallback: bool = False,
         telemetry=None,
         exemplars: int = 4,
     ):
@@ -313,6 +322,10 @@ class QuoteService:
         self.breaker_policy = breaker
         self.retry = retry
         self.fault_plan = fault_plan
+        self.spectral_fallback = bool(spectral_fallback)
+        #: resolved lazily: the first fast-tier (or degraded) quote pays
+        #: the spectral import, not service construction
+        self._spectral_backend = None
         self._clock = clock
 
         self.telemetry = tel = _tel_active(telemetry)
@@ -350,7 +363,11 @@ class QuoteService:
         self._stale_quotes = 0
         self._refreshes = 0
         self._deadline_misses = 0
+        self._fast_quotes = 0
+        self._tier_upgrades = 0
+        self._degraded_spectral = 0
         self._h_quote_lat: dict = {}
+        self._h_tier_lat: dict = {}
         self.exemplar_k = check_integer("exemplars", exemplars, minimum=0)
         self._exemplars: dict[str, list] = {}
         self._exemplar_lock = threading.Lock()
@@ -384,6 +401,9 @@ class QuoteService:
                 "stale_quotes": self._stale_quotes,
                 "refreshes": self._refreshes,
                 "deadline_misses": self._deadline_misses,
+                "fast_quotes": self._fast_quotes,
+                "tier_upgrades": self._tier_upgrades,
+                "degraded_spectral": self._degraded_spectral,
             }
 
     def _quote_hist(self, outcome: str):
@@ -397,6 +417,20 @@ class QuoteService:
                 help="quote() wall seconds by serve outcome",
             )
             self._h_quote_lat[outcome] = h
+        return h
+
+    def _tier_hist(self, tier: str):
+        """Latency histogram per *served* tier (fast/exact), resolved once
+        per label; only tiered serves observe it, so the metric series
+        appears exactly when tiering is in use."""
+        h = self._h_tier_lat.get(tier)
+        if h is None:
+            h = self.telemetry.histogram(
+                "service_quote_tier_seconds",
+                labels={"tier": tier},
+                help="tiered quote() wall seconds by served tier",
+            )
+            self._h_tier_lat[tier] = h
         return h
 
     # ------------------------------------------------------------------ #
@@ -583,36 +617,170 @@ class QuoteService:
             self.telemetry.emit("stale_serve", reason=reason)
         return out
 
+    # ------------------------------------------------------------------ #
+    # Tiered serving (spectral fast tier)
+    # ------------------------------------------------------------------ #
+    _TIERS = ("exact", "fast", "auto")
+
+    def _spectral(self):
+        """The registry's spectral backend, resolved lazily so service
+        construction never pays the spectral import."""
+        backend = self._spectral_backend
+        if backend is None:
+            from repro.core.backend import get_backend
+
+            backend = self._spectral_backend = get_backend("spectral")
+        return backend
+
+    @staticmethod
+    def _fast_key(req: CanonicalRequest) -> tuple:
+        """Fast-tier cache slot for a canonical key.
+
+        Disjoint from the exact slot by construction — the tier rides the
+        key itself — so an approximate price can never be served as (or
+        evict) a bit-exact one, under any :class:`CanonicalPolicy`.
+        """
+        return ("tier:fast",) + req.key
+
+    def _solve_spectral(self, req: CanonicalRequest) -> PricingResult:
+        """One spectral solve of the canonical spec.
+
+        No shared-engine mutex: spectral plans are immutable once built
+        and the backend's plan cache carries its own lock, so fast-tier
+        serves never queue behind a lattice solve in flight.
+        """
+        return self._spectral().price_spec(
+            req.spec, req.steps, model=req.model, method=req.method,
+            base=req.base, lam=req.lam,
+        )
+
+    def _enqueue_upgrade(self, req: CanonicalRequest) -> bool:
+        """Queue the lattice-exact upgrade behind a fast-tier serve.
+
+        Rides the ordinary pending queue exactly like a stale refresh —
+        drained by the next ``flush``/``result``/backpressure drain,
+        coalesced with real traffic on the same bucket — so fast traffic
+        warms the *exact* slot without a thread of its own.  Skipped when
+        the key is already in flight or the queue is full (the fast serve
+        stands on its own either way).
+        """
+        with self._lock:
+            if req.key in self._inflight or len(self._queue) >= self.max_pending:
+                return False
+            pending = _Pending(req)
+            self._inflight[req.key] = pending
+            self._queue.append(pending)
+            self._tier_upgrades += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "tier_upgrade",
+                bucket="/".join(map(str, self._bucket_of(req))),
+            )
+        return True
+
+    def _serve_fast(self, req: CanonicalRequest) -> PricingResult:
+        """Serve one quote from the fast (spectral) tier.
+
+        A warm fast-slot key returns a scaled copy; a cold one pays the
+        ~ms spectral solve and is stored under the fast slot only.  Either
+        way, when the exact slot is cold an upgrade is enqueued, so the
+        cache converges toward lattice-exact under fast traffic and the
+        *next* ``tier="auto"`` quote on the key serves exact.
+        """
+        fkey = self._fast_key(req)
+        cached = self.cache.get(fkey)
+        if cached is not None:
+            with self._lock:
+                self._quotes += 1
+                self._fast_quotes += 1
+            out = _tagged(cached, req, "hit")
+        else:
+            result = self._solve_spectral(req)
+            self.cache.put(fkey, result)
+            with self._lock:
+                self._quotes += 1
+                self._fast_quotes += 1
+            out = _tagged(result, req, "miss")
+        out.meta["tier"] = "fast"
+        out.meta.setdefault("tolerance", self._spectral().tolerance)
+        # peek, not get: probing the exact slot to schedule the upgrade
+        # must not skew its hit/miss accounting — and must never serve
+        # from it on this tier
+        if self.cache.peek(req.key) is None:
+            self._enqueue_upgrade(req)
+        return out
+
+    def _degrade_spectral(
+        self, req: CanonicalRequest, reason: str
+    ) -> Optional[PricingResult]:
+        """Last rung of the degradation ladder (opt-in, see
+        ``spectral_fallback``): an approximate spectral serve when no
+        stale entry is servable.
+
+        The serve is explicitly marked (``meta["degraded_to"]``) and
+        journalled, a refresh is enqueued so the exact slot heals, and
+        the result is never written to the exact cache slot.  Returns
+        None — fall through to the original rejection — when the fallback
+        is disabled or the spectral solve itself rejects the contract.
+        """
+        if not self.spectral_fallback:
+            return None
+        try:
+            result = self._solve_spectral(req)
+        except Exception:
+            return None  # e.g. Bermudan: let the original rejection stand
+        out = _tagged(result, req, "degraded")
+        out.meta["degraded_to"] = "spectral"
+        out.meta["degrade_reason"] = reason
+        out.meta["tier"] = "fast"
+        out.meta.setdefault("tolerance", self._spectral().tolerance)
+        with self._lock:
+            self._degraded_spectral += 1
+        self._enqueue_refresh(req)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "degraded_spectral", reason=reason,
+                bucket="/".join(map(str, self._bucket_of(req))),
+            )
+        return out
+
     def _gate_or_degrade(
         self, req: CanonicalRequest, deadline: Optional[Deadline]
     ) -> Optional[PricingResult]:
         """Pre-solve gate for a cold quote: open breaker or spent deadline
-        short-circuits to a stale serve (or a structured rejection).
+        short-circuits to a stale serve, then — with ``spectral_fallback``
+        — an approximate spectral serve, then a structured rejection.
 
-        Returns the decanonicalized stale result, or None to proceed with
-        the solve.  Checks ``state`` — not ``allow()`` — so a half-open
-        probe slot is only consumed by the actual solve attempt in
-        :meth:`_resolve_group`, never burned twice per quote.
+        Returns the decanonicalized degraded result, or None to proceed
+        with the solve.  Checks ``state`` — not ``allow()`` — so a
+        half-open probe slot is only consumed by the actual solve attempt
+        in :meth:`_resolve_group`, never burned twice per quote.
         """
         breaker = self._breaker_for(req)
         if breaker is not None and breaker.state == OPEN:
             canonical = self._stale_canonical(req)
-            if canonical is None:
-                raise breaker.reject(self._bucket_of(req))
-            return self._mark_stale(
-                _tagged(canonical, req, "stale"), "breaker_open"
-            )
+            if canonical is not None:
+                return self._mark_stale(
+                    _tagged(canonical, req, "stale"), "breaker_open"
+                )
+            degraded = self._degrade_spectral(req, "breaker_open")
+            if degraded is not None:
+                return degraded
+            raise breaker.reject(self._bucket_of(req))
         if deadline is not None and deadline.expired:
             with self._lock:
                 self._deadline_misses += 1
             canonical = self._stale_canonical(req)
-            if canonical is None:
-                raise DeadlineExceeded(
-                    f"deadline of {deadline.budget:g}s spent before the "
-                    "solve could start and no stale entry is servable"
+            if canonical is not None:
+                return self._mark_stale(
+                    _tagged(canonical, req, "stale"), "deadline"
                 )
-            return self._mark_stale(
-                _tagged(canonical, req, "stale"), "deadline"
+            degraded = self._degrade_spectral(req, "deadline")
+            if degraded is not None:
+                return degraded
+            raise DeadlineExceeded(
+                f"deadline of {deadline.budget:g}s spent before the "
+                "solve could start and no stale entry is servable"
             )
         return None
 
@@ -630,8 +798,26 @@ class QuoteService:
         lam: Optional[float] = None,
         return_boundary: bool = False,
         deadline: Optional[Deadline] = None,
+        tier: str = "exact",
     ) -> PricingResult:
         """Price one contract through the cache.
+
+        ``tier`` picks the accuracy/latency trade per call:
+
+        * ``"exact"`` (default) — the lattice pipeline below, unchanged.
+        * ``"fast"`` — serve the spectral tier immediately: a warm
+          fast-slot key is a cache hit, a cold one pays the ~ms spectral
+          solve.  The result carries ``meta["tier"] == "fast"`` and
+          ``meta["tolerance"]`` (the backend's stated bound), is cached
+          under a *fast-tier* slot disjoint from the exact slot, and a
+          lattice-exact upgrade is enqueued on the pending queue so the
+          exact slot warms behind the serve.  Never reads or writes the
+          exact slot.
+        * ``"auto"`` — serve the exact slot when it is warm
+          (``meta["tier"] == "exact"``, ``meta["tolerance"] == 0.0``),
+          otherwise fall back to the fast tier exactly as above.  With
+          ``return_boundary=True`` the exact pipeline always runs (the
+          spectral tier records no divider).
 
         A warm key returns a scaled copy of the stored canonical result —
         bit-identical to the cold solve at quantization tolerance 0.  With
@@ -648,14 +834,19 @@ class QuoteService:
         holds the key within its stale grace, and raises
         :class:`~repro.resilience.deadline.DeadlineExceeded` otherwise.
         The same degradation applies when the bucket's circuit breaker is
-        open.  Warm keys are always served; a deadline never costs a cache
-        hit anything.
+        open (and, with ``spectral_fallback``, degrades one rung further
+        to a marked spectral serve before rejecting).  Warm keys are
+        always served; a deadline never costs a cache hit anything.
         """
+        if tier not in self._TIERS:
+            raise ValidationError(
+                f"unknown tier {tier!r}; choose one of {self._TIERS}"
+            )
         tel = self.telemetry
         if tel is None:
             return self._quote_impl(
                 spec, steps, model, method, base, lam,
-                return_boundary, deadline,
+                return_boundary, deadline, tier,
             )
         t0 = tel.clock()
         seq0 = tel.journal.seq
@@ -663,12 +854,18 @@ class QuoteService:
         with sp:
             result = self._quote_impl(
                 spec, steps, model, method, base, lam,
-                return_boundary, deadline,
+                return_boundary, deadline, tier,
             )
         dur = tel.clock() - t0
         # outcome label comes from the serve tag quote already records
         outcome = result.meta.get("cache", "miss")
         self._quote_hist(outcome).observe(dur)
+        # tiered (and degraded-spectral) serves stamp meta["tier"]; only
+        # those observe the per-tier histogram, so exact-only traffic's
+        # metric surface is unchanged
+        tier_served = result.meta.get("tier")
+        if tier_served is not None:
+            self._tier_hist(tier_served).observe(dur)
         self._record_exemplar(outcome, dur, sp, seq0)
         return result
 
@@ -753,6 +950,7 @@ class QuoteService:
         lam: Optional[float],
         return_boundary: bool,
         deadline: Optional[Deadline],
+        tier: str = "exact",
     ) -> PricingResult:
         tel = self.telemetry
         if tel is not None:
@@ -767,6 +965,27 @@ class QuoteService:
         wants_boundary = (
             return_boundary and req.spec.style is not Style.EUROPEAN
         )
+        if tier == "fast":
+            if wants_boundary:
+                raise ValidationError(
+                    "tier='fast' prices off the spectral backend, which "
+                    "records no exercise divider; use tier='exact' (or "
+                    "'auto') for return_boundary=True"
+                )
+            return self._serve_fast(req)
+        if tier == "auto" and not wants_boundary:
+            # exact first: a warm exact slot beats any approximation —
+            # and a cold one is served fast *now* with the exact upgrade
+            # queued behind it
+            cached = self.cache.get(req.key)
+            if cached is not None:
+                with self._lock:
+                    self._quotes += 1
+                out = _tagged(cached, req, "hit")
+                out.meta["tier"] = "exact"
+                out.meta["tolerance"] = 0.0
+                return out
+            return self._serve_fast(req)
         if tel is not None:
             with tel.span("cache_lookup"):
                 cached = self._lookup_cached(req, wants_boundary)
@@ -822,13 +1041,21 @@ class QuoteService:
                 self._quotes += 1
             try:
                 self._resolve_group([mine])  # solve errors propagate
-            except (DeadlineExceeded, CircuitOpenError):
+            except (DeadlineExceeded, CircuitOpenError) as exc:
                 # the solve itself missed the budget (or hit an opening
                 # breaker): same degradation ladder as the pre-solve gate
                 with self._lock:
                     self._deadline_misses += 1
                 canonical = self._stale_canonical(req)
                 if canonical is None:
+                    degraded = self._degrade_spectral(
+                        req,
+                        "breaker_open"
+                        if isinstance(exc, CircuitOpenError)
+                        else "deadline",
+                    )
+                    if degraded is not None:
+                        return degraded
                     raise
                 return self._mark_stale(
                     _tagged(canonical, req, "stale"), "deadline"
@@ -842,6 +1069,9 @@ class QuoteService:
                     return self._mark_stale(
                         _tagged(canonical, req, "stale"), "deadline"
                     )
+                degraded = self._degrade_spectral(req, "deadline")
+                if degraded is not None:
+                    return degraded
             return _tagged(
                 result, req,
                 "merged" if claimed is not None else "miss",
@@ -1350,12 +1580,15 @@ class QuoteService:
                     "workers": self.workers,
                     "backend": self.backend if self.workers > 1 else "serial",
                     "coalesce": self.coalesce,
+                    "fast_quotes": self._fast_quotes,
+                    "tier_upgrades": self._tier_upgrades,
                 },
                 "resilience": {
                     "breakers": breakers,
                     "stale_quotes": self._stale_quotes,
                     "refreshes": self._refreshes,
                     "deadline_misses": self._deadline_misses,
+                    "degraded_spectral": self._degraded_spectral,
                 },
             }
         if self.telemetry is not None:
@@ -1369,7 +1602,11 @@ class QuoteService:
         ``status`` is ``"ok"``, ``"degraded"`` (any bucket breaker not
         closed — requests on those buckets are being served stale or
         rejected fast) or ``"overloaded"`` (the pending queue is full, so
-        non-blocking submits are shedding load).  The rest is the handful
+        non-blocking submits are shedding load).  ``open_breakers`` names
+        every bucket whose breaker is not closed, and ``journal_dropped``
+        counts flight-recorder events lost to ring overflow (0 without
+        telemetry) — a growing number means the journal window is too
+        small for the incident being debugged.  The rest is the handful
         of levels a probe acts on; :meth:`stats` remains the full
         snapshot.
         """
@@ -1398,5 +1635,11 @@ class QuoteService:
             "cache_hit_ratio": cache["hit_ratio"],
             "cache_size": cache["size"],
             "stale_quotes": self._stale_quotes,
+            "degraded_spectral": self._degraded_spectral,
+            "journal_dropped": (
+                self.telemetry.journal.dropped
+                if self.telemetry is not None
+                else 0
+            ),
             "telemetry_enabled": self.telemetry is not None,
         }

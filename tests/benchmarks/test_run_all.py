@@ -148,6 +148,48 @@ class TestTrajectoryRows:
     def test_missing_file_is_empty_history(self, trajectory, tmp_path):
         assert trajectory.load_rows(str(tmp_path / "absent.jsonl")) == []
 
+    def test_upsert_skips_rerun_of_same_commit_and_mode(
+        self, trajectory, tmp_path
+    ):
+        path = str(tmp_path / "traj.jsonl")
+        row = trajectory.build_row({}, smoke=True, commit="abc", timestamp=1)
+        assert trajectory.upsert_row(path, row) == "appended"
+        rerun = trajectory.build_row({}, smoke=True, commit="abc", timestamp=2)
+        assert trajectory.upsert_row(path, rerun) == "skipped"
+        rows = trajectory.load_rows(path)
+        assert len(rows) == 1
+        assert rows[0]["timestamp"] == 1  # original row untouched
+
+    def test_upsert_same_commit_different_mode_appends(
+        self, trajectory, tmp_path
+    ):
+        path = str(tmp_path / "traj.jsonl")
+        smoke = trajectory.build_row({}, smoke=True, commit="abc", timestamp=1)
+        full = trajectory.build_row({}, smoke=False, commit="abc", timestamp=2)
+        assert trajectory.upsert_row(path, smoke) == "appended"
+        assert trajectory.upsert_row(path, full) == "appended"
+        assert len(trajectory.load_rows(path)) == 2
+
+    def test_upsert_force_replaces_in_place(self, trajectory, tmp_path):
+        path = str(tmp_path / "traj.jsonl")
+        first = trajectory.build_row({}, smoke=True, commit="abc", timestamp=1)
+        other = trajectory.build_row({}, smoke=True, commit="def", timestamp=2)
+        trajectory.upsert_row(path, first)
+        trajectory.upsert_row(path, other)
+        redo = trajectory.build_row({}, smoke=True, commit="abc", timestamp=3)
+        assert trajectory.upsert_row(path, redo, force=True) == "replaced"
+        rows = trajectory.load_rows(path)
+        assert [r["commit"] for r in rows] == ["abc", "def"]  # order kept
+        assert rows[0]["timestamp"] == 3
+
+    def test_upsert_without_commit_always_appends(self, trajectory, tmp_path):
+        path = str(tmp_path / "traj.jsonl")
+        row = trajectory.build_row({}, smoke=True, commit=None, timestamp=1)
+        row["commit"] = None  # outside any git checkout
+        assert trajectory.upsert_row(path, row) == "appended"
+        assert trajectory.upsert_row(path, row) == "appended"
+        assert len(trajectory.load_rows(path)) == 2
+
     def test_last_comparable_never_mixes_smoke_and_full(self, trajectory):
         full = trajectory.build_row({}, smoke=False, commit="a", timestamp=1)
         smoke = trajectory.build_row({}, smoke=True, commit="b", timestamp=2)

@@ -84,6 +84,15 @@ def test_implied_surface(capsys):
     assert "scenario sweep off the surface" in out
 
 
+def test_tiered_quotes(capsys):
+    out = run_example("examples/tiered_quotes.py", ["--steps", "64"], capsys)
+    assert "tier=fast" in out
+    assert "tier=exact" in out
+    assert "degraded_to=spectral" in out
+    assert "mixed grid, per-cell backends" in out
+    assert "spectral" in out and "lattice" in out
+
+
 def test_paper_tables_list(capsys):
     out = run_example("examples/paper_tables.py", ["--list"], capsys)
     assert "fig5-bopm" in out
